@@ -1,0 +1,231 @@
+package multiscalar_test
+
+// The benchmark harness: one testing.B benchmark per paper table/figure
+// (each regenerates that experiment's rows on truncated traces sized for
+// benchmarking; `cmd/mbench` produces the full-trace numbers recorded in
+// EXPERIMENTS.md), plus micro-benchmarks of the predictor hot paths and
+// the substrate (interpreter, compiler, task former).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"io"
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/experiments"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/msl"
+	"multiscalar/internal/sim/functional"
+	"multiscalar/internal/sim/timing"
+	"multiscalar/internal/taskform"
+	"multiscalar/internal/trace"
+	"multiscalar/internal/workload"
+)
+
+// benchCfg truncates experiment traces so a full -bench=. pass stays in
+// the minutes range while still exercising every code path of every
+// experiment.
+var benchCfg = experiments.Config{MaxSteps: 120000, TimingSteps: 60000}
+
+func benchExperiment(b *testing.B, name string) {
+	r, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the shared workload caches outside the timer.
+	for _, w := range workload.All() {
+		if _, err := w.Graph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkTable3(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)   { benchExperiment(b, "table4") }
+
+func BenchmarkIntraTask(b *testing.B) { benchExperiment(b, "intratask") }
+
+func BenchmarkAblationFolding(b *testing.B)       { benchExperiment(b, "ablation-folding") }
+func BenchmarkAblationSingleExit(b *testing.B)    { benchExperiment(b, "ablation-singleexit") }
+func BenchmarkAblationRAS(b *testing.B)           { benchExperiment(b, "ablation-ras") }
+func BenchmarkAblationRealHistories(b *testing.B) { benchExperiment(b, "ablation-real-histories") }
+func BenchmarkAblationUpdateDelay(b *testing.B)   { benchExperiment(b, "ablation-updatedelay") }
+
+// ---- predictor hot paths -------------------------------------------------
+
+// benchTrace returns a shared truncated trace for microbenchmarks.
+func benchTrace(b *testing.B, name string, steps int) *trace.Trace {
+	b.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := w.TraceN(steps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkPathExitPredict measures the per-step cost of the real
+// path-based exit predictor (the hardware-modelled hot path).
+func BenchmarkPathExitPredict(b *testing.B) {
+	tr := benchTrace(b, "exprc", 200000)
+	p := core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2,
+		core.PathExitOptions{SkipSingleExit: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Steps[i%tr.PredictionSteps()]
+		t := tr.Graph.TaskAt(s.Task)
+		_ = p.PredictExit(t)
+		p.UpdateExit(t, int(s.Exit))
+	}
+}
+
+// BenchmarkIdealPathPredict measures the alias-free predictor's map-keyed
+// step cost.
+func BenchmarkIdealPathPredict(b *testing.B) {
+	tr := benchTrace(b, "exprc", 200000)
+	p := core.NewIdealPath(7, core.LEH2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Steps[i%tr.PredictionSteps()]
+		t := tr.Graph.TaskAt(s.Task)
+		_ = p.PredictExit(t)
+		p.UpdateExit(t, int(s.Exit))
+	}
+}
+
+// BenchmarkCTTBStep measures the correlated target buffer's per-step cost.
+func BenchmarkCTTBStep(b *testing.B) {
+	buf := core.MustCTTB(core.MustDOLC(7, 4, 4, 5, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := isa.Addr(i & 0xFFFF)
+		_, _ = buf.Lookup(cur)
+		buf.Train(cur, cur+1)
+		buf.Advance(cur)
+	}
+}
+
+// BenchmarkDOLCIndex measures the index-generation fold alone.
+func BenchmarkDOLCIndex(b *testing.B) {
+	d := core.MustDOLC(7, 5, 6, 6, 3)
+	var h core.PathHistory
+	for i := 0; i < 8; i++ {
+		h.Push(isa.Addr(i * 37))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Index(&h, isa.Addr(i))
+	}
+}
+
+// BenchmarkHeaderPredictorStep measures the fully composed predictor.
+func BenchmarkHeaderPredictorStep(b *testing.B) {
+	tr := benchTrace(b, "minilisp", 200000)
+	exit := core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2,
+		core.PathExitOptions{SkipSingleExit: true})
+	p := core.NewHeaderPredictor("bench", exit, core.NewRAS(0),
+		core.MustCTTB(core.MustDOLC(7, 4, 4, 5, 3)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Steps[i%tr.PredictionSteps()]
+		t := tr.Graph.TaskAt(s.Task)
+		_ = p.Predict(t)
+		p.Update(t, core.Outcome{Exit: int(s.Exit), Target: s.Target})
+	}
+}
+
+// ---- substrate -----------------------------------------------------------
+
+// BenchmarkFunctionalInterp measures raw interpreter throughput
+// (instructions per op).
+func BenchmarkFunctionalInterp(b *testing.B) {
+	w, err := workload.ByName("compressb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	instrs := uint64(0)
+	for i := 0; i < b.N; i++ {
+		m := functional.NewMachine(g, functional.Config{})
+		if _, err := m.Run(functional.Config{MaxSteps: 50000}); err != nil {
+			b.Fatal(err)
+		}
+		instrs += m.Stats().Instrs
+	}
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+}
+
+// BenchmarkTimingSim measures the ring timing model's throughput.
+func BenchmarkTimingSim(b *testing.B) {
+	w, err := workload.ByName("boolmin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timing.Run(g, nil, timing.Config{MaxSteps: 30000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMSLCompile measures end-to-end compilation of the largest
+// workload program (lexer through codegen).
+func BenchmarkMSLCompile(b *testing.B) {
+	w, err := workload.ByName("exprc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := msl.Compile(w.Source, msl.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTaskform measures the task-forming pass.
+func BenchmarkTaskform(b *testing.B) {
+	w, err := workload.ByName("exprc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := taskform.Partition(p, taskform.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

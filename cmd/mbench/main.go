@@ -1,0 +1,58 @@
+// Command mbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mbench -exp all                 # every experiment (slow: full traces)
+//	mbench -exp fig7                # one experiment
+//	mbench -exp table4 -timing 200000
+//	mbench -exp fig10 -steps 500000 # truncate traces (quick look)
+//	mbench -list                    # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"multiscalar/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name or 'all'")
+	steps := flag.Int("steps", 0, "truncate workload traces to N dynamic tasks (0 = full)")
+	timing := flag.Int("timing", 0, "dynamic-task budget per timing run (0 = default 400000)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-24s %s\n", r.Name, r.Brief)
+		}
+		return
+	}
+
+	cfg := experiments.Config{MaxSteps: *steps, TimingSteps: *timing}
+
+	run := func(r experiments.Runner) {
+		start := time.Now()
+		if err := r.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "mbench: %s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, r := range experiments.All() {
+			run(r)
+		}
+		return
+	}
+	r, err := experiments.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbench:", err)
+		os.Exit(1)
+	}
+	run(r)
+}

@@ -1,0 +1,153 @@
+// Command msim runs one workload under one task-predictor configuration
+// and reports prediction statistics (and optionally ring-model timing).
+//
+// Usage:
+//
+//	msim -w exprc                                # standard predictor
+//	msim -w minilisp -dolc 5-4-6-6-2 -automaton LE
+//	msim -w compressb -predictor cttb-only
+//	msim -w calcsheet -timing                    # ring-model IPC
+//	msim -w exprc -steps 200000                  # truncate the run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/sim/timing"
+	"multiscalar/internal/trace"
+	"multiscalar/internal/workload"
+)
+
+func main() {
+	wname := flag.String("w", "exprc", "workload: "+strings.Join(workload.Names(), ", "))
+	dolcStr := flag.String("dolc", "7-5-6-6-3", "exit predictor DOLC as D-O-L-C-F")
+	automaton := flag.String("automaton", "LEH-2bit", "prediction automaton kind")
+	predictor := flag.String("predictor", "header", "predictor style: header | cttb-only")
+	cttbStr := flag.String("cttb", "7-4-4-5-3", "CTTB DOLC as D-O-L-C-F")
+	rasDepth := flag.Int("ras", core.DefaultRASDepth, "return address stack depth")
+	steps := flag.Int("steps", 0, "dynamic task budget (0 = run to halt)")
+	doTiming := flag.Bool("timing", false, "also run the ring timing model")
+	flag.Parse()
+
+	if err := run(*wname, *dolcStr, *automaton, *predictor, *cttbStr, *rasDepth, *steps, *doTiming); err != nil {
+		fmt.Fprintln(os.Stderr, "msim:", err)
+		os.Exit(1)
+	}
+}
+
+// parseDOLC parses "D-O-L-C-F".
+func parseDOLC(s string) (core.DOLC, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 5 {
+		return core.DOLC{}, fmt.Errorf("bad DOLC %q (want D-O-L-C-F)", s)
+	}
+	var v [5]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return core.DOLC{}, fmt.Errorf("bad DOLC %q: %v", s, err)
+		}
+		v[i] = n
+	}
+	d := core.DOLC{Depth: v[0], Older: v[1], Last: v[2], Current: v[3], Folds: v[4]}
+	return d, d.Validate()
+}
+
+func buildPredictor(style string, dolc, cttbDOLC core.DOLC, kind core.AutomatonKind, rasDepth int) (core.TaskPredictor, error) {
+	switch style {
+	case "header":
+		exit, err := core.NewPathExit(dolc, kind, core.PathExitOptions{SkipSingleExit: true})
+		if err != nil {
+			return nil, err
+		}
+		cttb, err := core.NewCTTB(cttbDOLC)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewHeaderPredictor("", exit, core.NewRAS(rasDepth), cttb), nil
+	case "cttb-only":
+		cttb, err := core.NewCTTB(dolc)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCTTBOnly(cttb), nil
+	default:
+		return nil, fmt.Errorf("unknown predictor style %q", style)
+	}
+}
+
+func run(wname, dolcStr, automaton, style, cttbStr string, rasDepth, steps int, doTiming bool) error {
+	w, err := workload.ByName(wname)
+	if err != nil {
+		return err
+	}
+	dolc, err := parseDOLC(dolcStr)
+	if err != nil {
+		return err
+	}
+	cttbDOLC, err := parseDOLC(cttbStr)
+	if err != nil {
+		return err
+	}
+	kind, err := core.AutomatonKindByName(automaton)
+	if err != nil {
+		return err
+	}
+	pred, err := buildPredictor(style, dolc, cttbDOLC, kind, rasDepth)
+	if err != nil {
+		return err
+	}
+
+	var tr *trace.Trace
+	if steps > 0 {
+		tr, err = w.TraceN(steps)
+	} else {
+		tr, _, err = w.Trace()
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload %s (%s analog): %d dynamic tasks, %d distinct\n",
+		w.Name, w.Analog, tr.Len(), tr.DistinctTasks())
+
+	res := core.EvaluateTask(tr, pred)
+	fmt.Printf("predictor %s\n", pred.Name())
+	fmt.Printf("  task miss rate     %6.2f%%  (%d / %d)\n", 100*res.MissRate(), res.Misses, res.Steps)
+	if style == "header" {
+		fmt.Printf("  exit miss rate     %6.2f%%\n", 100*res.ExitMissRate())
+	}
+	for _, k := range []isa.ControlKind{isa.KindBranch, isa.KindCall, isa.KindReturn,
+		isa.KindIndirectBranch, isa.KindIndirectCall} {
+		km := res.ByKind[k]
+		if km.Steps == 0 {
+			continue
+		}
+		fmt.Printf("  %-18s %6.2f%%  (%d / %d)\n", k.String()+" misses",
+			100*float64(km.Misses)/float64(km.Steps), km.Misses, km.Steps)
+	}
+
+	if doTiming {
+		g, err := w.Graph()
+		if err != nil {
+			return err
+		}
+		fresh, err := buildPredictor(style, dolc, cttbDOLC, kind, rasDepth)
+		if err != nil {
+			return err
+		}
+		tres, err := timing.Run(g, fresh, timing.Config{MaxSteps: steps})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("timing (4 units, 2-way): IPC %.2f over %d cycles, %d tasks, task miss %.2f%%\n",
+			tres.IPC(), tres.Cycles, tres.Tasks, 100*tres.TaskMissRate())
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command mslc compiles MSL source to MSA and inspects the result:
+// assembly listing, task flow graph, or execution.
+//
+// Usage:
+//
+//	mslc prog.msl                 # compile, report sizes
+//	mslc -dump asm prog.msl       # assembly listing
+//	mslc -dump tfg prog.msl       # task flow graph
+//	mslc -run prog.msl            # compile, partition, execute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/msl"
+	"multiscalar/internal/sim/functional"
+	"multiscalar/internal/taskform"
+)
+
+func main() {
+	dump := flag.String("dump", "", "what to print: asm | tfg")
+	runIt := flag.Bool("run", false, "execute the program after compiling")
+	maxInstr := flag.Int("task-instr", 0, "task former instruction budget (0 = default)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mslc [-dump asm|tfg] [-run] file.msl")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *dump, *runIt, *maxInstr); err != nil {
+		fmt.Fprintln(os.Stderr, "mslc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, dump string, runIt bool, maxInstr int) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := msl.Compile(string(src), msl.Options{})
+	if err != nil {
+		return err
+	}
+	graph, err := taskform.Partition(prog, taskform.Options{MaxInstr: maxInstr})
+	if err != nil {
+		return err
+	}
+
+	switch dump {
+	case "":
+	case "asm":
+		fmt.Print(asm.Disassemble(prog))
+	case "tfg":
+		for _, addr := range graph.Order {
+			t := graph.Tasks[addr]
+			name := t.Name
+			if name == "" {
+				name = "-"
+			}
+			fmt.Printf("task @%-6d %-20s blocks=%d instrs=%2d exits=%d", addr, name, len(t.Blocks), t.NumInstr, t.NumExits())
+			for i, e := range t.Exits {
+				fmt.Printf("  [%d]%v", i, e)
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown -dump kind %q", dump)
+	}
+
+	fmt.Printf("%s: %d instructions, %d data words, %d static tasks\n",
+		path, len(prog.Code), prog.DataSize, graph.NumTasks())
+
+	if runIt {
+		m := functional.NewMachine(graph, functional.Config{})
+		tr, err := m.Run(functional.Config{})
+		if err != nil {
+			return err
+		}
+		st := m.Stats()
+		fmt.Printf("executed %d instructions, %d dynamic tasks (%.1f instr/task), halted=%v\n",
+			st.Instrs, tr.Len(), st.InstrsPerTask(), st.Halted)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command mtrace records, inspects, and replays dynamic task traces.
+// Recording a trace once lets predictor sweeps run without re-executing
+// the workload.
+//
+// Usage:
+//
+//	mtrace -w exprc -record /tmp/exprc.trace          # execute & save
+//	mtrace -w exprc -info /tmp/exprc.trace            # validate & summarize
+//	mtrace -w exprc -replay /tmp/exprc.trace          # predictor sweep on it
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/sim/functional"
+	"multiscalar/internal/tfg"
+	"multiscalar/internal/trace"
+	"multiscalar/internal/workload"
+)
+
+func main() {
+	wname := flag.String("w", "exprc", "workload: "+strings.Join(workload.Names(), ", "))
+	record := flag.String("record", "", "execute the workload and write its trace to this file")
+	info := flag.String("info", "", "read a trace file, validate it against the workload's TFG, summarize")
+	replay := flag.String("replay", "", "read a trace file and run the standard predictor sweep on it")
+	steps := flag.Int("steps", 0, "dynamic task budget when recording (0 = run to halt)")
+	flag.Parse()
+
+	if err := run(*wname, *record, *info, *replay, *steps); err != nil {
+		fmt.Fprintln(os.Stderr, "mtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wname, record, info, replay string, steps int) error {
+	w, err := workload.ByName(wname)
+	if err != nil {
+		return err
+	}
+	g, err := w.Graph()
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case record != "":
+		tr, stats, err := functional.Run(g, functional.Config{MaxSteps: steps})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(record)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		if err := tr.Write(bw); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d steps (%d instructions) to %s\n", tr.Len(), stats.Instrs, record)
+		return nil
+
+	case info != "":
+		tr, err := load(info, g)
+		if err != nil {
+			return err
+		}
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("trace does not match %s's TFG: %w", wname, err)
+		}
+		fmt.Printf("%s: %d steps, %d prediction events, %d distinct tasks — valid for %s\n",
+			info, tr.Len(), tr.PredictionSteps(), tr.DistinctTasks(), wname)
+		hist := tr.DynamicExitHistogram()
+		fmt.Printf("exits-per-task distribution: %v\n", hist)
+		return nil
+
+	case replay != "":
+		tr, err := load(replay, g)
+		if err != nil {
+			return err
+		}
+		preds := []core.ExitPredictor{
+			core.NewIdealGlobal(7, core.LEH2),
+			core.NewIdealPer(7, core.LEH2),
+			core.NewIdealPath(7, core.LEH2),
+			core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2,
+				core.PathExitOptions{SkipSingleExit: true}),
+		}
+		for _, res := range core.EvaluateExitAll(tr, preds) {
+			fmt.Printf("%-32s %6.2f%% misses (%d states)\n", res.Name, 100*res.MissRate(), res.States)
+		}
+		return nil
+	}
+	return fmt.Errorf("one of -record, -info, -replay is required")
+}
+
+func load(path string, g *tfg.Graph) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(bufio.NewReader(f), g)
+}

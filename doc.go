@@ -1,0 +1,14 @@
+// Package multiscalar is a from-scratch reproduction of "Control Flow
+// Speculation in Multiscalar Processors" (Jacobson, Bennett, Sharma,
+// Smith; HPCA-3, 1997): inter-task control-flow prediction for the
+// Multiscalar execution model, together with every substrate needed to
+// evaluate it — a small RISC ISA (MSA), an assembler, a C-like language
+// and compiler (MSL), a task-forming compiler pass, functional and timing
+// simulators, five benchmark analogs of the paper's SPEC92 suite, and the
+// complete experiment matrix (Tables 2–4, Figures 3–12).
+//
+// Start with README.md for the layout, DESIGN.md for the architecture and
+// substitutions, and EXPERIMENTS.md for the measured reproduction of each
+// table and figure. The benchmark harness in bench_test.go regenerates
+// every result via `go test -bench`.
+package multiscalar

@@ -1,0 +1,513 @@
+// Package asm implements a textual assembler for MSA.
+//
+// Syntax (one statement per line; ';' or '#' starts a comment):
+//
+//	.entry main            ; program entry label (required)
+//	.stack 4096            ; extra zeroed data-memory words (stack space)
+//	.space buf 1024        ; reserve a named, zeroed data region
+//	.word  tbl @a @b 7     ; initialized data: label addresses or integers
+//	.func  main            ; define a function entry label
+//	label:                 ; define a code label
+//	    li   r2, 10
+//	    la   r3, $buf      ; $name = address of a data symbol
+//	    la   r4, @label    ; @name = address of a code label
+//	    lw   r5, 0(r3)
+//	    sw   r5, 4(r3)
+//	    add  r6, r2, r5
+//	    addi r6, r6, -1
+//	    br   r6, @loop, @done
+//	    j    @done
+//	    jal  @f
+//	    jalr r7
+//	    jr   r7
+//	    ret
+//	    halt
+//
+// Register operands accept r0..r31 and the aliases zero, rv, sp, fp, ra.
+// Branch targets are always written with '@'. Jal/Jalr link addresses are
+// implicit (the next instruction).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+)
+
+// Assemble parses MSA assembly source into a validated program.
+func Assemble(src string) (*program.Program, error) {
+	a := &assembler{
+		prog:       program.New(),
+		codeRefs:   map[int]codeRef{},
+		dataRefs:   map[int]string{}, // data word index -> code label
+		laDataRefs: map[int]string{}, // instr index -> data symbol
+		laCodeRefs: map[int]string{}, // instr index -> code label
+	}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+type codeRef struct {
+	line   int
+	labelA string // TargetA
+	labelB string // TargetB (Br only)
+}
+
+type assembler struct {
+	prog     *program.Program
+	entry    string
+	stack    int
+	codeRefs map[int]codeRef
+
+	dataRefs   map[int]string
+	laDataRefs map[int]string
+	laCodeRefs map[int]string
+
+	line int
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) run(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		line := raw
+		if j := strings.IndexAny(line, ";#"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := a.statement(line); err != nil {
+			return err
+		}
+	}
+	return a.link()
+}
+
+func (a *assembler) statement(line string) error {
+	if strings.HasPrefix(line, ".") {
+		return a.directive(line)
+	}
+	if name, ok := strings.CutSuffix(line, ":"); ok {
+		name = strings.TrimSpace(name)
+		if !validIdent(name) {
+			return a.errf("invalid label %q", name)
+		}
+		if _, dup := a.prog.Labels[name]; dup {
+			return a.errf("duplicate label %q", name)
+		}
+		a.prog.Labels[name] = isa.Addr(len(a.prog.Code))
+		return nil
+	}
+	return a.instruction(line)
+}
+
+func (a *assembler) directive(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".entry":
+		if len(fields) != 2 {
+			return a.errf(".entry wants one label")
+		}
+		a.entry = fields[1]
+	case ".stack":
+		if len(fields) != 2 {
+			return a.errf(".stack wants one size")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return a.errf("bad stack size %q", fields[1])
+		}
+		a.stack += n
+	case ".space":
+		if len(fields) != 3 {
+			return a.errf(".space wants a name and a size")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 {
+			return a.errf("bad space size %q", fields[2])
+		}
+		return a.defData(fields[1], make([]int64, n), nil)
+	case ".word":
+		if len(fields) < 3 {
+			return a.errf(".word wants a name and at least one value")
+		}
+		vals := make([]int64, len(fields)-2)
+		refs := make(map[int]string)
+		for i, f := range fields[2:] {
+			if lbl, ok := strings.CutPrefix(f, "@"); ok {
+				refs[i] = lbl
+				continue
+			}
+			v, err := strconv.ParseInt(f, 0, 64)
+			if err != nil {
+				return a.errf("bad word value %q", f)
+			}
+			vals[i] = v
+		}
+		return a.defData(fields[1], vals, refs)
+	case ".func":
+		if len(fields) != 2 {
+			return a.errf(".func wants one name")
+		}
+		name := fields[1]
+		if !validIdent(name) {
+			return a.errf("invalid function name %q", name)
+		}
+		if _, dup := a.prog.Labels[name]; dup {
+			return a.errf("duplicate label %q", name)
+		}
+		addr := isa.Addr(len(a.prog.Code))
+		a.prog.Labels[name] = addr
+		a.prog.Functions[name] = addr
+	default:
+		return a.errf("unknown directive %s", fields[0])
+	}
+	return nil
+}
+
+func (a *assembler) defData(name string, vals []int64, refs map[int]string) error {
+	if !validIdent(name) {
+		return a.errf("invalid data symbol %q", name)
+	}
+	if _, dup := a.prog.DataSymbols[name]; dup {
+		return a.errf("duplicate data symbol %q", name)
+	}
+	base := len(a.prog.Data)
+	a.prog.DataSymbols[name] = program.DataSym{Addr: base, Size: len(vals)}
+	a.prog.Data = append(a.prog.Data, vals...)
+	for i, lbl := range refs {
+		a.dataRefs[base+i] = lbl
+	}
+	return nil
+}
+
+// instruction parses one instruction line.
+func (a *assembler) instruction(line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return a.errf("unknown mnemonic %q", mnemonic)
+	}
+	operands := splitOperands(rest)
+	idx := len(a.prog.Code)
+	in := isa.Instr{Op: op}
+
+	need := func(n int) error {
+		if len(operands) != n {
+			return a.errf("%s wants %d operands, got %d", mnemonic, n, len(operands))
+		}
+		return nil
+	}
+
+	switch op {
+	case isa.Nop, isa.Halt, isa.Ret:
+		if err := need(0); err != nil {
+			return err
+		}
+	case isa.Add, isa.Sub, isa.Mul, isa.Div, isa.Rem, isa.And, isa.Or, isa.Xor,
+		isa.Shl, isa.Shr, isa.Sra, isa.Slt, isa.Sle, isa.Seq, isa.Sne:
+		if err := need(3); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = a.reg(operands[0]); err != nil {
+			return err
+		}
+		if in.Rs, err = a.reg(operands[1]); err != nil {
+			return err
+		}
+		if in.Rt, err = a.reg(operands[2]); err != nil {
+			return err
+		}
+	case isa.AddI, isa.MulI, isa.AndI, isa.OrI, isa.XorI,
+		isa.ShlI, isa.ShrI, isa.SltI, isa.SleI, isa.SeqI, isa.SneI:
+		if err := need(3); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = a.reg(operands[0]); err != nil {
+			return err
+		}
+		if in.Rs, err = a.reg(operands[1]); err != nil {
+			return err
+		}
+		if in.Imm, err = a.imm(operands[2]); err != nil {
+			return err
+		}
+	case isa.Li:
+		if err := need(2); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = a.reg(operands[0]); err != nil {
+			return err
+		}
+		if in.Imm, err = a.imm(operands[1]); err != nil {
+			return err
+		}
+	case isa.La:
+		if err := need(2); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = a.reg(operands[0]); err != nil {
+			return err
+		}
+		switch {
+		case strings.HasPrefix(operands[1], "$"):
+			a.laDataRefs[idx] = operands[1][1:]
+		case strings.HasPrefix(operands[1], "@"):
+			a.laCodeRefs[idx] = operands[1][1:]
+		default:
+			if in.Imm, err = a.imm(operands[1]); err != nil {
+				return err
+			}
+		}
+	case isa.Lw:
+		if err := need(2); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = a.reg(operands[0]); err != nil {
+			return err
+		}
+		if in.Imm, in.Rs, err = a.memOperand(operands[1]); err != nil {
+			return err
+		}
+	case isa.Sw:
+		if err := need(2); err != nil {
+			return err
+		}
+		var err error
+		if in.Rt, err = a.reg(operands[0]); err != nil {
+			return err
+		}
+		if in.Imm, in.Rs, err = a.memOperand(operands[1]); err != nil {
+			return err
+		}
+	case isa.Br:
+		if err := need(3); err != nil {
+			return err
+		}
+		var err error
+		if in.Rs, err = a.reg(operands[0]); err != nil {
+			return err
+		}
+		la, err := a.labelOperand(operands[1])
+		if err != nil {
+			return err
+		}
+		lb, err := a.labelOperand(operands[2])
+		if err != nil {
+			return err
+		}
+		a.codeRefs[idx] = codeRef{line: a.line, labelA: la, labelB: lb}
+	case isa.J, isa.Jal:
+		if err := need(1); err != nil {
+			return err
+		}
+		l, err := a.labelOperand(operands[0])
+		if err != nil {
+			return err
+		}
+		a.codeRefs[idx] = codeRef{line: a.line, labelA: l}
+		if op == isa.Jal {
+			in.Link = isa.Addr(idx + 1)
+		}
+	case isa.Jr:
+		if err := need(1); err != nil {
+			return err
+		}
+		var err error
+		if in.Rs, err = a.reg(operands[0]); err != nil {
+			return err
+		}
+	case isa.Jalr:
+		if err := need(1); err != nil {
+			return err
+		}
+		var err error
+		if in.Rs, err = a.reg(operands[0]); err != nil {
+			return err
+		}
+		in.Link = isa.Addr(idx + 1)
+	default:
+		return a.errf("unhandled opcode %v", op)
+	}
+
+	a.prog.Code = append(a.prog.Code, in)
+	return nil
+}
+
+// link resolves all symbolic references and finalizes the program.
+func (a *assembler) link() error {
+	p := a.prog
+	lookup := func(lbl string, line int) (isa.Addr, error) {
+		addr, ok := p.Labels[lbl]
+		if !ok {
+			return 0, fmt.Errorf("asm: line %d: undefined label %q", line, lbl)
+		}
+		return addr, nil
+	}
+	for idx, ref := range a.codeRefs {
+		addr, err := lookup(ref.labelA, ref.line)
+		if err != nil {
+			return err
+		}
+		p.Code[idx].TargetA = addr
+		if ref.labelB != "" {
+			if addr, err = lookup(ref.labelB, ref.line); err != nil {
+				return err
+			}
+			p.Code[idx].TargetB = addr
+		}
+	}
+	for idx, lbl := range a.laCodeRefs {
+		addr, ok := p.Labels[lbl]
+		if !ok {
+			return fmt.Errorf("asm: undefined code label %q in la", lbl)
+		}
+		p.Code[idx].Imm = int32(addr)
+	}
+	for idx, sym := range a.laDataRefs {
+		s, ok := p.DataSymbols[sym]
+		if !ok {
+			return fmt.Errorf("asm: undefined data symbol %q in la", sym)
+		}
+		p.Code[idx].Imm = int32(s.Addr)
+	}
+	for word, lbl := range a.dataRefs {
+		addr, ok := p.Labels[lbl]
+		if !ok {
+			return fmt.Errorf("asm: undefined code label %q in .word", lbl)
+		}
+		p.Data[word] = int64(addr)
+	}
+	if a.entry == "" {
+		return fmt.Errorf("asm: missing .entry directive")
+	}
+	entry, ok := p.Labels[a.entry]
+	if !ok {
+		return fmt.Errorf("asm: undefined entry label %q", a.entry)
+	}
+	p.Entry = entry
+	p.DataSize = len(p.Data) + a.stack
+	return p.Validate()
+}
+
+var regAliases = map[string]isa.Reg{
+	"zero": isa.Zero, "rv": isa.RV, "sp": isa.SP, "fp": isa.FP, "ra": isa.RA,
+}
+
+func (a *assembler) reg(s string) (isa.Reg, error) {
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, a.errf("bad register %q", s)
+}
+
+func (a *assembler) imm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, a.errf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+// memOperand parses "imm(rN)".
+func (a *assembler) memOperand(s string) (int32, isa.Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	var imm int32
+	if open > 0 {
+		v, err := a.imm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = v
+	}
+	r, err := a.reg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return imm, r, nil
+}
+
+func (a *assembler) labelOperand(s string) (string, error) {
+	lbl, ok := strings.CutPrefix(s, "@")
+	if !ok || !validIdent(lbl) {
+		return "", a.errf("bad label operand %q", s)
+	}
+	return lbl, nil
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Disassemble renders a program back to readable assembly with label
+// annotations (not guaranteed to round-trip through Assemble; intended
+// for inspection).
+func Disassemble(p *program.Program) string {
+	names := make(map[isa.Addr]string)
+	for n, a := range p.Labels {
+		names[a] = n
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; entry @%d  data %d words\n", p.Entry, p.DataSize)
+	for i, in := range p.Code {
+		if n, ok := names[isa.Addr(i)]; ok {
+			if _, isFn := p.Functions[n]; isFn {
+				fmt.Fprintf(&b, ".func %s\n", n)
+			} else {
+				fmt.Fprintf(&b, "%s:\n", n)
+			}
+		}
+		fmt.Fprintf(&b, "  %4d: %v\n", i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/isa"
+)
+
+const sample = `
+; sample program exercising every syntactic form
+.entry main
+.stack 64
+.space buf 8
+.word tab @f 5 -3
+
+.func main
+    li   r2, 10
+    la   r3, $buf
+    la   r4, @f
+    lw   r5, 0(r3)
+    sw   r5, 1(r3)
+    add  r6, r2, r5
+    addi r6, r6, -1
+    seq  r7, r6, zero
+    br   r7, @done, @go
+go:
+    jal  @f
+    jalr r4
+    j    @done
+done:
+    halt
+
+.func f
+    shli rv, r2, 2
+    ret
+`
+
+func TestAssembleSample(t *testing.T) {
+	p, err := Assemble(sample)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if _, ok := p.Functions["main"]; !ok {
+		t.Fatalf("main not registered as function")
+	}
+	if _, ok := p.Functions["f"]; !ok {
+		t.Fatalf("f not registered as function")
+	}
+	if p.Entry != p.Labels["main"] {
+		t.Fatalf("entry mismatch")
+	}
+	// Data layout: buf (8 words) then tab (3 words); stack on top.
+	buf := p.DataSymbols["buf"]
+	tab := p.DataSymbols["tab"]
+	if buf.Size != 8 || tab.Size != 3 || tab.Addr != buf.Addr+8 {
+		t.Fatalf("data layout: buf=%+v tab=%+v", buf, tab)
+	}
+	if p.DataSize != 11+64 {
+		t.Fatalf("DataSize = %d", p.DataSize)
+	}
+	// tab[0] must hold f's address; tab[1]=5; tab[2]=-3.
+	if p.Data[tab.Addr] != int64(p.Labels["f"]) || p.Data[tab.Addr+1] != 5 || p.Data[tab.Addr+2] != -3 {
+		t.Fatalf("tab contents = %v", p.Data[tab.Addr:tab.Addr+3])
+	}
+	// The la of a data symbol resolves to its address.
+	if p.Code[1].Op != isa.La || p.Code[1].Imm != int32(buf.Addr) {
+		t.Fatalf("la $buf = %v", p.Code[1])
+	}
+	// The la of a code label resolves to the label.
+	if p.Code[2].Imm != int32(p.Labels["f"]) {
+		t.Fatalf("la @f = %v", p.Code[2])
+	}
+	// Jal link is the next instruction.
+	for i, in := range p.Code {
+		if in.Op == isa.Jal || in.Op == isa.Jalr {
+			if in.Link != isa.Addr(i+1) {
+				t.Errorf("link of @%d = %d", i, in.Link)
+			}
+		}
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p, err := Assemble(`
+.entry main
+.func main
+    add sp, fp, ra
+    add rv, zero, r31
+    halt
+`)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	in := p.Code[0]
+	if in.Rd != isa.SP || in.Rs != isa.FP || in.Rt != isa.RA {
+		t.Fatalf("alias decoding: %v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing-entry":   ".func main\n halt",
+		"undefined-entry": ".entry nope\n.func main\n halt",
+		"undefined-label": ".entry main\n.func main\n j @nowhere\n halt",
+		"bad-mnemonic":    ".entry main\n.func main\n frob r1\n halt",
+		"bad-register":    ".entry main\n.func main\n add r99, r1, r2\n halt",
+		"dup-label":       ".entry main\n.func main\nx:\nx:\n halt",
+		"bad-operand":     ".entry main\n.func main\n li r1\n halt",
+		"bad-mem":         ".entry main\n.func main\n lw r1, r2\n halt",
+		"undefined-data":  ".entry main\n.func main\n la r1, $nope\n halt",
+		"bad-directive":   ".entry main\n.bogus x\n.func main\n halt",
+		"dup-data":        ".entry main\n.space a 1\n.space a 1\n.func main\n halt",
+		"bad-word-value":  ".entry main\n.word a x\n.func main\n halt",
+		"fallthrough":     ".entry main\n.func main\n li r1, 1\nlbl:\n j @lbl\n halt",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDisassembleMentionsLabels(t *testing.T) {
+	p, err := Assemble(sample)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	out := Disassemble(p)
+	for _, want := range []string{".func main", ".func f", "done:", "halt", "jal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+; full-line comment
+# hash comment
+.entry main
+
+.func main
+    halt   ; trailing comment
+`
+	if _, err := Assemble(src); err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/tfg"
+)
+
+// Automaton is a multi-way prediction automaton: the per-entry state of a
+// pattern history table, generalizing the 2-bit saturating counter of
+// scalar branch prediction to the up-to-four-way exit choice (§5.1).
+type Automaton interface {
+	// Predict returns the predicted exit number in [0, tfg.MaxExits).
+	Predict() int
+	// Update trains the automaton with the actual exit number.
+	Update(actual int)
+}
+
+// TiePolicy selects how voting-counter automata resolve ties between
+// equally-high counters.
+type TiePolicy uint8
+
+const (
+	// TieMRU picks the most recently used exit among the tied counters
+	// (requires extra storage, as the paper notes).
+	TieMRU TiePolicy = iota
+	// TieRandom picks pseudo-randomly among the tied counters.
+	TieRandom
+)
+
+func (p TiePolicy) String() string {
+	if p == TieMRU {
+		return "MRU"
+	}
+	return "RANDOM"
+}
+
+// AutomatonKind identifies one of the seven automata compared in the
+// paper's Figure 6 and acts as a factory for fresh automaton state.
+type AutomatonKind struct {
+	name string
+	make func(r *rng) Automaton
+	// Bits is the storage cost per PHT entry in bits, used for sizing
+	// comparisons (an LEH-2 entry is 4 bits: 2-bit exit + 2-bit counter).
+	Bits int
+}
+
+// Name returns the kind's display name (e.g. "LEH-2bit", "3bit-VC-MRU").
+func (k AutomatonKind) Name() string { return k.name }
+
+// New creates a fresh automaton of this kind. r supplies randomness for
+// TieRandom voting counters and may be nil for other kinds.
+func (k AutomatonKind) New(r *rng) Automaton { return k.make(r) }
+
+// The automata of Figure 6.
+var (
+	// LE records only the last exit taken (a degenerate 1-bit-per-counter
+	// voting scheme); highest miss rate in the paper.
+	LE = AutomatonKind{name: "LE", Bits: 2,
+		make: func(*rng) Automaton { le := lastExit(0); return &le }}
+
+	// LEH1 is last-exit with a 1-bit hysteresis counter.
+	LEH1 = AutomatonKind{name: "LEH-1bit", Bits: 3,
+		make: func(*rng) Automaton { return &leh{max: 1} }}
+
+	// LEH2 is last-exit with a 2-bit hysteresis counter — the paper's
+	// recommended automaton (ties the 3-bit voting counters with fewer
+	// bits).
+	LEH2 = AutomatonKind{name: "LEH-2bit", Bits: 4,
+		make: func(*rng) Automaton { return &leh{max: 3} }}
+
+	// VC2MRU is four 2-bit voting counters with MRU tie-breaking.
+	VC2MRU = AutomatonKind{name: "2bit-VC-MRU", Bits: 10,
+		make: func(r *rng) Automaton { return &votingCounters{max: 3, tie: TieMRU, mru: -1, rng: r} }}
+
+	// VC2Random is four 2-bit voting counters with random tie-breaking.
+	VC2Random = AutomatonKind{name: "2bit-VC-RANDOM", Bits: 8,
+		make: func(r *rng) Automaton { return &votingCounters{max: 3, tie: TieRandom, mru: -1, rng: r} }}
+
+	// VC3MRU is four 3-bit voting counters with MRU tie-breaking.
+	VC3MRU = AutomatonKind{name: "3bit-VC-MRU", Bits: 14,
+		make: func(r *rng) Automaton { return &votingCounters{max: 7, tie: TieMRU, mru: -1, rng: r} }}
+
+	// VC3Random is four 3-bit voting counters with random tie-breaking.
+	VC3Random = AutomatonKind{name: "3bit-VC-RANDOM", Bits: 12,
+		make: func(r *rng) Automaton { return &votingCounters{max: 7, tie: TieRandom, mru: -1, rng: r} }}
+)
+
+// AllAutomata lists the seven automata of Figure 6 in the paper's legend
+// order.
+var AllAutomata = []AutomatonKind{VC2MRU, VC2Random, LEH1, VC3MRU, VC3Random, LEH2, LE}
+
+// AutomatonKindByName resolves a kind by its display name.
+func AutomatonKindByName(name string) (AutomatonKind, error) {
+	for _, k := range AllAutomata {
+		if k.name == name {
+			return k, nil
+		}
+	}
+	return AutomatonKind{}, fmt.Errorf("core: unknown automaton kind %q", name)
+}
+
+// lastExit predicts whatever exit was taken last time (LE).
+type lastExit int8
+
+func (a *lastExit) Predict() int      { return int(*a) }
+func (a *lastExit) Update(actual int) { *a = lastExit(actual) }
+
+// leh is last-exit with hysteresis (LEH): the stored exit is replaced only
+// when the saturating confidence counter has decayed to zero and the
+// prediction is wrong again.
+type leh struct {
+	exit int8
+	ctr  int8
+	max  int8 // counter saturation value: 1 for LEH-1bit, 3 for LEH-2bit
+}
+
+func (a *leh) Predict() int { return int(a.exit) }
+
+func (a *leh) Update(actual int) {
+	if int(a.exit) == actual {
+		if a.ctr < a.max {
+			a.ctr++
+		}
+		return
+	}
+	if a.ctr == 0 {
+		a.exit = int8(actual)
+		return
+	}
+	a.ctr--
+}
+
+// votingCounters keeps one saturating counter per exit; the exit with the
+// strictly highest counter is predicted, with ties broken by policy. On
+// update the actual exit's counter is incremented and all others are
+// decremented (§5.1).
+type votingCounters struct {
+	ctr [tfg.MaxExits]int8
+	max int8
+	tie TiePolicy
+	mru int8 // most recently used exit; -1 before first update
+	rng *rng
+}
+
+func (a *votingCounters) Predict() int {
+	best := a.ctr[0]
+	for _, c := range a.ctr[1:] {
+		if c > best {
+			best = c
+		}
+	}
+	var ties [tfg.MaxExits]int
+	n := 0
+	for i, c := range a.ctr {
+		if c == best {
+			ties[n] = i
+			n++
+		}
+	}
+	if n == 1 {
+		return ties[0]
+	}
+	switch a.tie {
+	case TieMRU:
+		if a.mru >= 0 {
+			for _, t := range ties[:n] {
+				if int(a.mru) == t {
+					return t
+				}
+			}
+		}
+		return ties[0]
+	default: // TieRandom
+		if a.rng != nil {
+			return ties[a.rng.intn(n)]
+		}
+		return ties[0]
+	}
+}
+
+func (a *votingCounters) Update(actual int) {
+	for i := range a.ctr {
+		if i == actual {
+			if a.ctr[i] < a.max {
+				a.ctr[i]++
+			}
+		} else if a.ctr[i] > 0 {
+			a.ctr[i]--
+		}
+	}
+	a.mru = int8(actual)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/tfg"
+)
+
+// DelayedUpdate wraps an exit predictor, deferring every training update
+// by a fixed number of task steps.
+//
+// The paper's functional simulator updates predictors immediately after
+// each prediction and flags this as an idealization: "A real
+// implementation may make predictions based on stale information while
+// waiting for non-speculative outcome information to return from the
+// execution processors" (§3.1, Update Timing). This wrapper models the
+// pessimistic bound of that effect — predictions are made with history
+// and automata that lag the machine by `delay` tasks, the time for an
+// outcome to travel back from a processing unit to the sequencer.
+type DelayedUpdate struct {
+	inner ExitPredictor
+	delay int
+
+	queue []pendingUpdate // FIFO of at most delay entries
+}
+
+type pendingUpdate struct {
+	task *tfg.Task
+	exit int
+}
+
+// NewDelayedUpdate wraps inner with an update latency of delay task
+// steps (0 reproduces the paper's idealized immediate update).
+func NewDelayedUpdate(inner ExitPredictor, delay int) *DelayedUpdate {
+	if delay < 0 {
+		delay = 0
+	}
+	return &DelayedUpdate{inner: inner, delay: delay}
+}
+
+// Name implements ExitPredictor.
+func (d *DelayedUpdate) Name() string {
+	return fmt.Sprintf("%s+lag%d", d.inner.Name(), d.delay)
+}
+
+// States implements ExitPredictor.
+func (d *DelayedUpdate) States() int { return d.inner.States() }
+
+// Reset implements ExitPredictor.
+func (d *DelayedUpdate) Reset() {
+	d.inner.Reset()
+	d.queue = d.queue[:0]
+}
+
+// PredictExit implements ExitPredictor: the inner predictor answers with
+// whatever (stale) state it has.
+func (d *DelayedUpdate) PredictExit(t *tfg.Task) int {
+	return d.inner.PredictExit(t)
+}
+
+// UpdateExit implements ExitPredictor: the outcome enters a FIFO and
+// trains the inner predictor only once `delay` younger tasks have been
+// predicted.
+func (d *DelayedUpdate) UpdateExit(t *tfg.Task, exit int) {
+	if d.delay == 0 {
+		d.inner.UpdateExit(t, exit)
+		return
+	}
+	d.queue = append(d.queue, pendingUpdate{task: t, exit: exit})
+	if len(d.queue) > d.delay {
+		u := d.queue[0]
+		copy(d.queue, d.queue[1:])
+		d.queue = d.queue[:len(d.queue)-1]
+		d.inner.UpdateExit(u.task, u.exit)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/isa"
+)
+
+// DOLC specifies a realizable path-based index function (§6.2, Figure 9).
+//
+// An intermediate index is built by concatenating low-order task address
+// bits: C bits of the current task, L bits of the last task
+// (Current_Task - 1), and O bits from each of the D-1 older tasks
+// (Current_Task - 2 … Current_Task - D). The intermediate index is then
+// folded by splitting it into F equal sub-fields that are XORed together,
+// yielding the final table index of (D-1)·O + L + C) / F bits.
+//
+// The paper writes configurations as D-O-L-C (F); String reproduces that
+// notation.
+type DOLC struct {
+	Depth   int // D: number of preceding tasks in the path
+	Older   int // O: bits per older task (Current-2 … Current-D)
+	Last    int // L: bits from the last task (Current-1)
+	Current int // C: bits from the current task
+	Folds   int // F: number of XOR-folded sub-fields
+}
+
+// String renders the configuration in the paper's D-O-L-C (F) notation.
+func (d DOLC) String() string {
+	return fmt.Sprintf("%d-%d-%d-%d(%d)", d.Depth, d.Older, d.Last, d.Current, d.Folds)
+}
+
+// IntermediateBits returns the length of the intermediate index:
+// (D-1)·O + L + C (zero-clamped for D ∈ {0,1}, where no older tasks
+// contribute).
+func (d DOLC) IntermediateBits() int {
+	older := d.Depth - 1
+	if older < 0 {
+		older = 0
+	}
+	return older*d.Older + d.Last + d.Current
+}
+
+// IndexBits returns the width of the final, folded index.
+func (d DOLC) IndexBits() int {
+	if d.Folds <= 1 {
+		return d.IntermediateBits()
+	}
+	return d.IntermediateBits() / d.Folds
+}
+
+// TableSize returns the number of entries of a table indexed by this
+// configuration (2^IndexBits).
+func (d DOLC) TableSize() int { return 1 << uint(d.IndexBits()) }
+
+// Validate checks that the configuration is well-formed: non-negative
+// fields, depth within MaxHistoryDepth, a positive index width, and an
+// intermediate length that divides evenly into F sub-fields (the paper's
+// "length of the intermediate index … must be a multiple of F").
+func (d DOLC) Validate() error {
+	if d.Depth < 0 || d.Older < 0 || d.Last < 0 || d.Current < 0 {
+		return fmt.Errorf("core: DOLC %v: negative field", d)
+	}
+	if d.Depth > MaxHistoryDepth {
+		return fmt.Errorf("core: DOLC %v: depth exceeds MaxHistoryDepth=%d", d, MaxHistoryDepth)
+	}
+	if d.Folds < 1 {
+		return fmt.Errorf("core: DOLC %v: folds must be >= 1", d)
+	}
+	ib := d.IntermediateBits()
+	if ib == 0 {
+		return fmt.Errorf("core: DOLC %v: empty intermediate index", d)
+	}
+	if ib%d.Folds != 0 {
+		return fmt.Errorf("core: DOLC %v: intermediate length %d not a multiple of F=%d", d, ib, d.Folds)
+	}
+	if d.IndexBits() > 30 {
+		return fmt.Errorf("core: DOLC %v: index of %d bits is unreasonably large", d, d.IndexBits())
+	}
+	if d.Depth >= 2 && d.Older == 0 && d.Depth > 1 {
+		// Legal but pointless: older tasks contribute nothing. Allowed —
+		// the paper's 1-0-7-7(1) point has O=0 at D=1.
+		_ = d
+	}
+	return nil
+}
+
+// intermediate builds the unfolded intermediate index from the history
+// register and current task address. Oldest bits end up highest, matching
+// Figure 9's layout (current task at the low end).
+func (d DOLC) intermediate(h *PathHistory, current isa.Addr) uint64 {
+	v := uint64(0)
+	for i := d.Depth; i >= 2; i-- {
+		v = v<<uint(d.Older) | uint64(h.At(i))&(1<<uint(d.Older)-1)
+	}
+	if d.Depth >= 1 {
+		v = v<<uint(d.Last) | uint64(h.At(1))&(1<<uint(d.Last)-1)
+	}
+	v = v<<uint(d.Current) | uint64(current)&(1<<uint(d.Current)-1)
+	return v
+}
+
+// Index computes the final table index for the given history and current
+// task: the intermediate index split into F fields, XOR-folded together.
+func (d DOLC) Index(h *PathHistory, current isa.Addr) uint32 {
+	v := d.intermediate(h, current)
+	bits := d.IndexBits()
+	if d.Folds <= 1 {
+		return uint32(v & (1<<uint(bits) - 1))
+	}
+	mask := uint64(1)<<uint(bits) - 1
+	folded := uint64(0)
+	for f := 0; f < d.Folds; f++ {
+		folded ^= v & mask
+		v >>= uint(bits)
+	}
+	return uint32(folded)
+}
+
+// MustDOLC builds a DOLC configuration and panics if it is invalid; it is
+// a convenience for the experiment tables, whose configurations are
+// static.
+func MustDOLC(depth, older, last, current, folds int) DOLC {
+	d := DOLC{Depth: depth, Older: older, Last: last, Current: current, Folds: folds}
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	return d
+}

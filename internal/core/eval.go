@@ -1,0 +1,207 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/trace"
+)
+
+// ExitResult summarizes an exit-prediction study (Figures 6, 7, 10, 11).
+type ExitResult struct {
+	Name   string
+	Steps  int // prediction events
+	Misses int // exit mispredictions
+	States int // distinct predictor states touched (Figure 11)
+}
+
+// MissRate returns the exit miss rate in [0,1].
+func (r ExitResult) MissRate() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Steps)
+}
+
+// EvaluateExit replays a trace through an exit predictor, scoring every
+// prediction step. The predictor is Reset first.
+func EvaluateExit(tr *trace.Trace, p ExitPredictor) ExitResult {
+	p.Reset()
+	res := ExitResult{Name: p.Name()}
+	for _, s := range tr.Steps {
+		if s.Exit == trace.HaltExit {
+			continue
+		}
+		t := tr.Graph.TaskAt(s.Task)
+		pred := p.PredictExit(t)
+		res.Steps++
+		if pred != int(s.Exit) {
+			res.Misses++
+		}
+		p.UpdateExit(t, int(s.Exit))
+	}
+	res.States = p.States()
+	return res
+}
+
+// EvaluateExitAll evaluates many exit predictors over one trace in
+// parallel (each predictor replays independently; the trace is read-only).
+func EvaluateExitAll(tr *trace.Trace, preds []ExitPredictor) []ExitResult {
+	results := make([]ExitResult, len(preds))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range preds {
+		wg.Add(1)
+		go func(i int, p ExitPredictor) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = EvaluateExit(tr, p)
+		}(i, p)
+	}
+	wg.Wait()
+	return results
+}
+
+// TargetResult summarizes a target-buffer study (Figures 8, 12): address
+// prediction accuracy over the dynamic steps whose actual exit is an
+// indirect branch or indirect call.
+type TargetResult struct {
+	Name   string
+	Steps  int // indirect-exit steps scored
+	Misses int // wrong or missing target predictions
+	States int
+}
+
+// MissRate returns the address miss rate over indirect exits in [0,1].
+func (r TargetResult) MissRate() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Steps)
+}
+
+// EvaluateIndirect replays a trace through a target buffer, scoring and
+// training it only on steps whose actual exit is indirect (the paper's
+// §5.3 / §6.4.1 methodology: the buffer serves indirect exits; other exit
+// types are handled by the header and RAS and do not compete for buffer
+// space). The buffer's path history still advances on every step.
+func EvaluateIndirect(tr *trace.Trace, b TargetBuffer) TargetResult {
+	b.Reset()
+	res := TargetResult{Name: b.Name()}
+	for _, s := range tr.Steps {
+		if s.Exit != trace.HaltExit {
+			t := tr.Graph.TaskAt(s.Task)
+			if t.Exits[s.Exit].Kind.IsIndirect() {
+				res.Steps++
+				if got, ok := b.Lookup(s.Task); !ok || got != s.Target {
+					res.Misses++
+				}
+				b.Train(s.Task, s.Target)
+			}
+		}
+		b.Advance(s.Task)
+	}
+	res.States = b.States()
+	return res
+}
+
+// EvaluateIndirectAll evaluates many target buffers over one trace in
+// parallel.
+func EvaluateIndirectAll(tr *trace.Trace, bufs []TargetBuffer) []TargetResult {
+	results := make([]TargetResult, len(bufs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, b := range bufs {
+		wg.Add(1)
+		go func(i int, b TargetBuffer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = EvaluateIndirect(tr, b)
+		}(i, b)
+	}
+	wg.Wait()
+	return results
+}
+
+// TaskResult summarizes a full task-prediction study (Table 3): the
+// predicted next-task address versus the actual one, with a breakdown of
+// misses by the actual exit's control kind.
+type TaskResult struct {
+	Name       string
+	Steps      int
+	ExitMisses int // wrong exit number (meaningful for header predictors)
+	Misses     int // wrong next-task address — the paper's task miss rate
+	ByKind     map[isa.ControlKind]KindMisses
+}
+
+// KindMisses is the per-control-kind accounting of a TaskResult.
+type KindMisses struct {
+	Steps  int
+	Misses int
+}
+
+// MissRate returns the overall task (address) miss rate in [0,1].
+func (r TaskResult) MissRate() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Steps)
+}
+
+// ExitMissRate returns the exit miss rate component in [0,1].
+func (r TaskResult) ExitMissRate() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.ExitMisses) / float64(r.Steps)
+}
+
+// EvaluateTask replays a trace through a full task predictor, scoring the
+// predicted next-task address on every prediction step.
+func EvaluateTask(tr *trace.Trace, p TaskPredictor) TaskResult {
+	p.Reset()
+	res := TaskResult{Name: p.Name(), ByKind: make(map[isa.ControlKind]KindMisses)}
+	for _, s := range tr.Steps {
+		if s.Exit == trace.HaltExit {
+			continue
+		}
+		t := tr.Graph.TaskAt(s.Task)
+		pred := p.Predict(t)
+		res.Steps++
+		kind := t.Exits[s.Exit].Kind
+		km := res.ByKind[kind]
+		km.Steps++
+		if pred.Exit >= 0 && pred.Exit != int(s.Exit) {
+			res.ExitMisses++
+		}
+		if pred.Target != s.Target {
+			res.Misses++
+			km.Misses++
+		}
+		res.ByKind[kind] = km
+		p.Update(t, Outcome{Exit: int(s.Exit), Target: s.Target})
+	}
+	return res
+}
+
+// EvaluateTaskAll evaluates many task predictors over one trace in
+// parallel.
+func EvaluateTaskAll(tr *trace.Trace, preds []TaskPredictor) []TaskResult {
+	results := make([]TaskResult, len(preds))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range preds {
+		wg.Add(1)
+		go func(i int, p TaskPredictor) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = EvaluateTask(tr, p)
+		}(i, p)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/tfg"
+)
+
+// The ideal predictors implement the paper's alias-free limit study
+// (§5.2): "ideal" means no two distinct prediction contexts ever share an
+// automaton. They are map-backed, with exact keys.
+//
+// At depth 0 all three schemes degenerate to one automaton per static
+// task ("no correlation is exploited").
+
+// exitKey is the exact context key for the exit-history schemes: the
+// current task plus a 2-bit-per-step exit history register (global or
+// per-task).
+type exitKey struct {
+	addr isa.Addr
+	hist ExitHistory
+}
+
+// IdealGlobal is the ideal GLOBAL scheme: a single exit-number history
+// register shared by all tasks, paired with the current task address.
+type IdealGlobal struct {
+	depth int
+	kind  AutomatonKind
+	rng   *rng
+	hist  ExitHistory
+	table map[exitKey]Automaton
+}
+
+// NewIdealGlobal returns an alias-free GLOBAL exit predictor of the given
+// history depth using the given automaton kind.
+func NewIdealGlobal(depth int, kind AutomatonKind) *IdealGlobal {
+	if depth < 0 || depth > MaxHistoryDepth {
+		panic(fmt.Sprintf("core: IdealGlobal depth %d out of range", depth))
+	}
+	return &IdealGlobal{depth: depth, kind: kind, rng: newRNG(1), table: make(map[exitKey]Automaton)}
+}
+
+// Name implements ExitPredictor.
+func (p *IdealGlobal) Name() string {
+	return fmt.Sprintf("GLOBAL-ideal(d=%d,%s)", p.depth, p.kind.Name())
+}
+
+// States implements ExitPredictor.
+func (p *IdealGlobal) States() int { return len(p.table) }
+
+// Reset implements ExitPredictor.
+func (p *IdealGlobal) Reset() {
+	p.hist = 0
+	p.table = make(map[exitKey]Automaton)
+	p.rng = newRNG(1)
+}
+
+func (p *IdealGlobal) automaton(t *tfg.Task) Automaton {
+	k := exitKey{addr: t.Start, hist: p.hist}
+	a := p.table[k]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.table[k] = a
+	}
+	return a
+}
+
+// PredictExit implements ExitPredictor.
+func (p *IdealGlobal) PredictExit(t *tfg.Task) int {
+	return clampExit(p.automaton(t).Predict(), t)
+}
+
+// UpdateExit implements ExitPredictor.
+func (p *IdealGlobal) UpdateExit(t *tfg.Task, exit int) {
+	p.automaton(t).Update(exit)
+	p.hist = p.hist.Push(exit, p.depth)
+}
+
+// IdealPer is the ideal PER scheme (the paper's analogue of Yeh & Patt's
+// PAp): one exit-history register and one table of automata per static
+// task, with no aliasing anywhere.
+type IdealPer struct {
+	depth int
+	kind  AutomatonKind
+	rng   *rng
+	hists map[isa.Addr]ExitHistory
+	table map[exitKey]Automaton
+}
+
+// NewIdealPer returns an alias-free PER exit predictor.
+func NewIdealPer(depth int, kind AutomatonKind) *IdealPer {
+	if depth < 0 || depth > MaxHistoryDepth {
+		panic(fmt.Sprintf("core: IdealPer depth %d out of range", depth))
+	}
+	return &IdealPer{
+		depth: depth, kind: kind, rng: newRNG(2),
+		hists: make(map[isa.Addr]ExitHistory),
+		table: make(map[exitKey]Automaton),
+	}
+}
+
+// Name implements ExitPredictor.
+func (p *IdealPer) Name() string { return fmt.Sprintf("PER-ideal(d=%d,%s)", p.depth, p.kind.Name()) }
+
+// States implements ExitPredictor.
+func (p *IdealPer) States() int { return len(p.table) }
+
+// Reset implements ExitPredictor.
+func (p *IdealPer) Reset() {
+	p.hists = make(map[isa.Addr]ExitHistory)
+	p.table = make(map[exitKey]Automaton)
+	p.rng = newRNG(2)
+}
+
+func (p *IdealPer) automaton(t *tfg.Task) Automaton {
+	k := exitKey{addr: t.Start, hist: p.hists[t.Start]}
+	a := p.table[k]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.table[k] = a
+	}
+	return a
+}
+
+// PredictExit implements ExitPredictor.
+func (p *IdealPer) PredictExit(t *tfg.Task) int {
+	return clampExit(p.automaton(t).Predict(), t)
+}
+
+// UpdateExit implements ExitPredictor.
+func (p *IdealPer) UpdateExit(t *tfg.Task, exit int) {
+	p.automaton(t).Update(exit)
+	p.hists[t.Start] = p.hists[t.Start].Push(exit, p.depth)
+}
+
+// IdealPath is the ideal PATH scheme: the prediction context is the exact
+// sequence of the depth most recent task start addresses plus the current
+// task — unique path identification with no aliasing.
+type IdealPath struct {
+	depth int
+	kind  AutomatonKind
+	rng   *rng
+	hist  PathHistory
+	table map[PathKey]Automaton
+}
+
+// NewIdealPath returns an alias-free PATH exit predictor.
+func NewIdealPath(depth int, kind AutomatonKind) *IdealPath {
+	if depth < 0 || depth > MaxHistoryDepth {
+		panic(fmt.Sprintf("core: IdealPath depth %d out of range", depth))
+	}
+	return &IdealPath{depth: depth, kind: kind, rng: newRNG(3), table: make(map[PathKey]Automaton)}
+}
+
+// Name implements ExitPredictor.
+func (p *IdealPath) Name() string { return fmt.Sprintf("PATH-ideal(d=%d,%s)", p.depth, p.kind.Name()) }
+
+// States implements ExitPredictor.
+func (p *IdealPath) States() int { return len(p.table) }
+
+// Reset implements ExitPredictor.
+func (p *IdealPath) Reset() {
+	p.hist.Reset()
+	p.table = make(map[PathKey]Automaton)
+	p.rng = newRNG(3)
+}
+
+func (p *IdealPath) automaton(t *tfg.Task) Automaton {
+	k := MakePathKey(&p.hist, t.Start, p.depth)
+	a := p.table[k]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.table[k] = a
+	}
+	return a
+}
+
+// PredictExit implements ExitPredictor.
+func (p *IdealPath) PredictExit(t *tfg.Task) int {
+	return clampExit(p.automaton(t).Predict(), t)
+}
+
+// UpdateExit implements ExitPredictor.
+func (p *IdealPath) UpdateExit(t *tfg.Task, exit int) {
+	p.automaton(t).Update(exit)
+	p.hist.Push(t.Start)
+}

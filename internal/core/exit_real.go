@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/tfg"
+)
+
+// Options for real (table-backed) exit predictors.
+type PathExitOptions struct {
+	// SkipSingleExit enables the paper's §6.1 optimization: tasks with a
+	// single exit are always predicted without consulting the PHT and do
+	// not update it, reducing aliasing pressure. On by default in the
+	// composed predictors; exposed here for the ablation study.
+	SkipSingleExit bool
+	// SkipSingleExitHistory additionally keeps single-exit tasks out of
+	// the path history register. The paper is silent on this; the default
+	// (false) records every task in the path.
+	SkipSingleExitHistory bool
+	// TrainLatency delays automaton training by this many task steps
+	// while the path history still advances speculatively at prediction
+	// time — the realistic model of the paper's §3.1 "Update Timing"
+	// caveat (outcomes return from the execution ring several tasks
+	// late; the sequencer's history register does not wait for them).
+	// Zero reproduces the paper's idealized immediate update.
+	TrainLatency int
+	// Seed seeds the tie-break RNG for voting-counter automata.
+	Seed uint32
+}
+
+// PathExit is the real implementation of the PATH scheme (§6): a pattern
+// history table of automata indexed by the DOLC fold of the path history
+// and current task address.
+type PathExit struct {
+	dolc DOLC
+	kind AutomatonKind
+	opts PathExitOptions
+	rng  *rng
+
+	hist    PathHistory
+	pht     []Automaton
+	touched int
+
+	// Pending automaton updates when TrainLatency > 0. The PHT index is
+	// captured at update time (before further history pushes), exactly
+	// as hardware tags an in-flight task with its prediction context.
+	pending []pendingTrain
+}
+
+type pendingTrain struct {
+	idx  uint32
+	exit int8
+}
+
+// NewPathExit builds a real path-based exit predictor with the given DOLC
+// index configuration and automaton kind.
+func NewPathExit(d DOLC, kind AutomatonKind, opts PathExitOptions) (*PathExit, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.TrainLatency < 0 {
+		return nil, fmt.Errorf("core: negative TrainLatency %d", opts.TrainLatency)
+	}
+	return &PathExit{
+		dolc: d,
+		kind: kind,
+		opts: opts,
+		rng:  newRNG(opts.Seed + 0x5f0d),
+		pht:  make([]Automaton, d.TableSize()),
+	}, nil
+}
+
+// MustPathExit is NewPathExit for statically-known configurations.
+func MustPathExit(d DOLC, kind AutomatonKind, opts PathExitOptions) *PathExit {
+	p, err := NewPathExit(d, kind, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements ExitPredictor.
+func (p *PathExit) Name() string {
+	return fmt.Sprintf("PATH-real(%v,%s)", p.dolc, p.kind.Name())
+}
+
+// DOLC returns the predictor's index configuration.
+func (p *PathExit) DOLC() DOLC { return p.dolc }
+
+// SizeBits returns the PHT storage in bits (entries × automaton width).
+func (p *PathExit) SizeBits() int { return p.dolc.TableSize() * p.kind.Bits }
+
+// States implements ExitPredictor: the number of distinct PHT entries
+// touched (Figure 11's "real implementation" series).
+func (p *PathExit) States() int { return p.touched }
+
+// Reset implements ExitPredictor.
+func (p *PathExit) Reset() {
+	p.hist.Reset()
+	p.pht = make([]Automaton, p.dolc.TableSize())
+	p.touched = 0
+	p.pending = p.pending[:0]
+	p.rng = newRNG(p.opts.Seed + 0x5f0d)
+}
+
+func (p *PathExit) slotAt(idx uint32) Automaton {
+	a := p.pht[idx]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.pht[idx] = a
+		p.touched++
+	}
+	return a
+}
+
+func (p *PathExit) slot(t *tfg.Task) Automaton {
+	return p.slotAt(p.dolc.Index(&p.hist, t.Start))
+}
+
+// PredictExit implements ExitPredictor.
+func (p *PathExit) PredictExit(t *tfg.Task) int {
+	if p.opts.SkipSingleExit && t.SingleExit() {
+		return 0
+	}
+	return clampExit(p.slot(t).Predict(), t)
+}
+
+// UpdateExit implements ExitPredictor.
+func (p *PathExit) UpdateExit(t *tfg.Task, exit int) {
+	single := t.SingleExit()
+	if !(p.opts.SkipSingleExit && single) {
+		if p.opts.TrainLatency == 0 {
+			p.slot(t).Update(exit)
+		} else {
+			// Capture the context index now; train once the outcome has
+			// "travelled back" TrainLatency tasks later.
+			p.pending = append(p.pending, pendingTrain{
+				idx: p.dolc.Index(&p.hist, t.Start), exit: int8(exit)})
+			if len(p.pending) > p.opts.TrainLatency {
+				u := p.pending[0]
+				copy(p.pending, p.pending[1:])
+				p.pending = p.pending[:len(p.pending)-1]
+				p.slotAt(u.idx).Update(int(u.exit))
+			}
+		}
+	}
+	if !(p.opts.SkipSingleExitHistory && single) {
+		p.hist.Push(t.Start)
+	}
+}
+
+// GlobalExit is a real (table-backed) implementation of the GLOBAL
+// scheme, provided as an extension beyond the paper (which only evaluated
+// GLOBAL in its ideal form, arguing real PATH already beat ideal GLOBAL).
+// The PHT index is the XOR-fold of (exit history ++ current task bits).
+type GlobalExit struct {
+	depth     int
+	current   int // bits of the current task address
+	indexBits int
+	kind      AutomatonKind
+	rng       *rng
+
+	hist    ExitHistory
+	pht     []Automaton
+	touched int
+}
+
+// NewGlobalExit builds a real GLOBAL exit predictor: depth 2-bit exit
+// steps of global history concatenated with currentBits of the task
+// address, folded to indexBits.
+func NewGlobalExit(depth, currentBits, indexBits int, kind AutomatonKind) (*GlobalExit, error) {
+	if depth < 0 || depth > MaxHistoryDepth {
+		return nil, fmt.Errorf("core: GlobalExit depth %d out of range", depth)
+	}
+	if indexBits <= 0 || indexBits > 30 {
+		return nil, fmt.Errorf("core: GlobalExit index bits %d out of range", indexBits)
+	}
+	return &GlobalExit{
+		depth: depth, current: currentBits, indexBits: indexBits,
+		kind: kind, rng: newRNG(11),
+		pht: make([]Automaton, 1<<uint(indexBits)),
+	}, nil
+}
+
+// Name implements ExitPredictor.
+func (p *GlobalExit) Name() string {
+	return fmt.Sprintf("GLOBAL-real(d=%d,c=%d,i=%d,%s)", p.depth, p.current, p.indexBits, p.kind.Name())
+}
+
+// States implements ExitPredictor.
+func (p *GlobalExit) States() int { return p.touched }
+
+// Reset implements ExitPredictor.
+func (p *GlobalExit) Reset() {
+	p.hist = 0
+	p.pht = make([]Automaton, 1<<uint(p.indexBits))
+	p.touched = 0
+	p.rng = newRNG(11)
+}
+
+func (p *GlobalExit) index(addr isa.Addr) uint32 {
+	v := uint64(p.hist)<<uint(p.current) | uint64(addr)&(1<<uint(p.current)-1)
+	mask := uint64(1)<<uint(p.indexBits) - 1
+	folded := uint64(0)
+	for v != 0 {
+		folded ^= v & mask
+		v >>= uint(p.indexBits)
+	}
+	return uint32(folded)
+}
+
+func (p *GlobalExit) slot(t *tfg.Task) Automaton {
+	idx := p.index(t.Start)
+	a := p.pht[idx]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.pht[idx] = a
+		p.touched++
+	}
+	return a
+}
+
+// PredictExit implements ExitPredictor.
+func (p *GlobalExit) PredictExit(t *tfg.Task) int {
+	return clampExit(p.slot(t).Predict(), t)
+}
+
+// UpdateExit implements ExitPredictor.
+func (p *GlobalExit) UpdateExit(t *tfg.Task, exit int) {
+	p.slot(t).Update(exit)
+	p.hist = p.hist.Push(exit, p.depth)
+}
+
+// PerExit is a real (table-backed) implementation of the PER scheme,
+// likewise an extension beyond the paper: a history register table (HRT)
+// indexed by task address bits, and a PHT indexed by (task bits ++ that
+// task's history), folded.
+type PerExit struct {
+	depth     int
+	hrtBits   int
+	taskBits  int // task address bits mixed into the PHT index
+	indexBits int
+	kind      AutomatonKind
+	rng       *rng
+
+	hrt     []ExitHistory
+	pht     []Automaton
+	touched int
+}
+
+// NewPerExit builds a real PER exit predictor.
+func NewPerExit(depth, hrtBits, taskBits, indexBits int, kind AutomatonKind) (*PerExit, error) {
+	if depth < 0 || depth > MaxHistoryDepth {
+		return nil, fmt.Errorf("core: PerExit depth %d out of range", depth)
+	}
+	if indexBits <= 0 || indexBits > 30 || hrtBits <= 0 || hrtBits > 24 {
+		return nil, fmt.Errorf("core: PerExit table sizes out of range")
+	}
+	return &PerExit{
+		depth: depth, hrtBits: hrtBits, taskBits: taskBits, indexBits: indexBits,
+		kind: kind, rng: newRNG(13),
+		hrt: make([]ExitHistory, 1<<uint(hrtBits)),
+		pht: make([]Automaton, 1<<uint(indexBits)),
+	}, nil
+}
+
+// Name implements ExitPredictor.
+func (p *PerExit) Name() string {
+	return fmt.Sprintf("PER-real(d=%d,h=%d,i=%d,%s)", p.depth, p.hrtBits, p.indexBits, p.kind.Name())
+}
+
+// States implements ExitPredictor.
+func (p *PerExit) States() int { return p.touched }
+
+// Reset implements ExitPredictor.
+func (p *PerExit) Reset() {
+	p.hrt = make([]ExitHistory, 1<<uint(p.hrtBits))
+	p.pht = make([]Automaton, 1<<uint(p.indexBits))
+	p.touched = 0
+	p.rng = newRNG(13)
+}
+
+func (p *PerExit) hrtIndex(addr isa.Addr) uint32 {
+	return uint32(addr) & (1<<uint(p.hrtBits) - 1)
+}
+
+func (p *PerExit) phtIndex(addr isa.Addr, hist ExitHistory) uint32 {
+	v := uint64(addr)&(1<<uint(p.taskBits)-1)<<(2*uint(p.depth)) | uint64(hist)
+	mask := uint64(1)<<uint(p.indexBits) - 1
+	folded := uint64(0)
+	for v != 0 {
+		folded ^= v & mask
+		v >>= uint(p.indexBits)
+	}
+	return uint32(folded)
+}
+
+func (p *PerExit) slot(t *tfg.Task) Automaton {
+	idx := p.phtIndex(t.Start, p.hrt[p.hrtIndex(t.Start)])
+	a := p.pht[idx]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.pht[idx] = a
+		p.touched++
+	}
+	return a
+}
+
+// PredictExit implements ExitPredictor.
+func (p *PerExit) PredictExit(t *tfg.Task) int {
+	return clampExit(p.slot(t).Predict(), t)
+}
+
+// UpdateExit implements ExitPredictor.
+func (p *PerExit) UpdateExit(t *tfg.Task, exit int) {
+	p.slot(t).Update(exit)
+	h := p.hrtIndex(t.Start)
+	p.hrt[h] = p.hrt[h].Push(exit, p.depth)
+}

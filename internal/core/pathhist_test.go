@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multiscalar/internal/isa"
+)
+
+func TestPathHistoryOrder(t *testing.T) {
+	var h PathHistory
+	h.Push(10)
+	h.Push(20)
+	h.Push(30)
+	if h.At(1) != 30 || h.At(2) != 20 || h.At(3) != 10 {
+		t.Fatalf("history order wrong: %d %d %d", h.At(1), h.At(2), h.At(3))
+	}
+	if h.At(4) != 0 {
+		t.Fatalf("unpushed history should read 0, got %d", h.At(4))
+	}
+}
+
+func TestPathHistoryWraps(t *testing.T) {
+	var h PathHistory
+	for i := 1; i <= 3*MaxHistoryDepth; i++ {
+		h.Push(isa.Addr(i))
+	}
+	for i := 1; i <= MaxHistoryDepth; i++ {
+		want := isa.Addr(3*MaxHistoryDepth - i + 1)
+		if got := h.At(i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPathHistoryReset(t *testing.T) {
+	var h PathHistory
+	h.Push(42)
+	h.Reset()
+	if h.At(1) != 0 {
+		t.Fatalf("reset history should read 0")
+	}
+}
+
+// Property: MakePathKey is injective over (current, history prefix) for
+// 16-bit addresses — the alias-freedom guarantee of the ideal predictors.
+func TestPathKeyInjective(t *testing.T) {
+	f := func(a, b [8]uint16, curA, curB uint16) bool {
+		var ha, hb PathHistory
+		for i := len(a) - 1; i >= 0; i-- {
+			ha.Push(isa.Addr(a[i]))
+			hb.Push(isa.Addr(b[i]))
+		}
+		ka := MakePathKey(&ha, isa.Addr(curA), 8)
+		kb := MakePathKey(&hb, isa.Addr(curB), 8)
+		same := curA == curB && a == b
+		return (ka == kb) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathKeyDepthsDisjoint(t *testing.T) {
+	var h PathHistory
+	h.Push(5)
+	h.Push(9)
+	k3 := MakePathKey(&h, 7, 3)
+	k4 := MakePathKey(&h, 7, 4)
+	if k3 == k4 {
+		t.Fatalf("keys of different depths must differ")
+	}
+}
+
+func TestExitHistoryPush(t *testing.T) {
+	var h ExitHistory
+	h = h.Push(3, 2)
+	h = h.Push(1, 2)
+	if h != 0b1101 {
+		t.Fatalf("history = %b, want 1101", h)
+	}
+	h = h.Push(2, 2) // depth 2 keeps only last two entries
+	if h != 0b0110 {
+		t.Fatalf("history = %b, want 0110", h)
+	}
+	if got := h.Push(3, 0); got != 0 {
+		t.Fatalf("depth-0 history must stay empty, got %b", got)
+	}
+}

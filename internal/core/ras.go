@@ -1,0 +1,91 @@
+package core
+
+import "multiscalar/internal/isa"
+
+// DefaultRASDepth is the default return address stack depth. The paper
+// cites a "reasonably deep RAS [as] nearly perfect in predicting return
+// addresses"; 32 entries is deep enough for all our workloads' call
+// nesting and typical of the era's aggressive designs.
+const DefaultRASDepth = 32
+
+// RAS is a circular return address stack (§4.2). Pushing past the
+// capacity silently overwrites the oldest entry; popping an empty stack
+// yields an invalid (zero) address — both behaviours match hardware.
+type RAS struct {
+	ring  []isa.Addr
+	top   int
+	size  int
+	depth int
+
+	pushes    int
+	pops      int
+	underflow int
+	overflow  int
+}
+
+// NewRAS returns a return address stack with the given capacity
+// (DefaultRASDepth if depth <= 0).
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		depth = DefaultRASDepth
+	}
+	return &RAS{ring: make([]isa.Addr, depth), depth: depth}
+}
+
+// Push records a return address (on a CALL or INDIRECT_CALL exit).
+func (s *RAS) Push(addr isa.Addr) {
+	s.top++
+	if s.top == s.depth {
+		s.top = 0
+	}
+	s.ring[s.top] = addr
+	if s.size < s.depth {
+		s.size++
+	} else {
+		s.overflow++
+	}
+	s.pushes++
+}
+
+// Top returns the predicted return address without popping: the value a
+// RETURN exit is predicted to target. ok is false when the stack is
+// empty.
+func (s *RAS) Top() (addr isa.Addr, ok bool) {
+	if s.size == 0 {
+		return 0, false
+	}
+	return s.ring[s.top], true
+}
+
+// Pop consumes the top entry (on an actual RETURN exit).
+func (s *RAS) Pop() (addr isa.Addr, ok bool) {
+	s.pops++
+	if s.size == 0 {
+		s.underflow++
+		return 0, false
+	}
+	addr = s.ring[s.top]
+	s.top--
+	if s.top < 0 {
+		s.top = s.depth - 1
+	}
+	s.size--
+	return addr, true
+}
+
+// Depth returns the stack capacity.
+func (s *RAS) Depth() int { return s.depth }
+
+// Size returns the current number of live entries.
+func (s *RAS) Size() int { return s.size }
+
+// Overflows returns how many pushes overwrote a live entry.
+func (s *RAS) Overflows() int { return s.overflow }
+
+// Underflows returns how many pops found the stack empty.
+func (s *RAS) Underflows() int { return s.underflow }
+
+// Reset clears the stack and its statistics.
+func (s *RAS) Reset() {
+	*s = RAS{ring: make([]isa.Addr, s.depth), depth: s.depth}
+}

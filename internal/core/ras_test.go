@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multiscalar/internal/isa"
+)
+
+func TestRASPushPop(t *testing.T) {
+	s := NewRAS(4)
+	s.Push(10)
+	s.Push(20)
+	if a, ok := s.Top(); !ok || a != 20 {
+		t.Fatalf("Top = %d,%v", a, ok)
+	}
+	if a, ok := s.Pop(); !ok || a != 20 {
+		t.Fatalf("Pop = %d,%v", a, ok)
+	}
+	if a, ok := s.Pop(); !ok || a != 10 {
+		t.Fatalf("Pop = %d,%v", a, ok)
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatalf("Pop on empty should fail")
+	}
+	if s.Underflows() != 1 {
+		t.Fatalf("underflows = %d", s.Underflows())
+	}
+}
+
+func TestRASOverflowWrapsToOldest(t *testing.T) {
+	s := NewRAS(2)
+	s.Push(1)
+	s.Push(2)
+	s.Push(3) // overwrites 1
+	if s.Overflows() != 1 {
+		t.Fatalf("overflows = %d", s.Overflows())
+	}
+	if a, _ := s.Pop(); a != 3 {
+		t.Fatalf("pop1 = %d", a)
+	}
+	if a, _ := s.Pop(); a != 2 {
+		t.Fatalf("pop2 = %d", a)
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatalf("entry 1 should have been overwritten")
+	}
+}
+
+func TestRASDefaultDepth(t *testing.T) {
+	if NewRAS(0).Depth() != DefaultRASDepth {
+		t.Fatalf("default depth not applied")
+	}
+}
+
+func TestRASReset(t *testing.T) {
+	s := NewRAS(4)
+	s.Push(9)
+	s.Reset()
+	if s.Size() != 0 {
+		t.Fatalf("reset should empty the stack")
+	}
+	if _, ok := s.Top(); ok {
+		t.Fatalf("reset stack has a top")
+	}
+}
+
+// Property: as long as nesting never exceeds capacity, the RAS behaves
+// exactly like an unbounded stack (this is why "a reasonably deep RAS is
+// nearly perfect").
+func TestRASMatchesUnboundedStackWithinDepth(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := NewRAS(64)
+		var ref []isa.Addr
+		next := isa.Addr(1)
+		for _, op := range ops {
+			if op%2 == 0 || len(ref) == 0 {
+				if len(ref) == 64 {
+					continue // would exceed capacity; skip
+				}
+				s.Push(next)
+				ref = append(ref, next)
+				next++
+			} else {
+				got, ok := s.Pop()
+				want := ref[len(ref)-1]
+				ref = ref[:len(ref)-1]
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"multiscalar/internal/isa"
+)
+
+// TargetBuffer is the interface shared by the task target buffer variants
+// (§5.3): a cache of predicted next-task addresses.
+//
+// The driver contract per dynamic task step is:
+//
+//	target, ok := b.Lookup(t.Start)   // optional, when a prediction is needed
+//	b.Train(t.Start, actualTarget)    // when this step should train the buffer
+//	b.Advance(t.Start)                // always, after the step completes
+//
+// Lookup and Train use the buffer's internal path history as it stood
+// before Advance, i.e. the same index is computed for both.
+type TargetBuffer interface {
+	// Name identifies the buffer configuration in reports.
+	Name() string
+	// Lookup predicts the next-task address for the current task; ok is
+	// false on a miss (no valid entry).
+	Lookup(current isa.Addr) (target isa.Addr, ok bool)
+	// Train records the actual next-task address for the current context.
+	Train(current isa.Addr, actual isa.Addr)
+	// Advance shifts the completed task into the buffer's path history.
+	Advance(current isa.Addr)
+	// Reset returns the buffer to its initial state.
+	Reset()
+	// States returns the number of distinct entries/contexts touched.
+	States() int
+}
+
+// ttbEntry is one target buffer entry: a target address with an LEH-style
+// 2-bit hysteresis counter (the entry's target is replaced only when the
+// counter has decayed to zero and the entry misses again).
+type ttbEntry struct {
+	target isa.Addr
+	ctr    int8
+	valid  bool
+}
+
+func (e *ttbEntry) train(actual isa.Addr) {
+	const max = 3
+	if !e.valid {
+		e.target = actual
+		e.ctr = 1
+		e.valid = true
+		return
+	}
+	if e.target == actual {
+		if e.ctr < max {
+			e.ctr++
+		}
+		return
+	}
+	if e.ctr == 0 {
+		e.target = actual
+		e.ctr = 1
+		return
+	}
+	e.ctr--
+}
+
+// CTTB is the real Correlated Task Target Buffer: a direct-mapped table
+// of target entries indexed by the same DOLC fold of path history and
+// current task address as the path-based exit predictor (§5.3). With
+// Depth=0 the index degenerates to current-task bits only, which is
+// exactly the naive TTB the paper shows to perform poorly.
+type CTTB struct {
+	dolc DOLC
+
+	hist    PathHistory
+	entries []ttbEntry
+	touched int
+}
+
+// NewCTTB builds a correlated task target buffer with the given index
+// configuration.
+func NewCTTB(d DOLC) (*CTTB, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &CTTB{dolc: d, entries: make([]ttbEntry, d.TableSize())}, nil
+}
+
+// MustCTTB is NewCTTB for statically-known configurations.
+func MustCTTB(d DOLC) *CTTB {
+	b, err := NewCTTB(d)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// NewTTB builds the uncorrelated baseline: a target buffer indexed only
+// by low-order bits of the current task address.
+func NewTTB(indexBits int) *CTTB {
+	return MustCTTB(DOLC{Depth: 0, Current: indexBits, Folds: 1})
+}
+
+// Name implements TargetBuffer.
+func (b *CTTB) Name() string {
+	if b.dolc.Depth == 0 {
+		return fmt.Sprintf("TTB(%v)", b.dolc)
+	}
+	return fmt.Sprintf("CTTB(%v)", b.dolc)
+}
+
+// DOLC returns the buffer's index configuration.
+func (b *CTTB) DOLC() DOLC { return b.dolc }
+
+// SizeBytes returns the buffer storage, counting 4 bytes per entry as the
+// paper does ("a CTTB entry is 8 times as large as an exit prediction
+// table entry": 32 bits vs 4 bits).
+func (b *CTTB) SizeBytes() int { return b.dolc.TableSize() * 4 }
+
+// States implements TargetBuffer.
+func (b *CTTB) States() int { return b.touched }
+
+// Reset implements TargetBuffer.
+func (b *CTTB) Reset() {
+	b.hist.Reset()
+	b.entries = make([]ttbEntry, b.dolc.TableSize())
+	b.touched = 0
+}
+
+// Lookup implements TargetBuffer.
+func (b *CTTB) Lookup(current isa.Addr) (isa.Addr, bool) {
+	e := &b.entries[b.dolc.Index(&b.hist, current)]
+	if !e.valid {
+		return 0, false
+	}
+	return e.target, true
+}
+
+// Train implements TargetBuffer.
+func (b *CTTB) Train(current isa.Addr, actual isa.Addr) {
+	e := &b.entries[b.dolc.Index(&b.hist, current)]
+	if !e.valid {
+		b.touched++
+	}
+	e.train(actual)
+}
+
+// Advance implements TargetBuffer.
+func (b *CTTB) Advance(current isa.Addr) { b.hist.Push(current) }
+
+// IdealCTTB is the alias-free CTTB limit: entries keyed by the exact
+// (path, current task) context, with unbounded capacity (Figure 8).
+type IdealCTTB struct {
+	depth   int
+	hist    PathHistory
+	entries map[PathKey]*ttbEntry
+}
+
+// NewIdealCTTB builds an infinite, alias-free correlated target buffer of
+// the given path depth. Depth 0 is the ideal (infinite) naive TTB.
+func NewIdealCTTB(depth int) *IdealCTTB {
+	if depth < 0 || depth > MaxHistoryDepth {
+		panic(fmt.Sprintf("core: IdealCTTB depth %d out of range", depth))
+	}
+	return &IdealCTTB{depth: depth, entries: make(map[PathKey]*ttbEntry)}
+}
+
+// Name implements TargetBuffer.
+func (b *IdealCTTB) Name() string { return fmt.Sprintf("CTTB-ideal(d=%d)", b.depth) }
+
+// States implements TargetBuffer.
+func (b *IdealCTTB) States() int { return len(b.entries) }
+
+// Reset implements TargetBuffer.
+func (b *IdealCTTB) Reset() {
+	b.hist.Reset()
+	b.entries = make(map[PathKey]*ttbEntry)
+}
+
+// Lookup implements TargetBuffer.
+func (b *IdealCTTB) Lookup(current isa.Addr) (isa.Addr, bool) {
+	e := b.entries[MakePathKey(&b.hist, current, b.depth)]
+	if e == nil || !e.valid {
+		return 0, false
+	}
+	return e.target, true
+}
+
+// Train implements TargetBuffer.
+func (b *IdealCTTB) Train(current isa.Addr, actual isa.Addr) {
+	k := MakePathKey(&b.hist, current, b.depth)
+	e := b.entries[k]
+	if e == nil {
+		e = &ttbEntry{}
+		b.entries[k] = e
+	}
+	e.train(actual)
+}
+
+// Advance implements TargetBuffer.
+func (b *IdealCTTB) Advance(current isa.Addr) { b.hist.Push(current) }

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/stats"
+	"multiscalar/internal/workload"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out beyond
+// the paper's own figures.
+
+// AblationFolding measures §6.1's folding heuristic directly: the same
+// depth-6 path information folded into different index widths (more
+// folding = smaller table but more information loss), against an
+// unfolded short index of the same final width.
+func AblationFolding(w io.Writer, cfg Config) error {
+	type point struct {
+		label string
+		dolc  core.DOLC
+	}
+	// All points use depth 6. The folded family keeps 42 intermediate
+	// bits and folds to 21/14 bits; the unfolded family truncates address
+	// bits to reach the same widths directly.
+	points := []point{
+		{"folded 42->21 (F=2)", core.MustDOLC(6, 5, 8, 9, 2)},
+		{"folded 42->14 (F=3)", core.MustDOLC(6, 5, 8, 9, 3)},
+		{"unfolded 21 (F=1)", core.MustDOLC(6, 2, 5, 6, 1)},
+		{"unfolded 14 (F=1)", core.MustDOLC(6, 1, 4, 5, 1)},
+	}
+	cols := []string{"workload"}
+	for _, p := range points {
+		cols = append(cols, fmt.Sprintf("%s %v", p.label, p.dolc))
+	}
+	tbl := stats.New("Ablation — XOR folding (depth-6 path)", cols...)
+	tbl.Note = "exit miss rate; folding a long intermediate index beats an unfolded short one"
+	for _, wl := range workload.All() {
+		tr, err := getTrace(wl, cfg)
+		if err != nil {
+			return err
+		}
+		var preds []core.ExitPredictor
+		for _, p := range points {
+			preds = append(preds, core.MustPathExit(p.dolc, core.LEH2,
+				core.PathExitOptions{SkipSingleExit: true}))
+		}
+		results := core.EvaluateExitAll(tr, preds)
+		cells := []string{wl.Name}
+		for _, r := range results {
+			cells = append(cells, stats.Pct(r.MissRate()))
+		}
+		tbl.AddRow(cells...)
+	}
+	return writeTables(w, tbl)
+}
+
+// AblationSingleExit measures the §6.1 single-exit-task optimization:
+// with it, single-exit tasks neither read nor update the PHT, reducing
+// aliasing pressure on the fixed-size table.
+func AblationSingleExit(w io.Writer, cfg Config) error {
+	tbl := stats.New("Ablation — single-exit-task optimization (depth 7, 8 KB PHT)",
+		"workload", "with optimization", "without", "also skip history push")
+	tbl.Note = "exit miss rate"
+	for _, wl := range workload.All() {
+		tr, err := getTrace(wl, cfg)
+		if err != nil {
+			return err
+		}
+		preds := []core.ExitPredictor{
+			core.MustPathExit(Depth7Exit, core.LEH2, core.PathExitOptions{SkipSingleExit: true}),
+			core.MustPathExit(Depth7Exit, core.LEH2, core.PathExitOptions{}),
+			core.MustPathExit(Depth7Exit, core.LEH2, core.PathExitOptions{
+				SkipSingleExit: true, SkipSingleExitHistory: true}),
+		}
+		results := core.EvaluateExitAll(tr, preds)
+		tbl.AddRow(wl.Name,
+			stats.Pct(results[0].MissRate()),
+			stats.Pct(results[1].MissRate()),
+			stats.Pct(results[2].MissRate()))
+	}
+	return writeTables(w, tbl)
+}
+
+// AblationRAS sweeps return address stack depth, confirming the cited
+// result that a reasonably deep RAS is nearly perfect for returns.
+func AblationRAS(w io.Writer, cfg Config) error {
+	depths := []int{1, 2, 4, 8, 16, 32}
+	cols := []string{"workload"}
+	for _, d := range depths {
+		cols = append(cols, fmt.Sprintf("ras=%d", d))
+	}
+	tbl := stats.New("Ablation — RAS depth (return-exit address miss rate)", cols...)
+	for _, wl := range workload.All() {
+		tr, err := getTrace(wl, cfg)
+		if err != nil {
+			return err
+		}
+		var preds []core.TaskPredictor
+		for _, d := range depths {
+			exit := core.MustPathExit(Depth7Exit, core.LEH2,
+				core.PathExitOptions{SkipSingleExit: true})
+			preds = append(preds, core.NewHeaderPredictor(
+				fmt.Sprintf("ras%d", d), exit, core.NewRAS(d), core.MustCTTB(Depth7CTTBSmall)))
+		}
+		results := core.EvaluateTaskAll(tr, preds)
+		cells := []string{wl.Name}
+		for _, r := range results {
+			km := r.ByKind[isa.KindReturn]
+			rate := 0.0
+			if km.Steps > 0 {
+				rate = float64(km.Misses) / float64(km.Steps)
+			}
+			cells = append(cells, stats.Pct(rate))
+		}
+		tbl.AddRow(cells...)
+	}
+	return writeTables(w, tbl)
+}
+
+// AblationRealHistories measures real (table-backed) GLOBAL and PER
+// implementations against the real PATH predictor — the comparison the
+// paper skipped ("implementations of the path-based history predictors
+// tend to do better than the ideal implementations of the other two
+// schemes").
+func AblationRealHistories(w io.Writer, cfg Config) error {
+	tbl := stats.New("Ablation — real GLOBAL/PER vs real PATH (depth 7, 16K-entry tables)",
+		"workload", "GLOBAL-real", "PER-real", "PATH-real", "GLOBAL-ideal", "PER-ideal")
+	tbl.Note = "exit miss rate; the paper's claim holds when PATH-real beats the other schemes' ideals"
+	for _, wl := range workload.All() {
+		tr, err := getTrace(wl, cfg)
+		if err != nil {
+			return err
+		}
+		globalReal, err := core.NewGlobalExit(7, 14, 14, core.LEH2)
+		if err != nil {
+			return err
+		}
+		perReal, err := core.NewPerExit(7, 12, 14, 14, core.LEH2)
+		if err != nil {
+			return err
+		}
+		preds := []core.ExitPredictor{
+			globalReal,
+			perReal,
+			core.MustPathExit(Depth7Exit, core.LEH2, core.PathExitOptions{SkipSingleExit: true}),
+			core.NewIdealGlobal(7, core.LEH2),
+			core.NewIdealPer(7, core.LEH2),
+		}
+		results := core.EvaluateExitAll(tr, preds)
+		cells := []string{wl.Name}
+		for _, r := range results {
+			cells = append(cells, stats.Pct(r.MissRate()))
+		}
+		tbl.AddRow(cells...)
+	}
+	return writeTables(w, tbl)
+}

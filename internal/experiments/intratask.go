@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"io"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/sim/functional"
+	"multiscalar/internal/stats"
+	"multiscalar/internal/workload"
+)
+
+// AblationUpdateDelay measures the §3.1 "Update Timing" idealization in
+// two forms:
+//
+//   - train-lag k (realistic): the path history register advances
+//     speculatively at prediction time, as hardware does, but automaton
+//     training waits k tasks for the non-speculative outcome to return
+//     from the execution ring;
+//   - full-lag k (pessimistic): the whole update — history included —
+//     waits, i.e. the sequencer predicts from a history that is k tasks
+//     stale.
+func AblationUpdateDelay(w io.Writer, cfg Config) error {
+	delays := []int{1, 2, 4, 8}
+	cols := []string{"workload", "immediate"}
+	for _, d := range delays {
+		cols = append(cols, "train-lag "+stats.I(d))
+	}
+	for _, d := range delays {
+		cols = append(cols, "full-lag "+stats.I(d))
+	}
+	tbl := stats.New("Ablation — update latency (real PATH, depth 7)", cols...)
+	tbl.Note = "exit miss rate; the paper idealizes immediate update (§3.1 Update Timing)"
+	for _, wl := range workload.All() {
+		tr, err := getTrace(wl, cfg)
+		if err != nil {
+			return err
+		}
+		preds := []core.ExitPredictor{core.MustPathExit(Depth7Exit, core.LEH2,
+			core.PathExitOptions{SkipSingleExit: true})}
+		for _, d := range delays {
+			preds = append(preds, core.MustPathExit(Depth7Exit, core.LEH2,
+				core.PathExitOptions{SkipSingleExit: true, TrainLatency: d}))
+		}
+		for _, d := range delays {
+			inner := core.MustPathExit(Depth7Exit, core.LEH2,
+				core.PathExitOptions{SkipSingleExit: true})
+			preds = append(preds, core.NewDelayedUpdate(inner, d))
+		}
+		results := core.EvaluateExitAll(tr, preds)
+		cells := []string{wl.Name}
+		for _, r := range results {
+			cells = append(cells, stats.Pct(r.MissRate()))
+		}
+		tbl.AddRow(cells...)
+	}
+	return writeTables(w, tbl)
+}
+
+// IntraTaskResult summarizes the §2.2 intra-task prediction study for
+// one workload.
+type IntraTaskResult struct {
+	Workload string
+	Branches uint64
+	// Shared is the conditional-branch miss rate of one bimodal predictor
+	// seeing the whole dynamic instruction stream (a scalar processor's
+	// view).
+	Shared float64
+	// PerUnit is the miss rate when tasks round-robin over four units,
+	// each with a private bimodal predictor that sees only its own tasks
+	// ("the individual processing elements do not see the whole dynamic
+	// instruction stream").
+	PerUnit float64
+}
+
+// intraTaskConfig mirrors the timing model's intra-task predictor.
+const (
+	intraBimodalBits = 10
+	intraUnits       = 4
+)
+
+// IntraTaskData reproduces the paper's §2.2 claim that a bimodal
+// intra-task predictor "only suffers minimal accuracy loss due to
+// incomplete history" when each processing unit sees only every fourth
+// task.
+func IntraTaskData(cfg Config) ([]IntraTaskResult, error) {
+	var out []IntraTaskResult
+	for _, wl := range workload.All() {
+		g, err := wl.Graph()
+		if err != nil {
+			return nil, err
+		}
+		steps := cfg.MaxSteps
+		if steps == 0 {
+			steps = 600000
+		}
+
+		type bimodal []uint8
+		newTable := func() bimodal {
+			t := make(bimodal, 1<<intraBimodalBits)
+			for i := range t {
+				t[i] = 2
+			}
+			return t
+		}
+		predictAndTrain := func(t bimodal, pc isa.Addr, taken bool) bool {
+			ctr := &t[uint32(pc)&(1<<intraBimodalBits-1)]
+			hit := (*ctr >= 2) == taken
+			if taken {
+				if *ctr < 3 {
+					*ctr++
+				}
+			} else if *ctr > 0 {
+				*ctr--
+			}
+			return hit
+		}
+
+		shared := newTable()
+		units := make([]bimodal, intraUnits)
+		for u := range units {
+			units[u] = newTable()
+		}
+		var branches, sharedMiss, unitMiss uint64
+		taskIdx := 0
+		code := g.Prog.Code
+
+		m := functional.NewMachine(g, functional.Config{Observer: func(ev functional.InstrEvent) {
+			if code[ev.PC].Op == isa.Br && !ev.EndsTask {
+				branches++
+				if !predictAndTrain(shared, ev.PC, ev.Taken) {
+					sharedMiss++
+				}
+				if !predictAndTrain(units[taskIdx%intraUnits], ev.PC, ev.Taken) {
+					unitMiss++
+				}
+			}
+			if ev.EndsTask {
+				taskIdx++
+			}
+		}})
+		if _, err := m.Run(functional.Config{MaxSteps: steps}); err != nil {
+			return nil, err
+		}
+		res := IntraTaskResult{Workload: wl.Name, Branches: branches}
+		if branches > 0 {
+			res.Shared = float64(sharedMiss) / float64(branches)
+			res.PerUnit = float64(unitMiss) / float64(branches)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// IntraTask renders IntraTaskData.
+func IntraTask(w io.Writer, cfg Config) error {
+	data, err := IntraTaskData(cfg)
+	if err != nil {
+		return err
+	}
+	tbl := stats.New("Intra-task prediction — bimodal with complete vs per-unit history (§2.2)",
+		"workload", "intra-task branches", "shared bimodal", "per-unit bimodal", "loss")
+	tbl.Note = "conditional-branch miss rates inside tasks; 4 units, round-robin task assignment"
+	for _, r := range data {
+		loss := "-"
+		if r.Shared > 0 {
+			loss = stats.Pct(r.PerUnit/r.Shared - 1)
+		}
+		tbl.AddRow(r.Workload, stats.I(int(r.Branches)),
+			stats.Pct(r.Shared), stats.Pct(r.PerUnit), loss)
+	}
+	return writeTables(w, tbl)
+}

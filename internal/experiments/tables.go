@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"io"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/sim/timing"
+	"multiscalar/internal/stats"
+	"multiscalar/internal/workload"
+)
+
+// Table2 reports the benchmark task statistics of the paper's Table 2:
+// static tasks, dynamic tasks executed, and distinct tasks seen.
+func Table2(w io.Writer, cfg Config) error {
+	tbl := stats.New("Table 2 — benchmarks and task information",
+		"workload", "analog", "static tasks", "dynamic tasks", "distinct seen", "instr/task")
+	for _, wl := range workload.All() {
+		g, err := wl.Graph()
+		if err != nil {
+			return err
+		}
+		tr, err := getTrace(wl, cfg)
+		if err != nil {
+			return err
+		}
+		instrPerTask := "-"
+		if cfg.MaxSteps == 0 {
+			st, err := fullStats(wl)
+			if err != nil {
+				return err
+			}
+			instrPerTask = stats.F2(st.InstrsPerTask())
+		}
+		tbl.AddRow(wl.Name, wl.Analog, stats.I(g.NumTasks()), stats.I(tr.Len()),
+			stats.I(tr.DistinctTasks()), instrPerTask)
+	}
+	return writeTables(w, tbl)
+}
+
+// Table3Row is one workload's comparison in Table 3.
+type Table3Row struct {
+	Workload string
+	CTTBOnly float64 // task (address) miss rate, CTTB-only 64 KB predictor
+	Header   float64 // task miss rate, exit predictor + RAS + small CTTB (16 KB)
+}
+
+// Table3Data compares header-less CTTB-only task prediction against the
+// standard composed predictor, both at history depth 7 (§5.4 / Table 3).
+func Table3Data(cfg Config) ([]Table3Row, error) {
+	var out []Table3Row
+	for _, wl := range workload.All() {
+		tr, err := getTrace(wl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cttbOnly := core.NewCTTBOnly(core.MustCTTB(Depth7CTTBLarge))
+		header := standardPredictor("exit+RAS+CTTB")
+		results := core.EvaluateTaskAll(tr, []core.TaskPredictor{cttbOnly, header})
+		out = append(out, Table3Row{
+			Workload: wl.Name,
+			CTTBOnly: results[0].MissRate(),
+			Header:   results[1].MissRate(),
+		})
+	}
+	return out, nil
+}
+
+// Table3 renders Table3Data.
+func Table3(w io.Writer, cfg Config) error {
+	data, err := Table3Data(cfg)
+	if err != nil {
+		return err
+	}
+	tbl := stats.New("Table 3 — CTTB-only vs exit predictor with RAS & CTTB (depth 7)",
+		"workload", "CTTB-only (64KB)", "exit+RAS+CTTB (16KB)", "CTTB-only worse by")
+	tbl.Note = "overall task (next-address) miss rates"
+	for _, r := range data {
+		worse := "-"
+		if r.Header > 0 {
+			worse = stats.Pct(r.CTTBOnly/r.Header - 1)
+		}
+		tbl.AddRow(r.Workload, stats.Pct(r.CTTBOnly), stats.Pct(r.Header), worse)
+	}
+	return writeTables(w, tbl)
+}
+
+// Table4Predictors builds the five predictor configurations of Table 4.
+// The returned map value is nil for the Perfect row (the timing simulator
+// treats a nil predictor as always-correct).
+func Table4Predictors() []struct {
+	Name string
+	Make func() core.TaskPredictor
+} {
+	mk := func(exit core.ExitPredictor, name string) core.TaskPredictor {
+		return core.NewHeaderPredictor(name, exit, core.NewRAS(0), core.MustCTTB(Depth7CTTBSmall))
+	}
+	return []struct {
+		Name string
+		Make func() core.TaskPredictor
+	}{
+		{"Simple", func() core.TaskPredictor {
+			// Task-address-indexed PHT: a depth-0 DOLC.
+			return mk(core.MustPathExit(core.MustDOLC(0, 0, 0, 14, 1), core.LEH2,
+				core.PathExitOptions{SkipSingleExit: true}), "Simple")
+		}},
+		{"GLOBAL", func() core.TaskPredictor {
+			exit, err := core.NewGlobalExit(7, 14, 14, core.LEH2)
+			if err != nil {
+				panic(err)
+			}
+			return mk(exit, "GLOBAL")
+		}},
+		{"PER", func() core.TaskPredictor {
+			exit, err := core.NewPerExit(7, 12, 14, 14, core.LEH2)
+			if err != nil {
+				panic(err)
+			}
+			return mk(exit, "PER")
+		}},
+		{"PATH", func() core.TaskPredictor {
+			return mk(core.MustPathExit(Depth7Exit, core.LEH2,
+				core.PathExitOptions{SkipSingleExit: true}), "PATH")
+		}},
+		{"Perfect", func() core.TaskPredictor { return nil }},
+	}
+}
+
+// Table4Row is one workload's IPC row.
+type Table4Row struct {
+	Workload string
+	IPC      map[string]float64
+	MissRate map[string]float64
+}
+
+// Table4Data runs the timing simulator for each workload × predictor.
+func Table4Data(cfg Config) ([]Table4Row, error) {
+	cfg = cfg.withDefaults()
+	var out []Table4Row
+	preds := Table4Predictors()
+	for _, wl := range workload.All() {
+		g, err := wl.Graph()
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{Workload: wl.Name,
+			IPC: map[string]float64{}, MissRate: map[string]float64{}}
+		for _, p := range preds {
+			res, err := timing.Run(g, p.Make(), timing.Config{MaxSteps: cfg.TimingSteps})
+			if err != nil {
+				return nil, err
+			}
+			row.IPC[p.Name] = res.IPC()
+			row.MissRate[p.Name] = res.TaskMissRate()
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table4 renders Table4Data.
+func Table4(w io.Writer, cfg Config) error {
+	data, err := Table4Data(cfg)
+	if err != nil {
+		return err
+	}
+	preds := Table4Predictors()
+	cols := []string{"workload"}
+	for _, p := range preds {
+		cols = append(cols, p.Name)
+	}
+	tbl := stats.New("Table 4 — IPC from the timing simulator (4 units, 2-way)", cols...)
+	miss := stats.New("Table 4 supplement — task miss rates observed by the timing run", cols...)
+	for _, r := range data {
+		cells := []string{r.Workload}
+		mcells := []string{r.Workload}
+		for _, p := range preds {
+			cells = append(cells, stats.F2(r.IPC[p.Name]))
+			mcells = append(mcells, stats.Pct(r.MissRate[p.Name]))
+		}
+		tbl.AddRow(cells...)
+		miss.AddRow(mcells...)
+	}
+	return writeTables(w, tbl, miss)
+}

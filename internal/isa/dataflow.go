@@ -1,0 +1,37 @@
+package isa
+
+// Dataflow metadata used by microarchitectural models (the timing
+// simulator's register scoreboard).
+
+// Def returns the register the instruction writes, or Zero if none
+// (writes to Zero are discarded architecturally, so Zero doubles as
+// "no destination").
+func (in Instr) Def() Reg {
+	switch in.Op {
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sra, Slt, Sle, Seq, Sne,
+		AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, SltI, SleI, SeqI, SneI,
+		Li, La, Lw:
+		return in.Rd
+	case Jal, Jalr:
+		return RA
+	default:
+		return Zero
+	}
+}
+
+// Uses appends the registers the instruction reads to dst and returns
+// the extended slice (callers pass a small reusable buffer).
+func (in Instr) Uses(dst []Reg) []Reg {
+	switch in.Op {
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sra, Slt, Sle, Seq, Sne:
+		return append(dst, in.Rs, in.Rt)
+	case AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, SltI, SleI, SeqI, SneI, Lw, Br, Jr, Jalr:
+		return append(dst, in.Rs)
+	case Sw:
+		return append(dst, in.Rs, in.Rt)
+	case Ret:
+		return append(dst, RA)
+	default:
+		return dst
+	}
+}

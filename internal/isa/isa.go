@@ -1,0 +1,327 @@
+// Package isa defines MSA, the small RISC instruction set used by the
+// Multiscalar reproduction.
+//
+// MSA is deliberately simple: a load/store architecture with 32 integer
+// registers, word-granular addressing, and explicit two-target conditional
+// branches (there is no fall-through anywhere in the ISA; every basic block
+// ends in a control transfer). Instruction addresses are word indices into
+// the program's instruction array, which makes the least-significant address
+// bits used by path-based predictors maximally informative.
+//
+// Control transfer instructions are classified into the five inter-task
+// control-flow types of Table 1 of the paper (plus "none" for non-transfer
+// instructions): BRANCH, CALL, RETURN, INDIRECT_BRANCH and INDIRECT_CALL.
+package isa
+
+import "fmt"
+
+// Addr is an instruction address: a word index into the program text.
+type Addr uint32
+
+// Reg names one of the 32 general-purpose integer registers.
+// Register 0 is hardwired to zero. By software convention, SP is the stack
+// pointer, RA the return-address register (maintained by CALL/RET), and RV
+// the function return value.
+type Reg uint8
+
+// Register conventions used by the MSL compiler and the examples.
+const (
+	Zero Reg = 0  // always reads as 0; writes are discarded
+	RV   Reg = 1  // function return value
+	SP   Reg = 29 // stack pointer
+	FP   Reg = 30 // frame pointer
+	RA   Reg = 31 // return address
+)
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 32
+
+// Op enumerates MSA opcodes.
+type Op uint8
+
+const (
+	// Nop does nothing.
+	Nop Op = iota
+
+	// ALU register-register: Rd <- Rs op Rt.
+	Add
+	Sub
+	Mul
+	Div // divide; division by zero traps
+	Rem // remainder; division by zero traps
+	And
+	Or
+	Xor
+	Shl
+	Shr // logical shift right
+	Sra // arithmetic shift right
+	Slt // set if less than (signed)
+	Sle // set if less or equal (signed)
+	Seq // set if equal
+	Sne // set if not equal
+
+	// ALU register-immediate: Rd <- Rs op Imm.
+	AddI
+	MulI
+	AndI
+	OrI
+	XorI
+	ShlI
+	ShrI
+	SltI
+	SleI
+	SeqI
+	SneI
+
+	// Li loads a 32-bit immediate: Rd <- Imm.
+	Li
+	// La loads an address-sized immediate (label address): Rd <- Imm.
+	La
+
+	// Memory. Addresses are word indices into data memory.
+	// Lw: Rd <- mem[Rs + Imm]; Sw: mem[Rs + Imm] <- Rt.
+	Lw
+	Sw
+
+	// Control transfers. None of these fall through.
+	//
+	// Br: if Rs != 0 goto TargetA else goto TargetB. (Comparisons are done
+	// by Slt/Seq/... into Rs first.)
+	Br
+	// J: goto TargetA.
+	J
+	// Jal: RA <- return address (the Link field), goto TargetA.
+	Jal
+	// Jr: goto Rs (computed/indirect branch, e.g. a switch jump table).
+	Jr
+	// Jalr: RA <- return address (the Link field), goto Rs (indirect call).
+	Jalr
+	// Ret: goto RA (function return).
+	Ret
+
+	// Halt stops the machine.
+	Halt
+
+	numOps
+)
+
+var opNames = [...]string{
+	Nop: "nop",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr", Sra: "sra",
+	Slt: "slt", Sle: "sle", Seq: "seq", Sne: "sne",
+	AddI: "addi", MulI: "muli", AndI: "andi", OrI: "ori", XorI: "xori",
+	ShlI: "shli", ShrI: "shri", SltI: "slti", SleI: "slei", SeqI: "seqi", SneI: "snei",
+	Li: "li", La: "la",
+	Lw: "lw", Sw: "sw",
+	Br: "br", J: "j", Jal: "jal", Jr: "jr", Jalr: "jalr", Ret: "ret",
+	Halt: "halt",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// OpByName maps an assembler mnemonic back to its opcode.
+// The second result reports whether the mnemonic is known.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// ControlKind classifies an instruction for inter-task control flow,
+// following Table 1 of the paper.
+type ControlKind uint8
+
+const (
+	// KindNone marks non-control-transfer instructions.
+	KindNone ControlKind = iota
+	// KindBranch is a conditional or unconditional PC-relative branch
+	// (Br, J): targets are known statically.
+	KindBranch
+	// KindCall is a direct call (Jal): target known statically, pushes a
+	// return address.
+	KindCall
+	// KindReturn is a function return (Ret): target is dynamic but
+	// predictable with a return address stack.
+	KindReturn
+	// KindIndirectBranch is a computed branch (Jr): target dynamic.
+	KindIndirectBranch
+	// KindIndirectCall is a computed call (Jalr): target dynamic, pushes a
+	// return address.
+	KindIndirectCall
+)
+
+var kindNames = [...]string{
+	KindNone:           "none",
+	KindBranch:         "branch",
+	KindCall:           "call",
+	KindReturn:         "return",
+	KindIndirectBranch: "indirect_branch",
+	KindIndirectCall:   "indirect_call",
+}
+
+// String returns the lower-case name of the control kind.
+func (k ControlKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// NumControlKinds counts the ControlKind values (including KindNone).
+const NumControlKinds = 6
+
+// IsCall reports whether the kind pushes a return address.
+func (k ControlKind) IsCall() bool { return k == KindCall || k == KindIndirectCall }
+
+// IsIndirect reports whether the kind's target must be predicted by a
+// target buffer (not known from the header, not a return).
+func (k ControlKind) IsIndirect() bool {
+	return k == KindIndirectBranch || k == KindIndirectCall
+}
+
+// Instr is a single decoded MSA instruction.
+//
+// The interpretation of the fields depends on Op; unused fields are zero.
+// TargetA/TargetB hold statically-known control-transfer targets (for Br,
+// TargetA is taken when the condition register is non-zero). Link holds the
+// return address installed in RA by Jal/Jalr.
+type Instr struct {
+	Op      Op
+	Rd      Reg   // destination register
+	Rs      Reg   // first source / condition / indirect target register
+	Rt      Reg   // second source (ALU) / store data (Sw)
+	Imm     int32 // immediate operand / memory displacement
+	TargetA Addr  // primary static target (Br taken, J, Jal)
+	TargetB Addr  // secondary static target (Br not-taken)
+	Link    Addr  // return address for Jal/Jalr
+}
+
+// Control returns the inter-task control-flow classification of the
+// instruction per Table 1.
+func (in Instr) Control() ControlKind {
+	switch in.Op {
+	case Br, J:
+		return KindBranch
+	case Jal:
+		return KindCall
+	case Ret:
+		return KindReturn
+	case Jr:
+		return KindIndirectBranch
+	case Jalr:
+		return KindIndirectCall
+	default:
+		return KindNone
+	}
+}
+
+// IsControl reports whether the instruction is a control transfer
+// (including Halt, which terminates all flow).
+func (in Instr) IsControl() bool {
+	switch in.Op {
+	case Br, J, Jal, Jr, Jalr, Ret, Halt:
+		return true
+	}
+	return false
+}
+
+// StaticTargets returns the statically-known successor addresses of a
+// control transfer. Indirect transfers and returns have none; Halt has
+// none; Br has two; J/Jal have one.
+func (in Instr) StaticTargets() []Addr {
+	switch in.Op {
+	case Br:
+		if in.TargetA == in.TargetB {
+			return []Addr{in.TargetA}
+		}
+		return []Addr{in.TargetA, in.TargetB}
+	case J, Jal:
+		return []Addr{in.TargetA}
+	default:
+		return nil
+	}
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case Nop, Halt, Ret:
+		return in.Op.String()
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, Sra, Slt, Sle, Seq, Sne:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt)
+	case AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, SltI, SleI, SeqI, SneI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case Li:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case La:
+		return fmt.Sprintf("la r%d, %d", in.Rd, in.Imm)
+	case Lw:
+		return fmt.Sprintf("lw r%d, %d(r%d)", in.Rd, in.Imm, in.Rs)
+	case Sw:
+		return fmt.Sprintf("sw r%d, %d(r%d)", in.Rt, in.Imm, in.Rs)
+	case Br:
+		return fmt.Sprintf("br r%d, @%d, @%d", in.Rs, in.TargetA, in.TargetB)
+	case J:
+		return fmt.Sprintf("j @%d", in.TargetA)
+	case Jal:
+		return fmt.Sprintf("jal @%d", in.TargetA)
+	case Jr:
+		return fmt.Sprintf("jr r%d", in.Rs)
+	case Jalr:
+		return fmt.Sprintf("jalr r%d", in.Rs)
+	default:
+		return fmt.Sprintf("%s ?", in.Op)
+	}
+}
+
+// Validate performs basic structural checks on the instruction, returning a
+// descriptive error for malformed encodings (register out of range, control
+// ops missing targets, and so on). codeLen is the length of the enclosing
+// program's text segment, used to bounds-check static targets.
+func (in Instr) Validate(codeLen int) error {
+	if in.Op >= numOps {
+		return fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
+		return fmt.Errorf("isa: %v: register out of range", in)
+	}
+	checkTarget := func(a Addr) error {
+		if int(a) >= codeLen {
+			return fmt.Errorf("isa: %v: target @%d outside text of %d words", in, a, codeLen)
+		}
+		return nil
+	}
+	switch in.Op {
+	case Br:
+		if err := checkTarget(in.TargetA); err != nil {
+			return err
+		}
+		return checkTarget(in.TargetB)
+	case J:
+		return checkTarget(in.TargetA)
+	case Jal:
+		if err := checkTarget(in.TargetA); err != nil {
+			return err
+		}
+		return checkTarget(in.Link)
+	case Jalr:
+		return checkTarget(in.Link)
+	}
+	return nil
+}

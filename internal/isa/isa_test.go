@@ -1,0 +1,172 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpNameRoundTrip(t *testing.T) {
+	for op := Nop; op < numOps; op++ {
+		name := op.String()
+		if strings.HasPrefix(name, "op(") {
+			t.Fatalf("opcode %d has no name", op)
+		}
+		got, ok := OpByName(name)
+		if !ok || got != op {
+			t.Fatalf("OpByName(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Fatalf("unknown mnemonic resolved")
+	}
+}
+
+func TestControlClassification(t *testing.T) {
+	cases := []struct {
+		op   Op
+		kind ControlKind
+	}{
+		{Br, KindBranch}, {J, KindBranch}, {Jal, KindCall},
+		{Ret, KindReturn}, {Jr, KindIndirectBranch}, {Jalr, KindIndirectCall},
+		{Add, KindNone}, {Lw, KindNone}, {Halt, KindNone},
+	}
+	for _, c := range cases {
+		if got := (Instr{Op: c.op}).Control(); got != c.kind {
+			t.Errorf("%v.Control() = %v, want %v", c.op, got, c.kind)
+		}
+	}
+}
+
+func TestControlKindProperties(t *testing.T) {
+	if !KindCall.IsCall() || !KindIndirectCall.IsCall() {
+		t.Errorf("call kinds misclassified")
+	}
+	if KindReturn.IsCall() || KindBranch.IsCall() {
+		t.Errorf("non-call kinds classified as calls")
+	}
+	if !KindIndirectBranch.IsIndirect() || !KindIndirectCall.IsIndirect() {
+		t.Errorf("indirect kinds misclassified")
+	}
+	if KindReturn.IsIndirect() || KindCall.IsIndirect() {
+		t.Errorf("non-indirect kinds classified as indirect")
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	for _, op := range []Op{Br, J, Jal, Jr, Jalr, Ret, Halt} {
+		if !(Instr{Op: op}).IsControl() {
+			t.Errorf("%v should be control", op)
+		}
+	}
+	for _, op := range []Op{Nop, Add, Lw, Sw, Li} {
+		if (Instr{Op: op}).IsControl() {
+			t.Errorf("%v should not be control", op)
+		}
+	}
+}
+
+func TestStaticTargets(t *testing.T) {
+	br := Instr{Op: Br, TargetA: 5, TargetB: 9}
+	if got := br.StaticTargets(); len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Fatalf("Br targets = %v", got)
+	}
+	// Degenerate Br with equal targets collapses to one.
+	deg := Instr{Op: Br, TargetA: 5, TargetB: 5}
+	if got := deg.StaticTargets(); len(got) != 1 {
+		t.Fatalf("degenerate Br targets = %v", got)
+	}
+	if got := (Instr{Op: Jal, TargetA: 7}).StaticTargets(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Jal targets = %v", got)
+	}
+	for _, op := range []Op{Ret, Jr, Jalr, Halt, Add} {
+		if got := (Instr{Op: op}).StaticTargets(); got != nil {
+			t.Errorf("%v should have no static targets, got %v", op, got)
+		}
+	}
+}
+
+func TestValidateRejectsBadInstructions(t *testing.T) {
+	cases := []Instr{
+		{Op: numOps},
+		{Op: Add, Rd: 32},
+		{Op: Br, TargetA: 100, TargetB: 1},
+		{Op: J, TargetA: 100},
+		{Op: Jal, TargetA: 1, Link: 100},
+	}
+	for _, in := range cases {
+		if err := in.Validate(10); err == nil {
+			t.Errorf("Validate(%v) should fail", in)
+		}
+	}
+	ok := []Instr{
+		{Op: Add, Rd: 1, Rs: 2, Rt: 3},
+		{Op: Br, Rs: 1, TargetA: 0, TargetB: 9},
+		{Op: Jal, TargetA: 2, Link: 3},
+		{Op: Halt},
+	}
+	for _, in := range ok {
+		if err := in.Validate(10); err != nil {
+			t.Errorf("Validate(%v): %v", in, err)
+		}
+	}
+}
+
+func TestInstrStringsAreStable(t *testing.T) {
+	cases := map[string]Instr{
+		"add r1, r2, r3":  {Op: Add, Rd: 1, Rs: 2, Rt: 3},
+		"addi r1, r2, -4": {Op: AddI, Rd: 1, Rs: 2, Imm: -4},
+		"li r5, 42":       {Op: Li, Rd: 5, Imm: 42},
+		"lw r1, 8(r2)":    {Op: Lw, Rd: 1, Rs: 2, Imm: 8},
+		"sw r3, -1(r4)":   {Op: Sw, Rt: 3, Rs: 4, Imm: -1},
+		"br r1, @5, @9":   {Op: Br, Rs: 1, TargetA: 5, TargetB: 9},
+		"j @7":            {Op: J, TargetA: 7},
+		"jal @3":          {Op: Jal, TargetA: 3},
+		"jr r9":           {Op: Jr, Rs: 9},
+		"jalr r9":         {Op: Jalr, Rs: 9},
+		"ret":             {Op: Ret},
+		"halt":            {Op: Halt},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: an instruction's Def is never in conflict with Uses handling:
+// Uses never returns an out-of-range register and Def is in range.
+func TestDataflowMetadataInRange(t *testing.T) {
+	f := func(op uint8, rd, rs, rt uint8) bool {
+		in := Instr{Op: Op(op % uint8(numOps)), Rd: Reg(rd % 32), Rs: Reg(rs % 32), Rt: Reg(rt % 32)}
+		if in.Def() >= NumRegs {
+			return false
+		}
+		for _, r := range in.Uses(nil) {
+			if r >= NumRegs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataflowSpecificCases(t *testing.T) {
+	if d := (Instr{Op: Jal}).Def(); d != RA {
+		t.Errorf("Jal defines %v, want RA", d)
+	}
+	if d := (Instr{Op: Sw, Rt: 3}).Def(); d != Zero {
+		t.Errorf("Sw should define nothing, got %v", d)
+	}
+	uses := (Instr{Op: Ret}).Uses(nil)
+	if len(uses) != 1 || uses[0] != RA {
+		t.Errorf("Ret uses %v, want [RA]", uses)
+	}
+	uses = (Instr{Op: Sw, Rs: 4, Rt: 3}).Uses(nil)
+	if len(uses) != 2 {
+		t.Errorf("Sw uses %v", uses)
+	}
+}

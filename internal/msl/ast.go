@@ -1,0 +1,203 @@
+package msl
+
+// AST node definitions for MSL. Every node records the source line for
+// diagnostics.
+
+// File is a parsed MSL compilation unit.
+type File struct {
+	Globals []*GlobalDecl
+	Arrays  []*ArrayDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is a global scalar: `var name;` or `var name = 5;`.
+type GlobalDecl struct {
+	Name string
+	Init int64
+	Line int
+}
+
+// ArrayDecl is a global array: `array name[n];` with an optional
+// initializer list.
+type ArrayDecl struct {
+	Name string
+	Size int64
+	Init []int64
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Block is a `{ ... }` statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarStmt declares a local: `var x;` or `var x = expr;`.
+type VarStmt struct {
+	Name string
+	Init Expr // nil for zero
+	Line int
+}
+
+// AssignStmt is `name = expr;`.
+type AssignStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// StoreStmt is `name[index] = expr;`.
+type StoreStmt struct {
+	Name  string
+	Index Expr
+	Expr  Expr
+	Line  int
+}
+
+// IfStmt is `if (cond) { } else ...` — Else is a *Block or *IfStmt or nil.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt
+	Line int
+}
+
+// WhileStmt is `while (cond) { }`.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// ForStmt is `for (init; cond; post) { }`; Init/Post are assignment or
+// var statements (possibly nil), Cond may be nil (infinite).
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *Block
+	Line int
+}
+
+// BreakStmt exits the innermost loop or switch.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ Line int }
+
+// ReturnStmt is `return;` or `return expr;`.
+type ReturnStmt struct {
+	Expr Expr // nil returns 0
+	Line int
+}
+
+// SwitchStmt is a multi-way dispatch on an integer expression. Cases do
+// not fall through. Dense case sets compile to an indirect jump table.
+type SwitchStmt struct {
+	Expr    Expr
+	Cases   []SwitchCase
+	Default []Stmt // nil if absent
+	Line    int
+}
+
+// SwitchCase is one `case N:` arm.
+type SwitchCase struct {
+	Value int64
+	Body  []Stmt
+	Line  int
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	Expr Expr
+	Line int
+}
+
+// HaltStmt is `halt;` — stops the machine.
+type HaltStmt struct{ Line int }
+
+func (*Block) stmtNode()        {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*StoreStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*SwitchStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*HaltStmt) stmtNode()     {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// Ident is a scalar variable reference (or, as a call callee, a function
+// name).
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IndexExpr is `name[expr]` — an array element load.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// CallExpr is a function call. If Callee is an *Ident naming a function,
+// the call is direct; any other callee expression is an indirect call
+// through a function pointer value.
+type CallExpr struct {
+	Callee Expr
+	Args   []Expr
+	Line   int
+}
+
+// FuncRef is `&name` — the address of a function, usable as a function
+// pointer value.
+type FuncRef struct {
+	Name string
+	Line int
+}
+
+// UnaryExpr is `-x`, `!x` or `~x`.
+type UnaryExpr struct {
+	Op   tokKind
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation; && and || short-circuit.
+type BinaryExpr struct {
+	Op   tokKind
+	X, Y Expr
+	Line int
+}
+
+func (*IntLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*FuncRef) exprNode()    {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}

@@ -1,0 +1,932 @@
+package msl
+
+import (
+	"fmt"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+)
+
+// Options tunes compilation.
+type Options struct {
+	// StackWords reserves data-memory words for the call stack (default
+	// DefaultStackWords).
+	StackWords int
+}
+
+// DefaultStackWords is the default stack reservation.
+const DefaultStackWords = 32768
+
+// Compile parses and compiles MSL source into a validated MSA program.
+func Compile(src string, opts Options) (*program.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(file, opts)
+}
+
+// CompileFile compiles a parsed MSL file.
+func CompileFile(file *File, opts Options) (*program.Program, error) {
+	if opts.StackWords <= 0 {
+		opts.StackWords = DefaultStackWords
+	}
+	c := &compiler{
+		file:    file,
+		opts:    opts,
+		globals: map[string]int{},
+		arrays:  map[string]program.DataSym{},
+		funcs:   map[string]*funcInfo{},
+		laRefs:  map[int]label{},
+	}
+	if err := c.compile(); err != nil {
+		return nil, err
+	}
+	return c.prog, nil
+}
+
+// Calling convention registers. Expression evaluation uses a register
+// stack r2..r24; r25/r26 are codegen scratch.
+const (
+	exprBase = isa.Reg(2)
+	exprMax  = isa.Reg(24)
+	scratch  = isa.Reg(25)
+)
+
+// label is a forward-referencable code position.
+type label int
+
+const noLabel = label(-1)
+
+type labelRef struct {
+	a, b label // TargetA / TargetB labels (noLabel = unused)
+}
+
+type funcInfo struct {
+	decl  *FuncDecl
+	label label
+}
+
+type loopCtx struct {
+	brk  label
+	cont label // noLabel inside switch
+}
+
+type compiler struct {
+	file *File
+	opts Options
+	prog *program.Program
+
+	globals map[string]int // scalar name -> data address
+	arrays  map[string]program.DataSym
+	funcs   map[string]*funcInfo
+
+	code      []isa.Instr
+	refs      map[int]labelRef // instr index -> unresolved targets
+	laRefs    map[int]label    // instr index -> label whose address La loads
+	labelAddr []int            // label -> code address (-1 unbound)
+
+	data       []int64
+	dataLabels map[int]label // data word index -> label address
+
+	// namedLabels are labels that must appear in program.Labels (function
+	// entries and indirect-branch targets such as switch cases).
+	namedLabels map[string]label
+
+	// Per-function state.
+	fn        *funcInfo
+	scopes    []map[string]int // local name -> frame slot
+	params    map[string]int
+	nslots    int // high-water local slot count
+	liveSlots int
+	loops     []loopCtx
+	endLbl    label
+	framePtch int // index of the prologue's stack-adjust AddI to backpatch
+	line      int
+}
+
+func (c *compiler) errf(format string, args ...any) error {
+	return fmt.Errorf("msl: line %d: %s", c.line, fmt.Sprintf(format, args...))
+}
+
+func (c *compiler) at(line int) { c.line = line }
+
+// newLabel allocates an unbound label.
+func (c *compiler) newLabel() label {
+	c.labelAddr = append(c.labelAddr, -1)
+	return label(len(c.labelAddr) - 1)
+}
+
+// emit appends an instruction, returning its index.
+func (c *compiler) emit(in isa.Instr) int {
+	c.code = append(c.code, in)
+	return len(c.code) - 1
+}
+
+// emitBr emits a two-target conditional branch on cond != 0.
+func (c *compiler) emitBr(cond isa.Reg, taken, notTaken label) {
+	idx := c.emit(isa.Instr{Op: isa.Br, Rs: cond})
+	c.refs[idx] = labelRef{a: taken, b: notTaken}
+}
+
+// emitJ emits an unconditional jump to l.
+func (c *compiler) emitJ(l label) {
+	idx := c.emit(isa.Instr{Op: isa.J})
+	c.refs[idx] = labelRef{a: l, b: noLabel}
+}
+
+// emitJal emits a direct call; the link address is the next instruction.
+func (c *compiler) emitJal(l label) {
+	idx := c.emit(isa.Instr{Op: isa.Jal, Link: isa.Addr(len(c.code))})
+	c.refs[idx] = labelRef{a: l, b: noLabel}
+	c.code[idx].Link = isa.Addr(idx + 1)
+}
+
+// place binds a label at the current position, first emitting an explicit
+// jump if the preceding instruction would otherwise fall through (MSA has
+// no fall-through into a block leader).
+func (c *compiler) place(l label) {
+	if n := len(c.code); n > 0 && !c.code[n-1].IsControl() {
+		c.emitJ(l)
+	}
+	c.labelAddr[l] = len(c.code)
+}
+
+// compile drives the whole translation.
+func (c *compiler) compile() error {
+	c.refs = map[int]labelRef{}
+	c.dataLabels = map[int]label{}
+	c.namedLabels = map[string]label{}
+
+	// Declaration pass: globals, arrays, functions.
+	for _, g := range c.file.Globals {
+		c.at(g.Line)
+		if err := c.declare(g.Name); err != nil {
+			return err
+		}
+		c.globals[g.Name] = len(c.data)
+		c.data = append(c.data, g.Init)
+	}
+	for _, a := range c.file.Arrays {
+		c.at(a.Line)
+		if err := c.declare(a.Name); err != nil {
+			return err
+		}
+		if a.Size <= 0 || a.Size > 1<<24 {
+			return c.errf("array %s has unreasonable size %d", a.Name, a.Size)
+		}
+		if int64(len(a.Init)) > a.Size {
+			return c.errf("array %s has %d initializers for %d elements", a.Name, len(a.Init), a.Size)
+		}
+		sym := program.DataSym{Addr: len(c.data), Size: int(a.Size)}
+		c.arrays[a.Name] = sym
+		c.data = append(c.data, make([]int64, a.Size)...)
+		copy(c.data[sym.Addr:], a.Init)
+	}
+	for _, f := range c.file.Funcs {
+		c.at(f.Line)
+		if err := c.declare(f.Name); err != nil {
+			return err
+		}
+		c.funcs[f.Name] = &funcInfo{decl: f, label: c.newLabel()}
+		c.namedLabels[f.Name] = c.funcs[f.Name].label
+	}
+	main, ok := c.funcs["main"]
+	if !ok {
+		return fmt.Errorf("msl: no main function")
+	}
+	if len(main.decl.Params) != 0 {
+		return fmt.Errorf("msl: main must take no parameters")
+	}
+
+	// Entry stub: set up the stack pointer, call main, halt.
+	dataSize := len(c.data) + c.opts.StackWords
+	if dataSize > 1<<26 {
+		return fmt.Errorf("msl: data segment of %d words is unreasonably large", dataSize)
+	}
+	c.emit(isa.Instr{Op: isa.Li, Rd: isa.SP, Imm: int32(dataSize)})
+	c.emitJal(main.label)
+	c.emit(isa.Instr{Op: isa.Halt})
+
+	// Function bodies in declaration order.
+	for _, f := range c.file.Funcs {
+		if err := c.genFunc(c.funcs[f.Name]); err != nil {
+			return err
+		}
+	}
+
+	return c.finalize(dataSize)
+}
+
+func (c *compiler) declare(name string) error {
+	if _, ok := c.globals[name]; ok {
+		return c.errf("duplicate declaration of %s", name)
+	}
+	if _, ok := c.arrays[name]; ok {
+		return c.errf("duplicate declaration of %s", name)
+	}
+	if _, ok := c.funcs[name]; ok {
+		return c.errf("duplicate declaration of %s", name)
+	}
+	return nil
+}
+
+// finalize resolves labels and builds the program.Program.
+func (c *compiler) finalize(dataSize int) error {
+	p := program.New()
+	p.Code = c.code
+	p.Data = c.data
+	p.DataSize = dataSize
+	p.Entry = 0
+
+	resolve := func(l label) (isa.Addr, error) {
+		if l < 0 || int(l) >= len(c.labelAddr) || c.labelAddr[l] < 0 {
+			return 0, fmt.Errorf("msl: internal error: unbound label %d", l)
+		}
+		return isa.Addr(c.labelAddr[l]), nil
+	}
+	for idx, ref := range c.refs {
+		a, err := resolve(ref.a)
+		if err != nil {
+			return err
+		}
+		p.Code[idx].TargetA = a
+		if ref.b != noLabel {
+			b, err := resolve(ref.b)
+			if err != nil {
+				return err
+			}
+			p.Code[idx].TargetB = b
+		}
+	}
+	for idx, l := range c.laRefs {
+		a, err := resolve(l)
+		if err != nil {
+			return err
+		}
+		p.Code[idx].Imm = int32(a)
+	}
+	for word, l := range c.dataLabels {
+		a, err := resolve(l)
+		if err != nil {
+			return err
+		}
+		p.Data[word] = int64(a)
+	}
+	for name, l := range c.namedLabels {
+		a, err := resolve(l)
+		if err != nil {
+			return err
+		}
+		p.Labels[name] = a
+	}
+	for name := range c.funcs {
+		p.Functions[name] = p.Labels[name]
+	}
+	for name, sym := range c.arrays {
+		p.DataSymbols[name] = sym
+	}
+	for name, addr := range c.globals {
+		p.DataSymbols[name] = program.DataSym{Addr: addr, Size: 1}
+	}
+	if len(p.Code) > 1<<pathKeyAddrLimit {
+		return fmt.Errorf("msl: program of %d instructions exceeds the %d-bit address budget of the ideal predictors",
+			len(p.Code), pathKeyAddrLimit)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.prog = p
+	return nil
+}
+
+// pathKeyAddrLimit mirrors core's 16-bit exact-path packing; programs must
+// stay under 65536 instructions for the ideal predictors to be truly
+// alias-free.
+const pathKeyAddrLimit = 16
+
+// genFunc compiles one function.
+func (c *compiler) genFunc(fn *funcInfo) error {
+	c.fn = fn
+	c.scopes = []map[string]int{{}}
+	c.params = map[string]int{}
+	c.nslots, c.liveSlots = 0, 0
+	c.loops = nil
+	c.endLbl = c.newLabel()
+	c.at(fn.decl.Line)
+
+	for i, name := range fn.decl.Params {
+		if _, dup := c.params[name]; dup {
+			return c.errf("duplicate parameter %s in %s", name, fn.decl.Name)
+		}
+		c.params[name] = i
+	}
+
+	c.place(fn.label)
+	// Prologue.
+	c.emit(isa.Instr{Op: isa.AddI, Rd: isa.SP, Rs: isa.SP, Imm: -2})
+	c.emit(isa.Instr{Op: isa.Sw, Rt: isa.RA, Rs: isa.SP, Imm: 1})
+	c.emit(isa.Instr{Op: isa.Sw, Rt: isa.FP, Rs: isa.SP, Imm: 0})
+	c.emit(isa.Instr{Op: isa.Add, Rd: isa.FP, Rs: isa.SP, Rt: isa.Zero})
+	c.framePtch = c.emit(isa.Instr{Op: isa.AddI, Rd: isa.SP, Rs: isa.SP, Imm: 0})
+
+	if err := c.genBlock(fn.decl.Body); err != nil {
+		return err
+	}
+
+	// Backpatch the local-frame allocation.
+	c.code[c.framePtch].Imm = int32(-c.nslots)
+
+	// Epilogue.
+	c.place(c.endLbl)
+	c.emit(isa.Instr{Op: isa.Add, Rd: isa.SP, Rs: isa.FP, Rt: isa.Zero})
+	c.emit(isa.Instr{Op: isa.Lw, Rd: isa.FP, Rs: isa.SP, Imm: 0})
+	c.emit(isa.Instr{Op: isa.Lw, Rd: isa.RA, Rs: isa.SP, Imm: 1})
+	c.emit(isa.Instr{Op: isa.AddI, Rd: isa.SP, Rs: isa.SP, Imm: 2})
+	c.emit(isa.Instr{Op: isa.Ret})
+	return nil
+}
+
+// Scope helpers.
+
+func (c *compiler) pushScope() { c.scopes = append(c.scopes, map[string]int{}) }
+
+func (c *compiler) popScope() {
+	top := c.scopes[len(c.scopes)-1]
+	c.liveSlots -= len(top)
+	c.scopes = c.scopes[:len(c.scopes)-1]
+}
+
+func (c *compiler) declareLocal(name string) (int, error) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, c.errf("duplicate local %s", name)
+	}
+	slot := c.liveSlots
+	top[name] = slot
+	c.liveSlots++
+	if c.liveSlots > c.nslots {
+		c.nslots = c.liveSlots
+	}
+	return slot, nil
+}
+
+// lookupLocal finds a local (innermost scope first) or a parameter.
+// Returns (frame-relative load offset, true) — locals live at fp-1-slot,
+// parameters at fp+2+i.
+func (c *compiler) lookupVar(name string) (offset int32, found bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if slot, ok := c.scopes[i][name]; ok {
+			return int32(-1 - slot), true
+		}
+	}
+	if i, ok := c.params[name]; ok {
+		return int32(2 + i), true
+	}
+	return 0, false
+}
+
+// Statements.
+
+func (c *compiler) genBlock(b *Block) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.genBlock(st)
+	case *VarStmt:
+		c.at(st.Line)
+		if st.Init != nil {
+			if err := c.genExpr(st.Init, exprBase); err != nil {
+				return err
+			}
+		}
+		slot, err := c.declareLocal(st.Name)
+		if err != nil {
+			return err
+		}
+		src := isa.Zero
+		if st.Init != nil {
+			src = exprBase
+		}
+		c.emit(isa.Instr{Op: isa.Sw, Rt: src, Rs: isa.FP, Imm: int32(-1 - slot)})
+		return nil
+	case *AssignStmt:
+		c.at(st.Line)
+		if err := c.genExpr(st.Expr, exprBase); err != nil {
+			return err
+		}
+		return c.genStoreVar(st.Name, exprBase)
+	case *StoreStmt:
+		c.at(st.Line)
+		sym, ok := c.arrays[st.Name]
+		if !ok {
+			return c.errf("%s is not an array", st.Name)
+		}
+		if err := c.genExpr(st.Index, exprBase); err != nil {
+			return err
+		}
+		if err := c.genExpr(st.Expr, exprBase+1); err != nil {
+			return err
+		}
+		c.emit(isa.Instr{Op: isa.Sw, Rt: exprBase + 1, Rs: exprBase, Imm: int32(sym.Addr)})
+		return nil
+	case *IfStmt:
+		return c.genIf(st)
+	case *WhileStmt:
+		return c.genWhile(st)
+	case *ForStmt:
+		return c.genFor(st)
+	case *BreakStmt:
+		c.at(st.Line)
+		for i := len(c.loops) - 1; i >= 0; i-- {
+			c.emitJ(c.loops[i].brk)
+			return nil
+		}
+		return c.errf("break outside loop or switch")
+	case *ContinueStmt:
+		c.at(st.Line)
+		for i := len(c.loops) - 1; i >= 0; i-- {
+			if c.loops[i].cont != noLabel {
+				c.emitJ(c.loops[i].cont)
+				return nil
+			}
+		}
+		return c.errf("continue outside loop")
+	case *ReturnStmt:
+		c.at(st.Line)
+		if st.Expr != nil {
+			if err := c.genExpr(st.Expr, exprBase); err != nil {
+				return err
+			}
+			c.emit(isa.Instr{Op: isa.Add, Rd: isa.RV, Rs: exprBase, Rt: isa.Zero})
+		} else {
+			c.emit(isa.Instr{Op: isa.Add, Rd: isa.RV, Rs: isa.Zero, Rt: isa.Zero})
+		}
+		c.emitJ(c.endLbl)
+		return nil
+	case *SwitchStmt:
+		return c.genSwitch(st)
+	case *ExprStmt:
+		c.at(st.Line)
+		return c.genExpr(st.Expr, exprBase)
+	case *HaltStmt:
+		c.at(st.Line)
+		c.emit(isa.Instr{Op: isa.Halt})
+		return nil
+	default:
+		return c.errf("unhandled statement %T", s)
+	}
+}
+
+func (c *compiler) genStoreVar(name string, src isa.Reg) error {
+	if off, ok := c.lookupVar(name); ok {
+		c.emit(isa.Instr{Op: isa.Sw, Rt: src, Rs: isa.FP, Imm: off})
+		return nil
+	}
+	if addr, ok := c.globals[name]; ok {
+		c.emit(isa.Instr{Op: isa.Sw, Rt: src, Rs: isa.Zero, Imm: int32(addr)})
+		return nil
+	}
+	if _, ok := c.arrays[name]; ok {
+		return c.errf("cannot assign to array %s without an index", name)
+	}
+	return c.errf("undefined variable %s", name)
+}
+
+func (c *compiler) genIf(st *IfStmt) error {
+	c.at(st.Line)
+	thenL, endL := c.newLabel(), c.newLabel()
+	elseL := endL
+	if st.Else != nil {
+		elseL = c.newLabel()
+	}
+	if err := c.genExpr(st.Cond, exprBase); err != nil {
+		return err
+	}
+	c.emitBr(exprBase, thenL, elseL)
+	c.place(thenL)
+	if err := c.genBlock(st.Then); err != nil {
+		return err
+	}
+	if st.Else != nil {
+		c.emitJ(endL)
+		c.place(elseL)
+		if err := c.genStmt(st.Else); err != nil {
+			return err
+		}
+	}
+	c.place(endL)
+	return nil
+}
+
+func (c *compiler) genWhile(st *WhileStmt) error {
+	c.at(st.Line)
+	headL, bodyL, endL := c.newLabel(), c.newLabel(), c.newLabel()
+	c.place(headL)
+	if err := c.genExpr(st.Cond, exprBase); err != nil {
+		return err
+	}
+	c.emitBr(exprBase, bodyL, endL)
+	c.place(bodyL)
+	c.loops = append(c.loops, loopCtx{brk: endL, cont: headL})
+	err := c.genBlock(st.Body)
+	c.loops = c.loops[:len(c.loops)-1]
+	if err != nil {
+		return err
+	}
+	c.emitJ(headL)
+	c.place(endL)
+	return nil
+}
+
+func (c *compiler) genFor(st *ForStmt) error {
+	c.at(st.Line)
+	c.pushScope() // scope for a `var` in the init clause
+	defer c.popScope()
+	if st.Init != nil {
+		if err := c.genStmt(st.Init); err != nil {
+			return err
+		}
+	}
+	headL, bodyL, postL, endL := c.newLabel(), c.newLabel(), c.newLabel(), c.newLabel()
+	c.place(headL)
+	if st.Cond != nil {
+		if err := c.genExpr(st.Cond, exprBase); err != nil {
+			return err
+		}
+		c.emitBr(exprBase, bodyL, endL)
+	}
+	c.place(bodyL)
+	c.loops = append(c.loops, loopCtx{brk: endL, cont: postL})
+	err := c.genBlock(st.Body)
+	c.loops = c.loops[:len(c.loops)-1]
+	if err != nil {
+		return err
+	}
+	c.place(postL)
+	if st.Post != nil {
+		if err := c.genStmt(st.Post); err != nil {
+			return err
+		}
+	}
+	c.emitJ(headL)
+	c.place(endL)
+	return nil
+}
+
+// switchCounter uniquifies generated case label names across the program.
+var _ = 0 // (kept simple: the counter lives on the compiler)
+
+func (c *compiler) genSwitch(st *SwitchStmt) error {
+	c.at(st.Line)
+	if err := c.genExpr(st.Expr, exprBase); err != nil {
+		return err
+	}
+	endL := c.newLabel()
+	defL := endL
+	if st.Default != nil {
+		defL = c.newLabel()
+	}
+	caseLs := make([]label, len(st.Cases))
+	for i := range st.Cases {
+		caseLs[i] = c.newLabel()
+	}
+
+	lo, hi := st.Cases[0].Value, st.Cases[0].Value
+	for _, cs := range st.Cases {
+		if cs.Value < lo {
+			lo = cs.Value
+		}
+		if cs.Value > hi {
+			hi = cs.Value
+		}
+	}
+	span := hi - lo + 1
+	dense := len(st.Cases) >= 3 && span <= int64(4*len(st.Cases)+8) && span <= 512
+
+	if dense {
+		// Indirect jump through a data-segment table. The case labels
+		// become named program labels: indirect-branch targets must be
+		// task starts.
+		tblBase := len(c.data)
+		for v := lo; v <= hi; v++ {
+			c.dataLabels[len(c.data)] = defL
+			c.data = append(c.data, 0)
+		}
+		for i, cs := range st.Cases {
+			c.dataLabels[tblBase+int(cs.Value-lo)] = caseLs[i]
+			name := fmt.Sprintf("switch_%d_case_%d", len(c.code), cs.Value)
+			c.namedLabels[name] = caseLs[i]
+		}
+		if st.Default != nil {
+			c.namedLabels[fmt.Sprintf("switch_%d_default", len(c.code))] = defL
+		} else {
+			c.namedLabels[fmt.Sprintf("switch_%d_end", len(c.code))] = endL
+		}
+		inb, outb := c.newLabel(), c.newLabel()
+		c.emit(isa.Instr{Op: isa.AddI, Rd: exprBase, Rs: exprBase, Imm: int32(-lo)})
+		c.emit(isa.Instr{Op: isa.SltI, Rd: exprBase + 1, Rs: exprBase, Imm: 0})
+		c.emitBr(exprBase+1, outb, inb) // negative -> default
+		c.place(inb)
+		inb2 := c.newLabel()
+		c.emit(isa.Instr{Op: isa.SltI, Rd: exprBase + 1, Rs: exprBase, Imm: int32(span)})
+		c.emitBr(exprBase+1, inb2, outb)
+		c.place(inb2)
+		c.emit(isa.Instr{Op: isa.Lw, Rd: scratch, Rs: exprBase, Imm: int32(tblBase)})
+		c.emit(isa.Instr{Op: isa.Jr, Rs: scratch})
+		c.place(outb)
+		c.emitJ(defL)
+	} else {
+		// Sparse: sequential compare-and-branch chain.
+		for i, cs := range st.Cases {
+			next := c.newLabel()
+			c.emit(isa.Instr{Op: isa.SeqI, Rd: exprBase + 1, Rs: exprBase, Imm: int32(cs.Value)})
+			c.emitBr(exprBase+1, caseLs[i], next)
+			c.place(next)
+		}
+		c.emitJ(defL)
+	}
+
+	c.loops = append(c.loops, loopCtx{brk: endL, cont: noLabel})
+	defer func() { c.loops = c.loops[:len(c.loops)-1] }()
+	for i, cs := range st.Cases {
+		c.at(cs.Line)
+		c.place(caseLs[i])
+		c.pushScope()
+		for _, s := range cs.Body {
+			if err := c.genStmt(s); err != nil {
+				c.popScope()
+				return err
+			}
+		}
+		c.popScope()
+		c.emitJ(endL)
+	}
+	if st.Default != nil {
+		c.place(defL)
+		c.pushScope()
+		for _, s := range st.Default {
+			if err := c.genStmt(s); err != nil {
+				c.popScope()
+				return err
+			}
+		}
+		c.popScope()
+	}
+	c.place(endL)
+	return nil
+}
+
+// Expressions. genExpr evaluates e into target; registers target..exprMax
+// are free for sub-expressions.
+
+func (c *compiler) genExpr(e Expr, target isa.Reg) error {
+	if target > exprMax {
+		return c.errf("expression too deeply nested (register stack exhausted)")
+	}
+	switch ex := e.(type) {
+	case *IntLit:
+		c.at(ex.Line)
+		if ex.Val > 0x7fffffff || ex.Val < -0x80000000 {
+			return c.errf("literal %d does not fit in 32 bits", ex.Val)
+		}
+		c.emit(isa.Instr{Op: isa.Li, Rd: target, Imm: int32(ex.Val)})
+		return nil
+	case *Ident:
+		c.at(ex.Line)
+		if off, ok := c.lookupVar(ex.Name); ok {
+			c.emit(isa.Instr{Op: isa.Lw, Rd: target, Rs: isa.FP, Imm: off})
+			return nil
+		}
+		if addr, ok := c.globals[ex.Name]; ok {
+			c.emit(isa.Instr{Op: isa.Lw, Rd: target, Rs: isa.Zero, Imm: int32(addr)})
+			return nil
+		}
+		if sym, ok := c.arrays[ex.Name]; ok {
+			// An array name evaluates to its base address.
+			c.emit(isa.Instr{Op: isa.Li, Rd: target, Imm: int32(sym.Addr)})
+			return nil
+		}
+		if _, ok := c.funcs[ex.Name]; ok {
+			return c.errf("function %s used as a value; take its address with &%s", ex.Name, ex.Name)
+		}
+		return c.errf("undefined identifier %s", ex.Name)
+	case *IndexExpr:
+		c.at(ex.Line)
+		sym, ok := c.arrays[ex.Name]
+		if !ok {
+			return c.errf("%s is not an array", ex.Name)
+		}
+		if err := c.genExpr(ex.Index, target); err != nil {
+			return err
+		}
+		c.emit(isa.Instr{Op: isa.Lw, Rd: target, Rs: target, Imm: int32(sym.Addr)})
+		return nil
+	case *FuncRef:
+		c.at(ex.Line)
+		fn, ok := c.funcs[ex.Name]
+		if !ok {
+			return c.errf("undefined function %s", ex.Name)
+		}
+		idx := c.emit(isa.Instr{Op: isa.La, Rd: target})
+		c.laRefs[idx] = fn.label
+		return nil
+	case *UnaryExpr:
+		c.at(ex.Line)
+		if err := c.genExpr(ex.X, target); err != nil {
+			return err
+		}
+		switch ex.Op {
+		case tokMinus:
+			c.emit(isa.Instr{Op: isa.Sub, Rd: target, Rs: isa.Zero, Rt: target})
+		case tokNot:
+			c.emit(isa.Instr{Op: isa.SeqI, Rd: target, Rs: target, Imm: 0})
+		case tokTilde:
+			c.emit(isa.Instr{Op: isa.XorI, Rd: target, Rs: target, Imm: -1})
+		default:
+			return c.errf("unhandled unary operator %v", ex.Op)
+		}
+		return nil
+	case *BinaryExpr:
+		return c.genBinary(ex, target)
+	case *CallExpr:
+		return c.genCall(ex, target)
+	default:
+		return c.errf("unhandled expression %T", e)
+	}
+}
+
+func (c *compiler) genBinary(ex *BinaryExpr, target isa.Reg) error {
+	c.at(ex.Line)
+	if ex.Op == tokAndAnd || ex.Op == tokOrOr {
+		return c.genShortCircuit(ex, target)
+	}
+	if err := c.genExpr(ex.X, target); err != nil {
+		return err
+	}
+	if err := c.genExpr(ex.Y, target+1); err != nil {
+		return err
+	}
+	rhs := target + 1
+	var op isa.Op
+	swap := false
+	switch ex.Op {
+	case tokPlus:
+		op = isa.Add
+	case tokMinus:
+		op = isa.Sub
+	case tokStar:
+		op = isa.Mul
+	case tokSlash:
+		op = isa.Div
+	case tokPct:
+		op = isa.Rem
+	case tokAnd:
+		op = isa.And
+	case tokOr:
+		op = isa.Or
+	case tokXor:
+		op = isa.Xor
+	case tokShl:
+		op = isa.Shl
+	case tokShr:
+		op = isa.Shr
+	case tokEq:
+		op = isa.Seq
+	case tokNe:
+		op = isa.Sne
+	case tokLt:
+		op = isa.Slt
+	case tokLe:
+		op = isa.Sle
+	case tokGt:
+		op, swap = isa.Slt, true
+	case tokGe:
+		op, swap = isa.Sle, true
+	default:
+		return c.errf("unhandled binary operator %v", ex.Op)
+	}
+	if swap {
+		c.emit(isa.Instr{Op: op, Rd: target, Rs: rhs, Rt: target})
+	} else {
+		c.emit(isa.Instr{Op: op, Rd: target, Rs: target, Rt: rhs})
+	}
+	return nil
+}
+
+// genShortCircuit compiles && and || with real control flow (producing
+// the conditional-branch-rich code shapes the predictors are built for).
+func (c *compiler) genShortCircuit(ex *BinaryExpr, target isa.Reg) error {
+	evalY, short, end := c.newLabel(), c.newLabel(), c.newLabel()
+	if err := c.genExpr(ex.X, target); err != nil {
+		return err
+	}
+	if ex.Op == tokAndAnd {
+		c.emitBr(target, evalY, short) // false -> result 0
+	} else {
+		c.emitBr(target, short, evalY) // true -> result 1
+	}
+	c.place(evalY)
+	if err := c.genExpr(ex.Y, target); err != nil {
+		return err
+	}
+	c.emit(isa.Instr{Op: isa.Sne, Rd: target, Rs: target, Rt: isa.Zero})
+	c.emitJ(end)
+	c.place(short)
+	if ex.Op == tokAndAnd {
+		c.emit(isa.Instr{Op: isa.Li, Rd: target, Imm: 0})
+	} else {
+		c.emit(isa.Instr{Op: isa.Li, Rd: target, Imm: 1})
+	}
+	c.place(end)
+	return nil
+}
+
+// genCall compiles a function call: arguments are passed on the stack
+// (arg i at sp+i on entry), live expression registers are caller-saved,
+// and the result arrives in RV.
+func (c *compiler) genCall(ex *CallExpr, target isa.Reg) error {
+	c.at(ex.Line)
+
+	var direct *funcInfo
+	calleeReg := isa.Reg(0)
+	argBase := target
+
+	if id, ok := ex.Callee.(*Ident); ok {
+		if _, shadowed := c.lookupVar(id.Name); !shadowed {
+			if _, isGlobal := c.globals[id.Name]; !isGlobal {
+				if fn, isFn := c.funcs[id.Name]; isFn {
+					direct = fn
+					if len(ex.Args) != len(fn.decl.Params) {
+						return c.errf("%s wants %d arguments, got %d",
+							id.Name, len(fn.decl.Params), len(ex.Args))
+					}
+				}
+			}
+		}
+	}
+	if direct == nil {
+		// Indirect: evaluate the callee into target; args follow.
+		if err := c.genExpr(ex.Callee, target); err != nil {
+			return err
+		}
+		calleeReg = target
+		argBase = target + 1
+	}
+
+	for i, arg := range ex.Args {
+		if argBase+isa.Reg(i) > exprMax {
+			return c.errf("call has too many arguments for the register stack")
+		}
+		if err := c.genExpr(arg, argBase+isa.Reg(i)); err != nil {
+			return err
+		}
+	}
+
+	// Caller-save the live expression registers (those below target). The
+	// indirect-callee register is target itself, which nothing clobbers
+	// between its evaluation and the jalr, so it needs no saving.
+	nlive := int(target - exprBase)
+	nargs := len(ex.Args)
+	if nlive > 0 {
+		c.emit(isa.Instr{Op: isa.AddI, Rd: isa.SP, Rs: isa.SP, Imm: int32(-nlive)})
+		for k := 0; k < nlive; k++ {
+			c.emit(isa.Instr{Op: isa.Sw, Rt: exprBase + isa.Reg(k), Rs: isa.SP, Imm: int32(k)})
+		}
+	}
+	if nargs > 0 {
+		c.emit(isa.Instr{Op: isa.AddI, Rd: isa.SP, Rs: isa.SP, Imm: int32(-nargs)})
+		for i := 0; i < nargs; i++ {
+			c.emit(isa.Instr{Op: isa.Sw, Rt: argBase + isa.Reg(i), Rs: isa.SP, Imm: int32(i)})
+		}
+	}
+
+	if direct != nil {
+		c.emitJal(direct.label)
+	} else {
+		idx := c.emit(isa.Instr{Op: isa.Jalr, Rs: calleeReg})
+		c.code[idx].Link = isa.Addr(idx + 1)
+	}
+
+	if nargs > 0 {
+		c.emit(isa.Instr{Op: isa.AddI, Rd: isa.SP, Rs: isa.SP, Imm: int32(nargs)})
+	}
+	if nlive > 0 {
+		for k := 0; k < nlive; k++ {
+			c.emit(isa.Instr{Op: isa.Lw, Rd: exprBase + isa.Reg(k), Rs: isa.SP, Imm: int32(k)})
+		}
+		c.emit(isa.Instr{Op: isa.AddI, Rd: isa.SP, Rs: isa.SP, Imm: int32(nlive)})
+	}
+	c.emit(isa.Instr{Op: isa.Add, Rd: target, Rs: isa.RV, Rt: isa.Zero})
+	return nil
+}

@@ -1,0 +1,244 @@
+package msl_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/msl"
+	"multiscalar/internal/sim/functional"
+	"multiscalar/internal/taskform"
+)
+
+// evalOut compiles and runs src, returning the final value of global
+// `out`.
+func evalOut(t *testing.T, src string) int64 {
+	t.Helper()
+	m, g := run(t, src)
+	sym, ok := g.Prog.DataSymbols["out"]
+	if !ok {
+		t.Fatalf("no out symbol")
+	}
+	return m.Mem()[sym.Addr]
+}
+
+func TestShadowingAndScopes(t *testing.T) {
+	got := evalOut(t, `
+var out;
+var x = 100;
+func main() {
+	var x = 1;
+	{
+		var x = 2;
+		out = out + x;     // 2
+	}
+	out = out + x;         // +1
+	if (1) {
+		var x = 50;
+		out = out + x;     // +50
+	}
+	out = out + x;         // +1
+}
+`)
+	if got != 54 {
+		t.Fatalf("out = %d, want 54", got)
+	}
+}
+
+func TestGlobalVsLocalPrecedence(t *testing.T) {
+	got := evalOut(t, `
+var out;
+var g = 7;
+func probe() { return g; }
+func main() {
+	var g = 9;
+	out = g * 10 + probe();  // local 9, global 7
+}
+`)
+	if got != 97 {
+		t.Fatalf("out = %d, want 97", got)
+	}
+}
+
+func TestForWithEmptyClauses(t *testing.T) {
+	got := evalOut(t, `
+var out;
+func main() {
+	var i = 0;
+	for (;;) {
+		i = i + 1;
+		if (i >= 5) { break; }
+	}
+	for (; i < 8;) { i = i + 1; }
+	out = i;
+}
+`)
+	if got != 8 {
+		t.Fatalf("out = %d, want 8", got)
+	}
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	// 20 levels of parenthesized nesting stays within the register stack.
+	got := evalOut(t, `
+var out;
+func main() {
+	out = (1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+1
+	      ))))))))))))))))))));
+}
+`)
+	if got != 21 {
+		t.Fatalf("out = %d, want 21", got)
+	}
+}
+
+func TestTooDeepExpressionIsRejected(t *testing.T) {
+	// Blow past the 23-register expression stack with right-nested calls
+	// whose argument lists keep raising the base register.
+	src := `var out; func f(a,b,c,d,e,f2,g,h,i,j,k,l,m,n,o,p,q,r,s,t2,u,v,w,x) { return a; }
+func main() { out = f(1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24); }`
+	if _, err := msl.Compile(src, msl.Options{}); err == nil {
+		t.Fatalf("expected register exhaustion error")
+	}
+}
+
+func TestArgumentEvaluationOrder(t *testing.T) {
+	got := evalOut(t, `
+var out;
+var seq;
+func tick() { seq = seq * 10 + 1; return seq; }
+func tock() { seq = seq * 10 + 2; return seq; }
+func pair(a, b) { return a * 1000 + b; }
+func main() {
+	out = pair(tick(), tock());  // left-to-right: 1 then 12
+}
+`)
+	if got != 1*1000+12 {
+		t.Fatalf("out = %d, want %d", got, 1*1000+12)
+	}
+}
+
+func TestRecursionDepth(t *testing.T) {
+	got := evalOut(t, `
+var out;
+func down(n) {
+	if (n == 0) { return 0; }
+	return down(n - 1) + 1;
+}
+func main() { out = down(600); }
+`)
+	if got != 600 {
+		t.Fatalf("out = %d, want 600", got)
+	}
+}
+
+func TestNegativeArithmetic(t *testing.T) {
+	got := evalOut(t, `
+var out;
+func main() {
+	var a = -17;
+	var b = 5;
+	// Go-style truncated division semantics.
+	out = (a / b) * 1000 + (a % b) * 10 + (0 - a) / b;
+}
+`)
+	want := int64((-17/5)*1000 + (-17%5)*10 + 17/5)
+	if got != want {
+		t.Fatalf("out = %d, want %d", got, want)
+	}
+}
+
+func TestSwitchDefaultOnlyPathAndScope(t *testing.T) {
+	got := evalOut(t, `
+var out;
+func main() {
+	switch (99) {
+	case 0: out = 1;
+	case 1: out = 2;
+	case 2: out = 3;
+	default:
+		var local = 40;
+		out = local + 2;
+	}
+}
+`)
+	if got != 42 {
+		t.Fatalf("out = %d, want 42", got)
+	}
+}
+
+func TestSwitchBreak(t *testing.T) {
+	got := evalOut(t, `
+var out;
+func main() {
+	switch (1) {
+	case 0: out = 1;
+	case 1:
+		out = 2;
+		break;
+	case 2: out = 3;
+	}
+	out = out + 100;
+}
+`)
+	if got != 102 {
+		t.Fatalf("out = %d, want 102", got)
+	}
+}
+
+func TestArrayNameAsBaseAddress(t *testing.T) {
+	got := evalOut(t, `
+array a[4] = { 9, 8, 7, 6 };
+array b[4];
+var out;
+func main() {
+	// Array names evaluate to their base data address; pointer-style
+	// indexing through another array works via explicit addressing.
+	var pa = a;
+	var pb = b;
+	out = pb - pa;  // b sits right after a in the data segment
+}
+`)
+	if got != 4 {
+		t.Fatalf("out = %d, want 4", got)
+	}
+}
+
+func TestWhileShortCircuitConditions(t *testing.T) {
+	got := evalOut(t, `
+array data[8] = { 1, 1, 1, 0 };
+var out;
+func main() {
+	var i = 0;
+	while (i < 8 && data[i]) {
+		i = i + 1;
+	}
+	out = i;
+}
+`)
+	if got != 3 {
+		t.Fatalf("out = %d, want 3", got)
+	}
+}
+
+func TestCompiledProgramsPartitionCleanly(t *testing.T) {
+	// Each compiled test program must yield a valid, acyclic-region TFG.
+	srcs := []string{
+		`var out; func main() { for (var i = 0; i < 3; i = i + 1) { out = out + i; } }`,
+		`var out; func f(x) { return x; } func main() { out = f(1); }`,
+	}
+	for _, src := range srcs {
+		p, err := msl.Compile(src, msl.Options{})
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		g, err := taskform.Partition(p, taskform.Options{})
+		if err != nil {
+			t.Fatalf("partition: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("invalid TFG: %v", err)
+		}
+		if _, _, err := functional.Run(g, functional.Config{}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+}

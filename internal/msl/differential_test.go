@@ -1,0 +1,204 @@
+package msl_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"multiscalar/internal/msl"
+	"multiscalar/internal/sim/functional"
+	"multiscalar/internal/taskform"
+)
+
+// Differential test: generate random MSL expressions, evaluate them with
+// an independent Go reference evaluator, and check that compiling and
+// executing them on the MSA machine produces the same values. This
+// cross-validates the lexer, parser, code generator, task former, and
+// interpreter end to end.
+
+// refExpr is the reference AST mirrored by the generated source text.
+type refExpr interface {
+	eval(vars []int64) int64
+	text() string
+}
+
+type refLit struct{ v int64 }
+
+func (e refLit) eval([]int64) int64 { return e.v }
+func (e refLit) text() string       { return fmt.Sprintf("%d", e.v) }
+
+type refVar struct{ i int }
+
+func (e refVar) eval(vars []int64) int64 { return vars[e.i] }
+func (e refVar) text() string            { return fmt.Sprintf("v%d", e.i) }
+
+type refBin struct {
+	op   string
+	l, r refExpr
+}
+
+func bool2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e refBin) eval(vars []int64) int64 {
+	a, b := e.l.eval(vars), e.r.eval(vars)
+	switch e.op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		if b == 0 {
+			return 0 // generator guards divisors; defensive only
+		}
+		return a / b
+	case "%":
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case "&":
+		return a & b
+	case "|":
+		return a | b
+	case "^":
+		return a ^ b
+	case "<<":
+		return a << uint64(b&63)
+	case ">>":
+		return int64(uint64(a) >> uint64(b&63))
+	case "<":
+		return bool2i(a < b)
+	case "<=":
+		return bool2i(a <= b)
+	case ">":
+		return bool2i(a > b)
+	case ">=":
+		return bool2i(a >= b)
+	case "==":
+		return bool2i(a == b)
+	case "!=":
+		return bool2i(a != b)
+	case "&&":
+		return bool2i(a != 0 && b != 0)
+	case "||":
+		return bool2i(a != 0 || b != 0)
+	}
+	panic("bad op " + e.op)
+}
+
+func (e refBin) text() string {
+	return "(" + e.l.text() + " " + e.op + " " + e.r.text() + ")"
+}
+
+type refUn struct {
+	op string
+	x  refExpr
+}
+
+func (e refUn) eval(vars []int64) int64 {
+	v := e.x.eval(vars)
+	switch e.op {
+	case "-":
+		return -v
+	case "!":
+		return bool2i(v == 0)
+	case "~":
+		return ^v
+	}
+	panic("bad unary " + e.op)
+}
+
+func (e refUn) text() string { return e.op + "(" + e.x.text() + ")" }
+
+// Operators that keep values well away from 32-bit literal limits and
+// division-by-zero are chosen with masked operands.
+var safeBinOps = []string{"+", "-", "&", "|", "^", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+
+func genExpr(r *rand.Rand, depth, nvars int) refExpr {
+	if depth <= 0 || r.Intn(100) < 30 {
+		if r.Intn(2) == 0 {
+			return refLit{v: int64(r.Intn(2001) - 1000)}
+		}
+		return refVar{i: r.Intn(nvars)}
+	}
+	switch r.Intn(10) {
+	case 0:
+		return refUn{op: []string{"-", "!", "~"}[r.Intn(3)], x: genExpr(r, depth-1, nvars)}
+	case 1: // multiplication with a small masked operand (no overflow)
+		return refBin{op: "*", l: genExpr(r, depth-1, nvars),
+			r: refBin{op: "&", l: genExpr(r, depth-1, nvars), r: refLit{v: 15}}}
+	case 2: // division with a guaranteed-positive divisor
+		return refBin{op: "/", l: genExpr(r, depth-1, nvars),
+			r: refBin{op: "+", l: refBin{op: "&", l: genExpr(r, depth-1, nvars), r: refLit{v: 7}}, r: refLit{v: 1}}}
+	case 3: // remainder, same guard
+		return refBin{op: "%", l: genExpr(r, depth-1, nvars),
+			r: refBin{op: "+", l: refBin{op: "&", l: genExpr(r, depth-1, nvars), r: refLit{v: 7}}, r: refLit{v: 1}}}
+	case 4: // shifts with small masked counts
+		op := "<<"
+		if r.Intn(2) == 0 {
+			op = ">>"
+		}
+		return refBin{op: op, l: genExpr(r, depth-1, nvars),
+			r: refBin{op: "&", l: genExpr(r, depth-1, nvars), r: refLit{v: 7}}}
+	default:
+		op := safeBinOps[r.Intn(len(safeBinOps))]
+		return refBin{op: op, l: genExpr(r, depth-1, nvars), r: genExpr(r, depth-1, nvars)}
+	}
+}
+
+func TestCompilerDifferentialAgainstReference(t *testing.T) {
+	const (
+		nvars    = 4
+		perBatch = 12
+		batches  = 10
+	)
+	r := rand.New(rand.NewSource(20260706))
+	for batch := 0; batch < batches; batch++ {
+		vars := make([]int64, nvars)
+		for i := range vars {
+			vars[i] = int64(r.Intn(4001) - 2000)
+		}
+		exprs := make([]refExpr, perBatch)
+		var b strings.Builder
+		b.WriteString("array results[16];\n")
+		fmt.Fprintf(&b, "func main() {\n")
+		for i := range vars {
+			fmt.Fprintf(&b, "\tvar v%d = %d;\n", i, vars[i])
+		}
+		for i := range exprs {
+			exprs[i] = genExpr(r, 4, nvars)
+			fmt.Fprintf(&b, "\tresults[%d] = %s;\n", i, exprs[i].text())
+		}
+		b.WriteString("}\n")
+
+		prog, err := msl.Compile(b.String(), msl.Options{StackWords: 1024})
+		if err != nil {
+			t.Fatalf("batch %d: compile: %v\nsource:\n%s", batch, err, b.String())
+		}
+		g, err := taskform.Partition(prog, taskform.Options{})
+		if err != nil {
+			t.Fatalf("batch %d: partition: %v", batch, err)
+		}
+		m := functional.NewMachine(g, functional.Config{})
+		if _, err := m.Run(functional.Config{}); err != nil {
+			t.Fatalf("batch %d: run: %v\nsource:\n%s", batch, err, b.String())
+		}
+		res := prog.DataSymbols["results"]
+		for i, e := range exprs {
+			want := e.eval(vars)
+			got := m.Mem()[res.Addr+i]
+			if got != want {
+				t.Fatalf("batch %d expr %d: machine %d, reference %d\nexpr: %s",
+					batch, i, got, want, e.text())
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package msl
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer(src)
+	var toks []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex: %v", err)
+		}
+		toks = append(toks, tok)
+		if tok.kind == tokEOF {
+			return toks
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexAll(t, "|| && | ^ & == != < <= > >= << >> + - * / % ! ~ =")
+	want := []tokKind{
+		tokOrOr, tokAndAnd, tokOr, tokXor, tokAnd, tokEq, tokNe,
+		tokLt, tokLe, tokGt, tokGe, tokShl, tokShr, tokPlus, tokMinus,
+		tokStar, tokSlash, tokPct, tokNot, tokTilde, tokAssign, tokEOF,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexLiteralsAndIdents(t *testing.T) {
+	toks := lexAll(t, "foo 42 0x1F _bar var halt")
+	if toks[0].kind != tokIdent || toks[0].text != "foo" {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].kind != tokInt || toks[1].val != 42 {
+		t.Errorf("tok1 = %+v", toks[1])
+	}
+	if toks[2].kind != tokInt || toks[2].val != 31 {
+		t.Errorf("hex literal = %+v", toks[2])
+	}
+	if toks[3].kind != tokIdent || toks[3].text != "_bar" {
+		t.Errorf("tok3 = %+v", toks[3])
+	}
+	if toks[4].kind != tokVar || toks[5].kind != tokHalt {
+		t.Errorf("keywords not recognized: %+v %+v", toks[4], toks[5])
+	}
+}
+
+func TestLexCommentsAndLines(t *testing.T) {
+	toks := lexAll(t, "a // comment with * and /\nb")
+	if len(toks) != 3 || toks[0].text != "a" || toks[1].text != "b" {
+		t.Fatalf("comment handling wrong: %+v", toks)
+	}
+	if toks[1].line != 2 {
+		t.Fatalf("line tracking wrong: %d", toks[1].line)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	l := newLexer("@")
+	if _, err := l.next(); err == nil {
+		t.Fatalf("expected error for stray '@'")
+	}
+	l = newLexer("0xZZ")
+	if _, err := l.next(); err == nil {
+		t.Fatalf("expected error for bad literal")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// 1 + 2 * 3 must parse as 1 + (2 * 3).
+	f, err := Parse("func main() { var x = 1 + 2 * 3; }")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	vs := f.Funcs[0].Body.Stmts[0].(*VarStmt)
+	add, ok := vs.Init.(*BinaryExpr)
+	if !ok || add.Op != tokPlus {
+		t.Fatalf("top operator = %+v", vs.Init)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != tokStar {
+		t.Fatalf("rhs = %+v", add.Y)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"func main() { var ; }",
+		"func main() { if 1 { } }",
+		"func main() { switch (1) { } }",
+		"func main() { 1 +; }",
+		"func main() { x[0][1] = 2; }",
+		"func main() { (1 = 2); }",
+		"array a[]; func main() {}",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package msl_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/msl"
+	"multiscalar/internal/sim/functional"
+	"multiscalar/internal/taskform"
+	"multiscalar/internal/tfg"
+)
+
+// run compiles, partitions and executes an MSL program, returning the
+// machine for memory inspection.
+func run(t *testing.T, src string) (*functional.Machine, *tfg.Graph) {
+	t.Helper()
+	p, err := msl.Compile(src, msl.Options{StackWords: 4096})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	g, err := taskform.Partition(p, taskform.Options{})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	m := functional.NewMachine(g, functional.Config{})
+	if _, err := m.Run(functional.Config{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, g
+}
+
+// word reads a named global after execution.
+func word(t *testing.T, m *functional.Machine, g *tfg.Graph, name string) int64 {
+	t.Helper()
+	sym, ok := g.Prog.DataSymbols[name]
+	if !ok {
+		t.Fatalf("no data symbol %q", name)
+	}
+	return m.Mem()[sym.Addr]
+}
+
+func TestArithmeticAndGlobals(t *testing.T) {
+	m, g := run(t, `
+var out;
+func main() {
+	var a = 6;
+	var b = 7;
+	out = a * b + 10 / 2 - 3 % 2 + (1 << 4) - (32 >> 2) + (5 & 3) + (5 | 2) + (5 ^ 1);
+}
+`)
+	want := int64(6*7 + 10/2 - 3%2 + (1 << 4) - (32 >> 2) + (5 & 3) + (5 | 2) + (5 ^ 1))
+	if got := word(t, m, g, "out"); got != want {
+		t.Fatalf("out = %d, want %d", got, want)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	m, g := run(t, `
+var out;
+func side() { out = out + 100; return 1; }
+func main() {
+	var x = 5;
+	out = (x < 6) + (x <= 5) + (x > 4) + (x >= 6) + (x == 5) + (x != 5);
+	// short circuit: side() must not run
+	if (0 && side()) { out = 999; }
+	if (1 || side()) { out = out + 10; }
+	out = out + !0 + !7 + ~0;
+}
+`)
+	// (1+1+1+0+1+0) = 4; +10; +1 +0 -1 = 14
+	if got := word(t, m, g, "out"); got != 14 {
+		t.Fatalf("out = %d, want 14", got)
+	}
+}
+
+func TestLoopsBreakContinue(t *testing.T) {
+	m, g := run(t, `
+var out;
+func main() {
+	var s = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		if (i == 3) { continue; }
+		if (i == 8) { break; }
+		s = s + i;
+	}
+	var j = 0;
+	while (j < 5) {
+		s = s + 100;
+		j = j + 1;
+	}
+	out = s;
+}
+`)
+	// sum 0..7 minus 3 = 25; + 500
+	if got := word(t, m, g, "out"); got != 525 {
+		t.Fatalf("out = %d, want 525", got)
+	}
+}
+
+func TestRecursionAndCalls(t *testing.T) {
+	m, g := run(t, `
+var out;
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { out = fib(15); }
+`)
+	if got := word(t, m, g, "out"); got != 610 {
+		t.Fatalf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestArraysAndInit(t *testing.T) {
+	m, g := run(t, `
+array tab[8] = { 3, 1, 4, 1, 5 };
+var out;
+func main() {
+	tab[5] = 9;
+	tab[6] = tab[0] + tab[2];
+	var s = 0;
+	for (var i = 0; i < 8; i = i + 1) { s = s + tab[i]; }
+	out = s;
+}
+`)
+	if got := word(t, m, g, "out"); got != 3+1+4+1+5+9+7 {
+		t.Fatalf("out = %d", got)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	m, g := run(t, `
+array ops[2];
+var out;
+func double(x) { return x * 2; }
+func triple(x) { return x * 3; }
+func main() {
+	ops[0] = &double;
+	ops[1] = &triple;
+	var s = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		var f = ops[i % 2];
+		s = s + f(i);
+	}
+	out = s;
+}
+`)
+	want := int64(0)
+	for i := int64(0); i < 10; i++ {
+		if i%2 == 0 {
+			want += 2 * i
+		} else {
+			want += 3 * i
+		}
+	}
+	if got := word(t, m, g, "out"); got != want {
+		t.Fatalf("out = %d, want %d", got, want)
+	}
+}
+
+func TestSwitchDense(t *testing.T) {
+	m, g := run(t, `
+var out;
+func classify(x) {
+	switch (x) {
+	case 0: return 10;
+	case 1: return 20;
+	case 2: return 30;
+	case 3: return 40;
+	default: return 99;
+	}
+}
+func main() {
+	out = classify(0) + classify(1) + classify(2) + classify(3) + classify(7);
+}
+`)
+	if got := word(t, m, g, "out"); got != 10+20+30+40+99 {
+		t.Fatalf("out = %d", got)
+	}
+}
+
+func TestSwitchSparse(t *testing.T) {
+	m, g := run(t, `
+var out;
+func main() {
+	var s = 0;
+	for (var i = 0; i < 2000; i = i + 319) {
+		switch (i) {
+		case 0: s = s + 1;
+		case 957: s = s + 2;
+		case 1914: s = s + 4;
+		}
+	}
+	out = s;
+}
+`)
+	if got := word(t, m, g, "out"); got != 7 {
+		t.Fatalf("out = %d, want 7", got)
+	}
+}
+
+func TestCallerSavedAcrossCalls(t *testing.T) {
+	m, g := run(t, `
+var out;
+func f(x) { return x + 1; }
+func main() {
+	// nested calls force live expression registers across call sites
+	out = f(1) + f(2) * f(3) - f(f(4) + f(5));
+}
+`)
+	want := int64((1 + 1) + (2+1)*(3+1) - ((4 + 1) + (5 + 1) + 1))
+	if got := word(t, m, g, "out"); got != want {
+		t.Fatalf("out = %d, want %d", got, want)
+	}
+}
+
+func TestHaltStatement(t *testing.T) {
+	m, g := run(t, `
+var out;
+func main() {
+	out = 1;
+	halt;
+}
+`)
+	if got := word(t, m, g, "out"); got != 1 {
+		t.Fatalf("out = %d, want 1", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no-main", `var x;`},
+		{"undefined-var", `func main() { x = 1; }`},
+		{"undefined-func", `func main() { foo(); }`},
+		{"arity", `func f(a) { return a; } func main() { f(1, 2); }`},
+		{"dup-global", `var x; var x; func main() {}`},
+		{"dup-case", `func main() { switch (1) { case 1: case 1: } }`},
+		{"main-params", `func main(a) {}`},
+		{"func-as-value", `func f() {} func main() { var x = f; }`},
+		{"index-scalar", `var x; func main() { x[0] = 1; }`},
+		{"break-outside", `func main() { break; }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := msl.Compile(tc.src, msl.Options{}); err == nil {
+				t.Fatalf("expected compile error")
+			}
+		})
+	}
+}

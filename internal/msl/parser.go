@@ -1,0 +1,648 @@
+package msl
+
+import "fmt"
+
+// parser is a recursive-descent parser with single-token lookahead.
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+// Parse lexes and parses MSL source into an AST.
+func Parse(src string) (*File, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.file()
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("msl: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %v, found %v", k, p.tok.kind)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// accept consumes the token if it matches.
+func (p *parser) accept(k tokKind) (bool, error) {
+	if p.tok.kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokVar:
+			d, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, d)
+		case tokArray:
+			d, err := p.arrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Arrays = append(f.Arrays, d)
+		case tokFunc:
+			d, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, d)
+		default:
+			return nil, p.errf("expected declaration, found %v", p.tok.kind)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'var'
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &GlobalDecl{Name: name.text, Line: line}
+	if ok, err := p.accept(tokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		v, err := p.intConst()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = v
+	}
+	_, err = p.expect(tokSemi)
+	return d, err
+}
+
+// intConst parses an optionally-negated integer literal.
+func (p *parser) intConst() (int64, error) {
+	neg := false
+	if ok, err := p.accept(tokMinus); err != nil {
+		return 0, err
+	} else if ok {
+		neg = true
+	}
+	t, err := p.expect(tokInt)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -t.val, nil
+	}
+	return t.val, nil
+}
+
+func (p *parser) arrayDecl() (*ArrayDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'array'
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	size, err := p.expect(tokInt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	d := &ArrayDecl{Name: name.text, Size: size.val, Line: line}
+	if ok, err := p.accept(tokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		if _, err := p.expect(tokLBrace); err != nil {
+			return nil, err
+		}
+		for p.tok.kind != tokRBrace {
+			v, err := p.intConst()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = append(d.Init, v)
+			if ok, err := p.accept(tokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return nil, err
+		}
+	}
+	_, err = p.expect(tokSemi)
+	return d, err
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'func'
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	d := &FuncDecl{Name: name.text, Line: line}
+	for p.tok.kind != tokRParen {
+		param, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		d.Params = append(d.Params, param.text)
+		if ok, err := p.accept(tokComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	d.Body, err = p.block()
+	return d, err
+}
+
+func (p *parser) block() (*Block, error) {
+	line := p.tok.line
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	b := &Block{Line: line}
+	for p.tok.kind != tokRBrace {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.advance()
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tokLBrace:
+		return p.block()
+	case tokVar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		s := &VarStmt{Name: name.text, Line: line}
+		if ok, err := p.accept(tokAssign); err != nil {
+			return nil, err
+		} else if ok {
+			if s.Init, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		_, err = p.expect(tokSemi)
+		return s, err
+	case tokIf:
+		return p.ifStmt()
+	case tokWhile:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	case tokFor:
+		return p.forStmt()
+	case tokBreak:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(tokSemi)
+		return &BreakStmt{Line: line}, err
+	case tokContinue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(tokSemi)
+		return &ContinueStmt{Line: line}, err
+	case tokReturn:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &ReturnStmt{Line: line}
+		if p.tok.kind != tokSemi {
+			var err error
+			if s.Expr, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		_, err := p.expect(tokSemi)
+		return s, err
+	case tokSwitch:
+		return p.switchStmt()
+	case tokHalt:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(tokSemi)
+		return &HaltStmt{Line: line}, err
+	default:
+		return p.simpleStmt(true)
+	}
+}
+
+// simpleStmt parses an assignment, array store, or expression statement.
+// If wantSemi is false (for-loop clauses) the trailing ';' is not
+// consumed.
+func (p *parser) simpleStmt(wantSemi bool) (Stmt, error) {
+	line := p.tok.line
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var s Stmt
+	if p.tok.kind == tokAssign {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		switch lhs := e.(type) {
+		case *Ident:
+			s = &AssignStmt{Name: lhs.Name, Expr: rhs, Line: line}
+		case *IndexExpr:
+			s = &StoreStmt{Name: lhs.Name, Index: lhs.Index, Expr: rhs, Line: line}
+		default:
+			return nil, p.errf("invalid assignment target")
+		}
+	} else {
+		s = &ExprStmt{Expr: e, Line: line}
+	}
+	if wantSemi {
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'if'
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: line}
+	if ok, err := p.accept(tokElse); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.kind == tokIf {
+			s.Else, err = p.ifStmt()
+		} else {
+			s.Else, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'for'
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: line}
+	var err error
+	if p.tok.kind != tokSemi {
+		if p.tok.kind == tokVar {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			vs := &VarStmt{Name: name.text, Line: line}
+			if ok, err := p.accept(tokAssign); err != nil {
+				return nil, err
+			} else if ok {
+				if vs.Init, err = p.expr(); err != nil {
+					return nil, err
+				}
+			}
+			s.Init = vs
+		} else if s.Init, err = p.simpleStmt(false); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokSemi {
+		if s.Cond, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokRParen {
+		if s.Post, err = p.simpleStmt(false); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	s.Body, err = p.block()
+	return s, err
+}
+
+func (p *parser) switchStmt() (Stmt, error) {
+	line := p.tok.line
+	if err := p.advance(); err != nil { // consume 'switch'
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	s := &SwitchStmt{Expr: e, Line: line}
+	seen := map[int64]bool{}
+	for p.tok.kind != tokRBrace {
+		switch p.tok.kind {
+		case tokCase:
+			caseLine := p.tok.line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			v, err := p.intConst()
+			if err != nil {
+				return nil, err
+			}
+			if seen[v] {
+				return nil, p.errf("duplicate case %d", v)
+			}
+			seen[v] = true
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			s.Cases = append(s.Cases, SwitchCase{Value: v, Body: body, Line: caseLine})
+		case tokDefault:
+			if s.Default != nil {
+				return nil, p.errf("duplicate default")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			if body == nil {
+				body = []Stmt{}
+			}
+			s.Default = body
+		default:
+			return nil, p.errf("expected 'case' or 'default', found %v", p.tok.kind)
+		}
+	}
+	if len(s.Cases) == 0 {
+		return nil, p.errf("switch with no cases")
+	}
+	return s, p.advance()
+}
+
+// caseBody parses statements until the next case/default/closing brace.
+func (p *parser) caseBody() ([]Stmt, error) {
+	var body []Stmt
+	for p.tok.kind != tokCase && p.tok.kind != tokDefault && p.tok.kind != tokRBrace {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	return body, nil
+}
+
+// Binary operator precedence (higher binds tighter).
+var binPrec = map[tokKind]int{
+	tokOrOr:   1,
+	tokAndAnd: 2,
+	tokOr:     3,
+	tokXor:    4,
+	tokAnd:    5,
+	tokEq:     6, tokNe: 6,
+	tokLt: 7, tokLe: 7, tokGt: 7, tokGe: 7,
+	tokShl: 8, tokShr: 8,
+	tokPlus: 9, tokMinus: 9,
+	tokStar: 10, tokSlash: 10, tokPct: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.tok.kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.kind
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, X: lhs, Y: rhs, Line: line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tokMinus, tokNot, tokTilde:
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x, Line: line}, nil
+	case tokAnd: // &name — function reference
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &FuncRef{Name: name.text, Line: line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.kind {
+		case tokLParen:
+			line := p.tok.line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Callee: e, Line: line}
+			for p.tok.kind != tokRParen {
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if ok, err := p.accept(tokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			e = call
+		case tokLBracket:
+			id, ok := e.(*Ident)
+			if !ok {
+				return nil, p.errf("only named arrays can be indexed")
+			}
+			line := p.tok.line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Name: id.Name, Index: idx, Line: line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tokInt:
+		v := p.tok.val
+		return &IntLit{Val: v, Line: line}, p.advance()
+	case tokIdent:
+		name := p.tok.text
+		return &Ident{Name: name, Line: line}, p.advance()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokRParen)
+		return e, err
+	default:
+		return nil, p.errf("expected expression, found %v", p.tok.kind)
+	}
+}

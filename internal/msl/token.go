@@ -1,0 +1,270 @@
+package msl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// tokKind enumerates MSL token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+
+	// Keywords.
+	tokVar
+	tokArray
+	tokFunc
+	tokIf
+	tokElse
+	tokWhile
+	tokFor
+	tokBreak
+	tokContinue
+	tokReturn
+	tokSwitch
+	tokCase
+	tokDefault
+	tokHalt
+
+	// Punctuation and operators.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokSemi
+	tokColon
+	tokAssign // =
+	tokOrOr   // ||
+	tokAndAnd // &&
+	tokOr     // |
+	tokXor    // ^
+	tokAnd    // &
+	tokEq     // ==
+	tokNe     // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokShl    // <<
+	tokShr    // >>
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokSlash  // /
+	tokPct    // %
+	tokNot    // !
+	tokTilde  // ~
+)
+
+var keywords = map[string]tokKind{
+	"var": tokVar, "array": tokArray, "func": tokFunc,
+	"if": tokIf, "else": tokElse, "while": tokWhile, "for": tokFor,
+	"break": tokBreak, "continue": tokContinue, "return": tokReturn,
+	"switch": tokSwitch, "case": tokCase, "default": tokDefault,
+	"halt": tokHalt,
+}
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of file", tokIdent: "identifier", tokInt: "integer",
+	tokVar: "'var'", tokArray: "'array'", tokFunc: "'func'",
+	tokIf: "'if'", tokElse: "'else'", tokWhile: "'while'", tokFor: "'for'",
+	tokBreak: "'break'", tokContinue: "'continue'", tokReturn: "'return'",
+	tokSwitch: "'switch'", tokCase: "'case'", tokDefault: "'default'",
+	tokHalt:   "'halt'",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokLBracket: "'['", tokRBracket: "']'", tokComma: "','", tokSemi: "';'",
+	tokColon: "':'", tokAssign: "'='",
+	tokOrOr: "'||'", tokAndAnd: "'&&'", tokOr: "'|'", tokXor: "'^'", tokAnd: "'&'",
+	tokEq: "'=='", tokNe: "'!='", tokLt: "'<'", tokLe: "'<='", tokGt: "'>'", tokGe: "'>='",
+	tokShl: "'<<'", tokShr: "'>>'", tokPlus: "'+'", tokMinus: "'-'",
+	tokStar: "'*'", tokSlash: "'/'", tokPct: "'%'", tokNot: "'!'", tokTilde: "'~'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexed token.
+type token struct {
+	kind tokKind
+	text string // identifier text
+	val  int64  // integer value
+	line int
+}
+
+// lexer turns MSL source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("msl: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	line := l.line
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[text]; ok {
+			return token{kind: k, line: line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line}, nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentPart(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, l.errf("bad integer literal %q", text)
+		}
+		return token{kind: tokInt, val: v, line: line}, nil
+	}
+
+	two := func(second byte, withKind, withoutKind tokKind) token {
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == second {
+			l.pos++
+			return token{kind: withKind, line: line}
+		}
+		return token{kind: withoutKind, line: line}
+	}
+
+	switch c {
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, line: line}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, line: line}, nil
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, line: line}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, line: line}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, line: line}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, line: line}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, line: line}, nil
+	case ';':
+		l.pos++
+		return token{kind: tokSemi, line: line}, nil
+	case ':':
+		l.pos++
+		return token{kind: tokColon, line: line}, nil
+	case '+':
+		l.pos++
+		return token{kind: tokPlus, line: line}, nil
+	case '-':
+		l.pos++
+		return token{kind: tokMinus, line: line}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, line: line}, nil
+	case '/':
+		l.pos++
+		return token{kind: tokSlash, line: line}, nil
+	case '%':
+		l.pos++
+		return token{kind: tokPct, line: line}, nil
+	case '^':
+		l.pos++
+		return token{kind: tokXor, line: line}, nil
+	case '~':
+		l.pos++
+		return token{kind: tokTilde, line: line}, nil
+	case '=':
+		return two('=', tokEq, tokAssign), nil
+	case '!':
+		return two('=', tokNe, tokNot), nil
+	case '|':
+		return two('|', tokOrOr, tokOr), nil
+	case '&':
+		return two('&', tokAndAnd, tokAnd), nil
+	case '<':
+		l.pos++
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '=':
+				l.pos++
+				return token{kind: tokLe, line: line}, nil
+			case '<':
+				l.pos++
+				return token{kind: tokShl, line: line}, nil
+			}
+		}
+		return token{kind: tokLt, line: line}, nil
+	case '>':
+		l.pos++
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '=':
+				l.pos++
+				return token{kind: tokGe, line: line}, nil
+			case '>':
+				l.pos++
+				return token{kind: tokShr, line: line}, nil
+			}
+		}
+		return token{kind: tokGt, line: line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,199 @@
+package functional
+
+import (
+	"testing"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/msl"
+	"multiscalar/internal/program"
+	"multiscalar/internal/taskform"
+)
+
+// flatRun is an independent reference interpreter that executes the
+// program instruction-by-instruction with no notion of tasks. The
+// task-level machine must produce the same final memory and instruction
+// count — execution semantics may not depend on how the TFG carved up
+// the program.
+func flatRun(t *testing.T, p *program.Program, maxInstrs uint64) ([]int64, uint64) {
+	t.Helper()
+	regs := make([]int64, isa.NumRegs)
+	mem := make([]int64, p.DataSize)
+	copy(mem, p.Data)
+	pc := p.Entry
+	var n uint64
+	set := func(r isa.Reg, v int64) {
+		if r != isa.Zero {
+			regs[r] = v
+		}
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for {
+		if n >= maxInstrs {
+			t.Fatalf("flat reference exceeded %d instructions", maxInstrs)
+		}
+		in := p.Code[pc]
+		n++
+		next := pc + 1
+		switch in.Op {
+		case isa.Nop:
+		case isa.Add:
+			set(in.Rd, regs[in.Rs]+regs[in.Rt])
+		case isa.Sub:
+			set(in.Rd, regs[in.Rs]-regs[in.Rt])
+		case isa.Mul:
+			set(in.Rd, regs[in.Rs]*regs[in.Rt])
+		case isa.Div:
+			set(in.Rd, regs[in.Rs]/regs[in.Rt])
+		case isa.Rem:
+			set(in.Rd, regs[in.Rs]%regs[in.Rt])
+		case isa.And:
+			set(in.Rd, regs[in.Rs]&regs[in.Rt])
+		case isa.Or:
+			set(in.Rd, regs[in.Rs]|regs[in.Rt])
+		case isa.Xor:
+			set(in.Rd, regs[in.Rs]^regs[in.Rt])
+		case isa.Shl:
+			set(in.Rd, regs[in.Rs]<<uint64(regs[in.Rt]&63))
+		case isa.Shr:
+			set(in.Rd, int64(uint64(regs[in.Rs])>>uint64(regs[in.Rt]&63)))
+		case isa.Sra:
+			set(in.Rd, regs[in.Rs]>>uint64(regs[in.Rt]&63))
+		case isa.Slt:
+			set(in.Rd, b2i(regs[in.Rs] < regs[in.Rt]))
+		case isa.Sle:
+			set(in.Rd, b2i(regs[in.Rs] <= regs[in.Rt]))
+		case isa.Seq:
+			set(in.Rd, b2i(regs[in.Rs] == regs[in.Rt]))
+		case isa.Sne:
+			set(in.Rd, b2i(regs[in.Rs] != regs[in.Rt]))
+		case isa.AddI:
+			set(in.Rd, regs[in.Rs]+int64(in.Imm))
+		case isa.MulI:
+			set(in.Rd, regs[in.Rs]*int64(in.Imm))
+		case isa.AndI:
+			set(in.Rd, regs[in.Rs]&int64(in.Imm))
+		case isa.OrI:
+			set(in.Rd, regs[in.Rs]|int64(in.Imm))
+		case isa.XorI:
+			set(in.Rd, regs[in.Rs]^int64(in.Imm))
+		case isa.ShlI:
+			set(in.Rd, regs[in.Rs]<<uint64(uint32(in.Imm)&63))
+		case isa.ShrI:
+			set(in.Rd, int64(uint64(regs[in.Rs])>>uint64(uint32(in.Imm)&63)))
+		case isa.SltI:
+			set(in.Rd, b2i(regs[in.Rs] < int64(in.Imm)))
+		case isa.SleI:
+			set(in.Rd, b2i(regs[in.Rs] <= int64(in.Imm)))
+		case isa.SeqI:
+			set(in.Rd, b2i(regs[in.Rs] == int64(in.Imm)))
+		case isa.SneI:
+			set(in.Rd, b2i(regs[in.Rs] != int64(in.Imm)))
+		case isa.Li:
+			set(in.Rd, int64(in.Imm))
+		case isa.La:
+			set(in.Rd, int64(uint32(in.Imm)))
+		case isa.Lw:
+			set(in.Rd, mem[regs[in.Rs]+int64(in.Imm)])
+		case isa.Sw:
+			mem[regs[in.Rs]+int64(in.Imm)] = regs[in.Rt]
+		case isa.Br:
+			if regs[in.Rs] != 0 {
+				next = in.TargetA
+			} else {
+				next = in.TargetB
+			}
+		case isa.J:
+			next = in.TargetA
+		case isa.Jal:
+			set(isa.RA, int64(in.Link))
+			next = in.TargetA
+		case isa.Jr:
+			next = isa.Addr(regs[in.Rs])
+		case isa.Jalr:
+			next = isa.Addr(regs[in.Rs])
+			set(isa.RA, int64(in.Link))
+		case isa.Ret:
+			next = isa.Addr(regs[isa.RA])
+		case isa.Halt:
+			return mem, n
+		default:
+			t.Fatalf("flat reference: unhandled opcode %v", in.Op)
+		}
+		pc = next
+	}
+}
+
+func TestTaskExecutionMatchesFlatReference(t *testing.T) {
+	srcs := map[string]string{
+		"loops-calls": `
+var out;
+func helper(x) { return x * 3 - 1; }
+func main() {
+	var s = 0;
+	for (var i = 0; i < 500; i = i + 1) {
+		if (i % 7 < 3) { s = s + helper(i); } else { s = s - i; }
+	}
+	out = s;
+}`,
+		"dispatch": `
+array tab[4];
+var out;
+func a0(x) { return x + 1; }
+func a1(x) { return x * 2; }
+func a2(x) { return x ^ 5; }
+func a3(x) { return x - 9; }
+func main() {
+	tab[0] = &a0; tab[1] = &a1; tab[2] = &a2; tab[3] = &a3;
+	var s = 7;
+	for (var i = 0; i < 300; i = i + 1) {
+		var f = tab[s & 3];
+		s = (s + f(i)) & 0xffff;
+		switch (i % 5) {
+		case 0: s = s + 1;
+		case 1: s = s ^ 3;
+		case 2: s = s << 1;
+		case 3: s = s & 0xfff;
+		case 4: s = s - 2;
+		}
+	}
+	out = s;
+}`,
+	}
+	for name, src := range srcs {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			p, err := msl.Compile(src, msl.Options{StackWords: 2048})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			// Partition twice with different budgets: execution results
+			// must be invariant to the task decomposition.
+			for _, opts := range []taskform.Options{{}, {MaxInstr: 6, MaxBlocks: 2}} {
+				g, err := taskform.Partition(p, opts)
+				if err != nil {
+					t.Fatalf("partition: %v", err)
+				}
+				m := NewMachine(g, Config{})
+				if _, err := m.Run(Config{}); err != nil {
+					t.Fatalf("task run: %v", err)
+				}
+				refMem, refInstrs := flatRun(t, p, 100_000_000)
+				if m.Stats().Instrs != refInstrs {
+					t.Fatalf("opts %+v: executed %d instructions, reference %d",
+						opts, m.Stats().Instrs, refInstrs)
+				}
+				for i := range refMem {
+					if m.Mem()[i] != refMem[i] {
+						t.Fatalf("opts %+v: memory[%d] = %d, reference %d",
+							opts, i, m.Mem()[i], refMem[i])
+					}
+				}
+			}
+		})
+	}
+}

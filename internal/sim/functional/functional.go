@@ -1,0 +1,349 @@
+// Package functional implements the MSA functional simulator: an
+// instruction-level interpreter that executes a program under its Task
+// Flow Graph and records the dynamic task trace — the input to every
+// prediction study, per the paper's §3.1 methodology.
+package functional
+
+import (
+	"fmt"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+	"multiscalar/internal/tfg"
+	"multiscalar/internal/trace"
+)
+
+// Config tunes a simulation run.
+type Config struct {
+	// MaxSteps bounds the number of dynamic tasks executed (0 = no bound).
+	MaxSteps int
+	// MaxInstrs bounds the number of dynamic instructions (0 = default of
+	// 4e9, a runaway-loop backstop).
+	MaxInstrs uint64
+	// ExtraMem adds data-memory words beyond the program's declared
+	// DataSize.
+	ExtraMem int
+	// InitMem, if non-nil, is called with the zeroed data memory before
+	// execution so workloads can install their inputs.
+	InitMem func(mem []int64)
+	// Observer, if non-nil, is called after every executed instruction —
+	// the hook microarchitectural models (the timing simulator) attach
+	// to. It slows interpretation; leave nil for trace-only runs.
+	Observer func(ev InstrEvent)
+}
+
+// InstrEvent describes one executed instruction to an Observer.
+type InstrEvent struct {
+	// PC is the instruction's address; the instruction itself is
+	// Prog.Code[PC].
+	PC isa.Addr
+	// Taken reports, for conditional branches, whether TargetA was
+	// selected.
+	Taken bool
+	// EndsTask is set on the final instruction of a dynamic task.
+	EndsTask bool
+	// Exit is the exit index taken when EndsTask (trace.HaltExit's value,
+	// -1, for a halt).
+	Exit int
+	// Target is the next task's start address when EndsTask.
+	Target isa.Addr
+}
+
+// defaultMaxInstrs backstops runaway programs.
+const defaultMaxInstrs = 4_000_000_000
+
+// Stats are instruction-level execution statistics.
+type Stats struct {
+	Instrs    uint64 // dynamic instructions executed
+	Tasks     int    // dynamic tasks executed (including the halting one)
+	Halted    bool   // program executed Halt (vs. hitting a step bound)
+	TaskInstr uint64 // instructions attributed to traced tasks
+}
+
+// InstrsPerTask returns the average dynamic task length.
+func (s Stats) InstrsPerTask() float64 {
+	if s.Tasks == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Tasks)
+}
+
+// Machine is a running MSA interpreter. A fresh Machine is required per
+// run.
+type Machine struct {
+	prog  *program.Program
+	graph *tfg.Graph
+	regs  [isa.NumRegs]int64
+	mem   []int64
+	pc    isa.Addr
+	stats Stats
+	obs   func(ev InstrEvent)
+}
+
+// NewMachine prepares an interpreter for the program underlying g.
+func NewMachine(g *tfg.Graph, cfg Config) *Machine {
+	m := &Machine{
+		prog:  g.Prog,
+		graph: g,
+		mem:   make([]int64, g.Prog.DataSize+cfg.ExtraMem),
+		pc:    g.Prog.Entry,
+	}
+	copy(m.mem, g.Prog.Data)
+	if cfg.InitMem != nil {
+		cfg.InitMem(m.mem)
+	}
+	m.obs = cfg.Observer
+	return m
+}
+
+// Mem exposes the data memory (for input installation and output
+// verification in tests and workloads).
+func (m *Machine) Mem() []int64 { return m.mem }
+
+// Reg returns the value of register r.
+func (m *Machine) Reg(r isa.Reg) int64 { return m.regs[r] }
+
+// Stats returns execution statistics accumulated so far.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// execError annotates interpreter faults with the faulting PC.
+func (m *Machine) execError(format string, args ...any) error {
+	return fmt.Errorf("functional: @%d (%v): %s", m.pc, m.prog.Code[m.pc], fmt.Sprintf(format, args...))
+}
+
+// Run executes the whole program, producing the dynamic task trace.
+func Run(g *tfg.Graph, cfg Config) (*trace.Trace, Stats, error) {
+	m := NewMachine(g, cfg)
+	tr, err := m.Run(cfg)
+	return tr, m.stats, err
+}
+
+// Run executes the machine until Halt or a configured bound, returning
+// the task trace.
+func (m *Machine) Run(cfg Config) (*trace.Trace, error) {
+	maxInstrs := cfg.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = defaultMaxInstrs
+	}
+	tr := &trace.Trace{Graph: m.graph}
+
+	cur := m.graph.TaskAt(m.pc)
+	if cur == nil {
+		return nil, fmt.Errorf("functional: entry @%d is not a task start", m.pc)
+	}
+
+	for {
+		next, exit, halted, err := m.runTask(cur, maxInstrs)
+		if err != nil {
+			return nil, err
+		}
+		m.stats.Tasks++
+		if halted {
+			m.stats.Halted = true
+			tr.Steps = append(tr.Steps, trace.Step{Task: cur.Start, Exit: trace.HaltExit})
+			return tr, nil
+		}
+		tr.Steps = append(tr.Steps, trace.Step{Task: cur.Start, Exit: int8(exit), Target: next})
+		nt := m.graph.TaskAt(next)
+		if nt == nil {
+			return nil, fmt.Errorf("functional: task @%d exit %d targets @%d, which is not a task start",
+				cur.Start, exit, next)
+		}
+		cur = nt
+		if cfg.MaxSteps > 0 && len(tr.Steps) >= cfg.MaxSteps {
+			return tr, nil
+		}
+		if m.stats.Instrs >= maxInstrs {
+			return nil, fmt.Errorf("functional: instruction budget of %d exhausted (runaway program?)", maxInstrs)
+		}
+	}
+}
+
+// runTask interprets instructions from the task's start until control
+// leaves the task, returning the successor address and exit index (or
+// halted=true).
+func (m *Machine) runTask(t *tfg.Task, maxInstrs uint64) (next isa.Addr, exit int, halted bool, err error) {
+	m.pc = t.Start
+	code := m.prog.Code
+	for {
+		if m.stats.Instrs >= maxInstrs {
+			return 0, 0, false, fmt.Errorf("functional: instruction budget of %d exhausted inside task @%d", maxInstrs, t.Start)
+		}
+		in := &code[m.pc]
+		m.stats.Instrs++
+
+		var target isa.Addr
+		slot := tfg.SlotPrimary
+		transfer := true
+
+		switch in.Op {
+		case isa.Nop:
+			transfer = false
+		case isa.Add:
+			m.setReg(in.Rd, m.regs[in.Rs]+m.regs[in.Rt])
+			transfer = false
+		case isa.Sub:
+			m.setReg(in.Rd, m.regs[in.Rs]-m.regs[in.Rt])
+			transfer = false
+		case isa.Mul:
+			m.setReg(in.Rd, m.regs[in.Rs]*m.regs[in.Rt])
+			transfer = false
+		case isa.Div:
+			if m.regs[in.Rt] == 0 {
+				return 0, 0, false, m.execError("division by zero")
+			}
+			m.setReg(in.Rd, m.regs[in.Rs]/m.regs[in.Rt])
+			transfer = false
+		case isa.Rem:
+			if m.regs[in.Rt] == 0 {
+				return 0, 0, false, m.execError("remainder by zero")
+			}
+			m.setReg(in.Rd, m.regs[in.Rs]%m.regs[in.Rt])
+			transfer = false
+		case isa.And:
+			m.setReg(in.Rd, m.regs[in.Rs]&m.regs[in.Rt])
+			transfer = false
+		case isa.Or:
+			m.setReg(in.Rd, m.regs[in.Rs]|m.regs[in.Rt])
+			transfer = false
+		case isa.Xor:
+			m.setReg(in.Rd, m.regs[in.Rs]^m.regs[in.Rt])
+			transfer = false
+		case isa.Shl:
+			m.setReg(in.Rd, m.regs[in.Rs]<<uint64(m.regs[in.Rt]&63))
+			transfer = false
+		case isa.Shr:
+			m.setReg(in.Rd, int64(uint64(m.regs[in.Rs])>>uint64(m.regs[in.Rt]&63)))
+			transfer = false
+		case isa.Sra:
+			m.setReg(in.Rd, m.regs[in.Rs]>>uint64(m.regs[in.Rt]&63))
+			transfer = false
+		case isa.Slt:
+			m.setBool(in.Rd, m.regs[in.Rs] < m.regs[in.Rt])
+			transfer = false
+		case isa.Sle:
+			m.setBool(in.Rd, m.regs[in.Rs] <= m.regs[in.Rt])
+			transfer = false
+		case isa.Seq:
+			m.setBool(in.Rd, m.regs[in.Rs] == m.regs[in.Rt])
+			transfer = false
+		case isa.Sne:
+			m.setBool(in.Rd, m.regs[in.Rs] != m.regs[in.Rt])
+			transfer = false
+		case isa.AddI:
+			m.setReg(in.Rd, m.regs[in.Rs]+int64(in.Imm))
+			transfer = false
+		case isa.MulI:
+			m.setReg(in.Rd, m.regs[in.Rs]*int64(in.Imm))
+			transfer = false
+		case isa.AndI:
+			m.setReg(in.Rd, m.regs[in.Rs]&int64(in.Imm))
+			transfer = false
+		case isa.OrI:
+			m.setReg(in.Rd, m.regs[in.Rs]|int64(in.Imm))
+			transfer = false
+		case isa.XorI:
+			m.setReg(in.Rd, m.regs[in.Rs]^int64(in.Imm))
+			transfer = false
+		case isa.ShlI:
+			m.setReg(in.Rd, m.regs[in.Rs]<<uint64(uint32(in.Imm)&63))
+			transfer = false
+		case isa.ShrI:
+			m.setReg(in.Rd, int64(uint64(m.regs[in.Rs])>>uint64(uint32(in.Imm)&63)))
+			transfer = false
+		case isa.SltI:
+			m.setBool(in.Rd, m.regs[in.Rs] < int64(in.Imm))
+			transfer = false
+		case isa.SleI:
+			m.setBool(in.Rd, m.regs[in.Rs] <= int64(in.Imm))
+			transfer = false
+		case isa.SeqI:
+			m.setBool(in.Rd, m.regs[in.Rs] == int64(in.Imm))
+			transfer = false
+		case isa.SneI:
+			m.setBool(in.Rd, m.regs[in.Rs] != int64(in.Imm))
+			transfer = false
+		case isa.Li:
+			m.setReg(in.Rd, int64(in.Imm))
+			transfer = false
+		case isa.La:
+			m.setReg(in.Rd, int64(uint32(in.Imm)))
+			transfer = false
+		case isa.Lw:
+			addr := m.regs[in.Rs] + int64(in.Imm)
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return 0, 0, false, m.execError("load from %d outside memory of %d words", addr, len(m.mem))
+			}
+			m.setReg(in.Rd, m.mem[addr])
+			transfer = false
+		case isa.Sw:
+			addr := m.regs[in.Rs] + int64(in.Imm)
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return 0, 0, false, m.execError("store to %d outside memory of %d words", addr, len(m.mem))
+			}
+			m.mem[addr] = m.regs[in.Rt]
+			transfer = false
+		case isa.Br:
+			if m.regs[in.Rs] != 0 {
+				target = in.TargetA
+			} else {
+				target, slot = in.TargetB, tfg.SlotSecondary
+			}
+		case isa.J:
+			target = in.TargetA
+		case isa.Jal:
+			m.setReg(isa.RA, int64(in.Link))
+			target = in.TargetA
+		case isa.Jr:
+			target = isa.Addr(m.regs[in.Rs])
+		case isa.Jalr:
+			target = isa.Addr(m.regs[in.Rs])
+			m.setReg(isa.RA, int64(in.Link))
+		case isa.Ret:
+			target = isa.Addr(m.regs[isa.RA])
+		case isa.Halt:
+			if m.obs != nil {
+				m.obs(InstrEvent{PC: m.pc, EndsTask: true, Exit: -1})
+			}
+			return 0, 0, true, nil
+		default:
+			return 0, 0, false, m.execError("unimplemented opcode")
+		}
+
+		if !transfer {
+			if m.obs != nil {
+				m.obs(InstrEvent{PC: m.pc})
+			}
+			m.pc++
+			continue
+		}
+		if int(target) >= len(code) {
+			return 0, 0, false, m.execError("transfer to @%d outside text of %d words", target, len(code))
+		}
+		if idx, isExit := t.ExitIndex[tfg.ExitRef{At: m.pc, Slot: slot}]; isExit {
+			if m.obs != nil {
+				m.obs(InstrEvent{PC: m.pc, Taken: slot == tfg.SlotPrimary,
+					EndsTask: true, Exit: idx, Target: target})
+			}
+			return target, idx, false, nil
+		}
+		if m.obs != nil {
+			m.obs(InstrEvent{PC: m.pc, Taken: slot == tfg.SlotPrimary})
+		}
+		m.pc = target
+	}
+}
+
+func (m *Machine) setReg(r isa.Reg, v int64) {
+	if r != isa.Zero {
+		m.regs[r] = v
+	}
+}
+
+func (m *Machine) setBool(r isa.Reg, b bool) {
+	if b {
+		m.setReg(r, 1)
+	} else {
+		m.setReg(r, 0)
+	}
+}

@@ -1,0 +1,109 @@
+package functional
+
+import (
+	"testing"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/trace"
+)
+
+// TestObserverEventsMatchTrace cross-checks the instruction event stream
+// against both the execution statistics and the recorded task trace: the
+// observer is the timing simulator's ground truth, so its consistency is
+// load-bearing.
+func TestObserverEventsMatchTrace(t *testing.T) {
+	g := buildTestGraph(t)
+	var events []InstrEvent
+	m := NewMachine(g, Config{Observer: func(ev InstrEvent) {
+		events = append(events, ev)
+	}})
+	tr, err := m.Run(Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	if uint64(len(events)) != m.Stats().Instrs {
+		t.Fatalf("observer saw %d events, stats count %d instructions",
+			len(events), m.Stats().Instrs)
+	}
+
+	// The EndsTask events must reproduce the trace exactly.
+	var boundaries []InstrEvent
+	for _, ev := range events {
+		if ev.EndsTask {
+			boundaries = append(boundaries, ev)
+		}
+	}
+	if len(boundaries) != tr.Len() {
+		t.Fatalf("%d task-end events vs %d trace steps", len(boundaries), tr.Len())
+	}
+	for i, s := range tr.Steps {
+		ev := boundaries[i]
+		if s.Exit == trace.HaltExit {
+			if ev.Exit != -1 {
+				t.Fatalf("step %d: halt not flagged (%+v)", i, ev)
+			}
+			continue
+		}
+		if ev.Exit != int(s.Exit) || ev.Target != s.Target {
+			t.Fatalf("step %d: event %+v disagrees with trace step %+v", i, ev, s)
+		}
+	}
+
+	// Every event's PC addresses a real instruction, and branch Taken
+	// flags only appear on control transfers.
+	for _, ev := range events {
+		if int(ev.PC) >= len(g.Prog.Code) {
+			t.Fatalf("event PC @%d out of range", ev.PC)
+		}
+		in := g.Prog.Code[ev.PC]
+		if ev.Taken && !in.IsControl() {
+			t.Fatalf("non-control instruction @%d marked taken", ev.PC)
+		}
+	}
+}
+
+// TestObserverSeesBothBranchDirections verifies Taken reporting on the
+// two-target conditional branch.
+func TestObserverSeesBothBranchDirections(t *testing.T) {
+	g := buildTestGraph(t)
+	taken, notTaken := 0, 0
+	m := NewMachine(g, Config{Observer: func(ev InstrEvent) {
+		if g.Prog.Code[ev.PC].Op == isa.Br {
+			if ev.Taken {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+	}})
+	if _, err := m.Run(Config{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if taken == 0 || notTaken == 0 {
+		t.Fatalf("branch directions not both observed: taken=%d notTaken=%d", taken, notTaken)
+	}
+}
+
+// TestNoObserverFastPath ensures runs without an observer behave
+// identically (same trace) to runs with one.
+func TestNoObserverFastPath(t *testing.T) {
+	g := buildTestGraph(t)
+	tr1, _, err := Run(g, Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	m := NewMachine(g, Config{Observer: func(InstrEvent) {}})
+	tr2, err := m.Run(Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(tr1.Steps) != len(tr2.Steps) {
+		t.Fatalf("traces differ: %d vs %d steps", len(tr1.Steps), len(tr2.Steps))
+	}
+	for i := range tr1.Steps {
+		if tr1.Steps[i] != tr2.Steps[i] {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package timing models a Multiscalar processor's execution timing — the
+// detailed-simulator counterpart to the paper's Table 4.
+//
+// The model is a commit-order analytic ring simulation. Processing units
+// are arranged in a ring and assigned tasks round-robin by the global
+// sequencer, which dispatches one (predicted) task per cycle. Within a
+// unit, instructions issue in order, cfg.IssueWidth per cycle, stalling
+// on operands via a global register scoreboard; values produced by a
+// different in-flight task incur a forwarding delay (the register ring of
+// the Multiscalar hardware). Intra-task conditional branches are
+// predicted by a per-unit bimodal predictor (the paper's stated intra-
+// task mechanism), with a fixed penalty per miss. Tasks commit strictly
+// in order. When the inter-task predictor mispredicts a task's successor,
+// all younger (speculative) work is squashed: the sequencer restarts
+// dispatch after the mispredicted task commits, plus a restart penalty.
+//
+// Simplifications, documented in DESIGN.md: memory disambiguation is
+// perfect (the ARB is a separate paper), wrong-path execution occupies no
+// modelled resources beyond the restart bubble, and functional-unit
+// latencies are fixed per opcode class.
+package timing
+
+import (
+	"fmt"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/sim/functional"
+	"multiscalar/internal/tfg"
+)
+
+// Config parameterizes the ring model. Zero values select the defaults
+// used for the Table 4 reproduction (4 units, 2-way, as in the paper's
+// "four 2-way OOO processing units").
+type Config struct {
+	Units          int // processing units in the ring (default 4)
+	IssueWidth     int // instructions issued per unit per cycle (default 2)
+	BranchPenalty  int // intra-task branch mispredict penalty (default 4)
+	RestartPenalty int // cycles from head commit to redirected dispatch (default 8: sequencer redirect plus ring refill startup)
+	ForwardLatency int // extra cycles for cross-task register values (default 1)
+	BimodalBits    int // log2 entries of each unit's bimodal table (default 10)
+	MaxSteps       int // dynamic task budget; 0 = run to halt
+}
+
+func (c Config) withDefaults() Config {
+	if c.Units == 0 {
+		c.Units = 4
+	}
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 2
+	}
+	if c.BranchPenalty == 0 {
+		c.BranchPenalty = 4
+	}
+	if c.RestartPenalty == 0 {
+		c.RestartPenalty = 8
+	}
+	if c.ForwardLatency == 0 {
+		c.ForwardLatency = 1
+	}
+	if c.BimodalBits == 0 {
+		c.BimodalBits = 10
+	}
+	return c
+}
+
+// Result summarizes a timing run.
+type Result struct {
+	Cycles           uint64
+	Instrs           uint64
+	Tasks            int
+	TaskMispredicts  int
+	IntraMispredicts uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// TaskMissRate returns the inter-task prediction miss rate observed.
+func (r Result) TaskMissRate() float64 {
+	if r.Tasks == 0 {
+		return 0
+	}
+	return float64(r.TaskMispredicts) / float64(r.Tasks)
+}
+
+// latency returns the execution latency of an opcode.
+func latency(op isa.Op) uint64 {
+	switch op {
+	case isa.Mul, isa.MulI:
+		return 3
+	case isa.Div, isa.Rem:
+		return 8
+	case isa.Lw:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Run executes the program under g with the given inter-task predictor
+// and returns timing results. A nil predictor models perfect inter-task
+// prediction (the paper's "Perfect" row).
+func Run(g *tfg.Graph, pred core.TaskPredictor, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if pred != nil {
+		pred.Reset()
+	}
+
+	s := &simState{
+		cfg:      cfg,
+		graph:    g,
+		code:     g.Prog.Code,
+		pred:     pred,
+		unitFree: make([]uint64, cfg.Units),
+		bimodal:  make([][]uint8, cfg.Units),
+	}
+	for u := range s.bimodal {
+		s.bimodal[u] = make([]uint8, 1<<uint(cfg.BimodalBits))
+		// Initialize weakly-taken so loops start reasonably.
+		for i := range s.bimodal[u] {
+			s.bimodal[u][i] = 2
+		}
+	}
+
+	m := functional.NewMachine(g, functional.Config{Observer: s.observe})
+	_, err := m.Run(functional.Config{MaxSteps: cfg.MaxSteps})
+	if err != nil {
+		return Result{}, fmt.Errorf("timing: %w", err)
+	}
+	s.res.Instrs = m.Stats().Instrs
+	s.res.Cycles = s.prevCommit
+	return s.res, nil
+}
+
+// simState is the ring model's accumulator, driven by instruction events.
+type simState struct {
+	cfg   Config
+	graph *tfg.Graph
+	code  []isa.Instr
+	pred  core.TaskPredictor
+
+	res Result
+
+	// Scoreboard.
+	regReady  [isa.NumRegs]uint64
+	regWriter [isa.NumRegs]int
+
+	unitFree []uint64
+	bimodal  [][]uint8
+
+	dispatch   uint64 // earliest cycle the sequencer can dispatch the next task
+	prevCommit uint64
+
+	// Current task state.
+	taskIdx   int
+	curUnit   int
+	started   bool
+	slotCycle uint64
+	slotUsed  int
+	complete  uint64
+	curTask   isa.Addr
+
+	useBuf []isa.Reg
+}
+
+// beginTask sets up per-task pipeline state.
+func (s *simState) beginTask(start isa.Addr) {
+	s.curUnit = s.taskIdx % s.cfg.Units
+	t := s.dispatch
+	if f := s.unitFree[s.curUnit]; f > t {
+		t = f
+	}
+	s.dispatch = t + 1 // the sequencer predicts/dispatches one task per cycle
+	s.slotCycle = t
+	s.slotUsed = 0
+	s.complete = t
+	s.curTask = start
+	s.started = true
+}
+
+// observe consumes one executed instruction.
+func (s *simState) observe(ev functional.InstrEvent) {
+	if !s.started {
+		s.beginTask(ev.PC)
+	}
+	in := &s.code[ev.PC]
+
+	// Operand readiness through the scoreboard.
+	ready := s.slotCycle
+	s.useBuf = in.Uses(s.useBuf[:0])
+	for _, r := range s.useBuf {
+		if r == isa.Zero {
+			continue
+		}
+		t := s.regReady[r]
+		if s.regWriter[r] != s.taskIdx {
+			t += uint64(s.cfg.ForwardLatency)
+		}
+		if t > ready {
+			ready = t
+		}
+	}
+
+	// In-order issue, IssueWidth per cycle.
+	if s.slotUsed >= s.cfg.IssueWidth {
+		s.slotCycle++
+		s.slotUsed = 0
+	}
+	issue := s.slotCycle
+	if ready > issue {
+		issue = ready
+		s.slotCycle = ready
+		s.slotUsed = 0
+	}
+	s.slotUsed++
+
+	done := issue + latency(in.Op)
+	if d := in.Def(); d != isa.Zero {
+		s.regReady[d] = done
+		s.regWriter[d] = s.taskIdx
+	}
+	if done > s.complete {
+		s.complete = done
+	}
+
+	// Intra-task branch prediction (per-unit bimodal).
+	if in.Op == isa.Br && !ev.EndsTask {
+		idx := uint32(ev.PC) & (1<<uint(s.cfg.BimodalBits) - 1)
+		ctr := &s.bimodal[s.curUnit][idx]
+		predTaken := *ctr >= 2
+		if predTaken != ev.Taken {
+			s.res.IntraMispredicts++
+			s.slotCycle = issue + uint64(s.cfg.BranchPenalty)
+			s.slotUsed = 0
+		}
+		if ev.Taken {
+			if *ctr < 3 {
+				*ctr++
+			}
+		} else if *ctr > 0 {
+			*ctr--
+		}
+	}
+
+	if !ev.EndsTask {
+		return
+	}
+
+	// Task boundary: commit in FIFO order, then score the inter-task
+	// prediction that dispatched our successor.
+	commit := s.complete
+	if commit <= s.prevCommit {
+		commit = s.prevCommit + 1
+	}
+	s.unitFree[s.curUnit] = commit
+	s.prevCommit = commit
+	s.res.Tasks++
+
+	if ev.Exit >= 0 {
+		task := s.graph.TaskAt(s.curTask)
+		correct := true
+		if s.pred != nil {
+			p := s.pred.Predict(task)
+			correct = p.Target == ev.Target
+			s.pred.Update(task, core.Outcome{Exit: ev.Exit, Target: ev.Target})
+		}
+		if !correct {
+			s.res.TaskMispredicts++
+			// Squash: younger speculative work is discarded; dispatch
+			// resumes after this task commits plus the restart bubble.
+			s.dispatch = commit + uint64(s.cfg.RestartPenalty)
+		}
+	}
+	s.taskIdx++
+	s.started = false
+}

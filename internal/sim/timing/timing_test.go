@@ -1,0 +1,134 @@
+package timing
+
+import (
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/tfg"
+	"multiscalar/internal/workload"
+)
+
+func graphFor(t *testing.T, name string) *tfg.Graph {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	return g
+}
+
+func pathPredictor() core.TaskPredictor {
+	exit := core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2,
+		core.PathExitOptions{SkipSingleExit: true})
+	return core.NewHeaderPredictor("PATH", exit, core.NewRAS(0),
+		core.MustCTTB(core.MustDOLC(7, 4, 4, 5, 3)))
+}
+
+// antiPredictor predicts a deliberately wrong target for every task.
+type antiPredictor struct{}
+
+func (antiPredictor) Name() string { return "anti" }
+func (antiPredictor) Predict(*tfg.Task) core.Prediction {
+	return core.Prediction{Exit: 0, Target: isa.Addr(0xFFFF)}
+}
+func (antiPredictor) Update(*tfg.Task, core.Outcome) {}
+func (antiPredictor) Reset()                         {}
+
+func TestPerfectBeatsRealBeatsAnti(t *testing.T) {
+	g := graphFor(t, "compressb")
+	cfg := Config{MaxSteps: 60000}
+	perfect, err := Run(g, nil, cfg)
+	if err != nil {
+		t.Fatalf("perfect: %v", err)
+	}
+	real, err := Run(g, pathPredictor(), cfg)
+	if err != nil {
+		t.Fatalf("real: %v", err)
+	}
+	anti, err := Run(g, antiPredictor{}, cfg)
+	if err != nil {
+		t.Fatalf("anti: %v", err)
+	}
+	if !(perfect.IPC() > real.IPC() && real.IPC() > anti.IPC()) {
+		t.Fatalf("IPC ordering violated: perfect %.3f real %.3f anti %.3f",
+			perfect.IPC(), real.IPC(), anti.IPC())
+	}
+	if perfect.TaskMispredicts != 0 {
+		t.Fatalf("perfect predictor mispredicted %d tasks", perfect.TaskMispredicts)
+	}
+	if anti.TaskMissRate() < 0.99 {
+		t.Fatalf("anti predictor miss rate %.2f", anti.TaskMissRate())
+	}
+}
+
+func TestIPCWithinArchitecturalBounds(t *testing.T) {
+	g := graphFor(t, "boolmin")
+	res, err := Run(g, nil, Config{MaxSteps: 60000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	maxIPC := float64(4 * 2) // Units * IssueWidth
+	if ipc := res.IPC(); ipc <= 0 || ipc > maxIPC {
+		t.Fatalf("IPC %.2f outside (0, %.0f]", ipc, maxIPC)
+	}
+	if res.Instrs == 0 || res.Cycles == 0 || res.Tasks == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestMoreUnitsDoNotHurt(t *testing.T) {
+	g := graphFor(t, "calcsheet")
+	one, err := Run(g, nil, Config{Units: 1, MaxSteps: 40000})
+	if err != nil {
+		t.Fatalf("1 unit: %v", err)
+	}
+	eight, err := Run(g, nil, Config{Units: 8, MaxSteps: 40000})
+	if err != nil {
+		t.Fatalf("8 units: %v", err)
+	}
+	if eight.IPC() < one.IPC() {
+		t.Fatalf("8 units (%.3f) slower than 1 unit (%.3f)", eight.IPC(), one.IPC())
+	}
+}
+
+func TestTimingIsDeterministic(t *testing.T) {
+	g := graphFor(t, "minilisp")
+	a, err := Run(g, pathPredictor(), Config{MaxSteps: 30000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := Run(g, pathPredictor(), Config{MaxSteps: 30000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if a != b {
+		t.Fatalf("timing runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestHigherRestartPenaltyLowersIPC(t *testing.T) {
+	g := graphFor(t, "exprc")
+	lo, err := Run(g, pathPredictor(), Config{MaxSteps: 40000, RestartPenalty: 2})
+	if err != nil {
+		t.Fatalf("lo: %v", err)
+	}
+	hi, err := Run(g, pathPredictor(), Config{MaxSteps: 40000, RestartPenalty: 30})
+	if err != nil {
+		t.Fatalf("hi: %v", err)
+	}
+	if hi.IPC() >= lo.IPC() {
+		t.Fatalf("restart penalty has no effect: %.3f vs %.3f", hi.IPC(), lo.IPC())
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Units != 4 || c.IssueWidth != 2 || c.RestartPenalty == 0 || c.BimodalBits == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

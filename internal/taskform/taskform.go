@@ -1,0 +1,282 @@
+// Package taskform is the task-forming compiler pass: it partitions a
+// program's control flow graph into Multiscalar tasks, producing a Task
+// Flow Graph.
+//
+// The pass follows the constraints the paper states for the Wisconsin
+// Multiscalar compiler:
+//
+//   - a task has at most tfg.MaxExits (4) exit points in its header;
+//   - every exit is a control transfer instruction, typed per Table 1;
+//   - calls, returns, and indirect transfers always terminate a task
+//     (their targets begin new tasks);
+//   - branch edges may stay inside a task or leave it; a conditional
+//     branch only ends the task when the selected target leaves the
+//     region.
+//
+// Task selection itself is heuristic in the paper ("the characteristics of
+// tasks are dependent on the compiler heuristics used to break a program
+// into tasks"); this pass grows regions greedily by breadth-first search
+// from a seed block, bounded by the exit limit and a static size budget.
+package taskform
+
+import (
+	"fmt"
+	"sort"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+	"multiscalar/internal/tfg"
+)
+
+// Options tunes the task former.
+type Options struct {
+	// MaxInstr bounds the static instruction count of a task region.
+	// Zero means DefaultMaxInstr.
+	MaxInstr int
+	// MaxBlocks bounds the number of basic blocks in a task region.
+	// Zero means DefaultMaxBlocks.
+	MaxBlocks int
+}
+
+// Default task-size budgets. Tasks in the Multiscalar literature average a
+// few tens of instructions; 32 instructions / 8 blocks gives dynamic task
+// sizes in that range for our workloads.
+const (
+	DefaultMaxInstr  = 32
+	DefaultMaxBlocks = 8
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxInstr == 0 {
+		o.MaxInstr = DefaultMaxInstr
+	}
+	if o.MaxBlocks == 0 {
+		o.MaxBlocks = DefaultMaxBlocks
+	}
+	return o
+}
+
+// Partition builds the Task Flow Graph for a program.
+//
+// Seeds are the program entry, every function entry, every call return
+// point, and every label (labels are the only legal targets of indirect
+// transfers). Tasks are then grown from each seed and from every exit
+// target discovered along the way, so that every address reachable as a
+// task exit target is itself a task start.
+func Partition(p *program.Program, opts Options) (*tfg.Graph, error) {
+	opts = opts.withDefaults()
+	cfg, err := program.BuildCFG(p)
+	if err != nil {
+		return nil, fmt.Errorf("taskform: %w", err)
+	}
+
+	g := &tfg.Graph{Prog: p, Tasks: make(map[isa.Addr]*tfg.Task)}
+
+	// Deterministic worklist: process seeds in ascending address order,
+	// then newly discovered exit targets FIFO.
+	seedSet := map[isa.Addr]bool{p.Entry: true}
+	for _, a := range p.Functions {
+		seedSet[a] = true
+	}
+	for _, a := range p.Labels {
+		seedSet[a] = true
+	}
+	for _, in := range p.Code {
+		if in.Op == isa.Jal || in.Op == isa.Jalr {
+			seedSet[in.Link] = true
+		}
+	}
+	var work []isa.Addr
+	for a := range seedSet {
+		work = append(work, a)
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+
+	for len(work) > 0 {
+		start := work[0]
+		work = work[1:]
+		if g.Tasks[start] != nil {
+			continue
+		}
+		if cfg.Blocks[start] == nil {
+			return nil, fmt.Errorf("taskform: task seed @%d is not a basic block leader", start)
+		}
+		t, err := grow(cfg, start, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.Name = p.NameOf(start)
+		g.Tasks[start] = t
+		for _, e := range t.Exits {
+			if e.HasTarget && g.Tasks[e.Target] == nil {
+				work = append(work, e.Target)
+			}
+			if e.Kind.IsCall() && g.Tasks[e.Return] == nil {
+				work = append(work, e.Return)
+			}
+		}
+	}
+
+	g.Finalize()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("taskform: produced invalid TFG: %w", err)
+	}
+	return g, nil
+}
+
+// edge is an outgoing control-flow edge of a region under construction.
+type edge struct {
+	ref    tfg.ExitRef
+	kind   isa.ControlKind
+	target isa.Addr // statically-known target; 0 for dynamic edges
+	static bool
+	ret    isa.Addr // return point for calls
+}
+
+// grow builds a single task region rooted at start.
+//
+// The region is grown by BFS over static branch edges. A candidate block is
+// admitted only if the region afterwards still respects the exit-count and
+// size budgets. Call/return/indirect terminators never extend the region.
+func grow(cfg *program.CFG, start isa.Addr, opts Options) (*tfg.Task, error) {
+	region := map[isa.Addr]bool{start: true}
+	queue := []isa.Addr{start}
+	nInstr := cfg.Blocks[start].Len()
+
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		term := cfg.Term(blk)
+		// Only branch edges (Br, J) may be internalized.
+		if k := term.Control(); k != isa.KindBranch {
+			continue
+		}
+		for _, succ := range cfg.Blocks[blk].Succs {
+			if succ <= blk {
+				// Backward edge: always a task exit, never internalized.
+				// Task regions are therefore acyclic and every loop
+				// iteration is a separate dynamic task — the Multiscalar
+				// sequencer's unit of speculation around loops.
+				continue
+			}
+			if region[succ] {
+				continue
+			}
+			sb := cfg.Blocks[succ]
+			if sb == nil {
+				return nil, fmt.Errorf("taskform: branch @%d targets non-leader @%d", cfg.Blocks[blk].End, succ)
+			}
+			if len(region) >= opts.MaxBlocks || nInstr+sb.Len() > opts.MaxInstr {
+				continue
+			}
+			region[succ] = true
+			if exits, _ := enumerateExits(cfg, region); len(exits) > tfg.MaxExits {
+				delete(region, succ)
+				continue
+			}
+			nInstr += sb.Len()
+			queue = append(queue, succ)
+		}
+	}
+
+	exits, index := enumerateExits(cfg, region)
+	if len(exits) > tfg.MaxExits {
+		// Cannot happen for a single block (a block has at most two
+		// out-edges) and growth rejects violations, but guard anyway.
+		return nil, fmt.Errorf("taskform: task @%d has %d exits", start, len(exits))
+	}
+
+	blocks := make([]isa.Addr, 0, len(region))
+	halts := false
+	for a := range region {
+		blocks = append(blocks, a)
+		if cfg.Term(a).Op == isa.Halt {
+			halts = true
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+
+	return &tfg.Task{
+		Start:     start,
+		Blocks:    blocks,
+		Exits:     exits,
+		ExitIndex: index,
+		NumInstr:  nInstr,
+		Halts:     halts,
+	}, nil
+}
+
+// enumerateExits computes the exit table for a region: every edge leaving
+// the region, deduplicated into exit points by (kind, target, return).
+// Iteration is in ascending block address order so exit numbering is
+// deterministic.
+func enumerateExits(cfg *program.CFG, region map[isa.Addr]bool) ([]tfg.ExitSpec, map[tfg.ExitRef]int) {
+	blocks := make([]isa.Addr, 0, len(region))
+	for a := range region {
+		blocks = append(blocks, a)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+
+	type key struct {
+		kind      isa.ControlKind
+		target    isa.Addr
+		hasTarget bool
+		ret       isa.Addr
+	}
+	var exits []tfg.ExitSpec
+	index := make(map[tfg.ExitRef]int)
+	byKey := make(map[key]int)
+
+	addExit := func(ref tfg.ExitRef, spec tfg.ExitSpec) {
+		k := key{spec.Kind, spec.Target, spec.HasTarget, spec.Return}
+		i, ok := byKey[k]
+		if !ok {
+			i = len(exits)
+			exits = append(exits, spec)
+			byKey[k] = i
+		}
+		index[ref] = i
+	}
+
+	for _, blk := range blocks {
+		b := cfg.Blocks[blk]
+		term := cfg.Prog.Code[b.End]
+		// A branch edge leaves the task when its target is outside the
+		// region or behind the source block (backward edges are always
+		// exits; see grow).
+		leaves := func(target isa.Addr) bool {
+			return !region[target] || target <= blk
+		}
+		switch term.Op {
+		case isa.Br:
+			if leaves(term.TargetA) {
+				addExit(tfg.ExitRef{At: b.End, Slot: tfg.SlotPrimary},
+					tfg.ExitSpec{Kind: isa.KindBranch, Target: term.TargetA, HasTarget: true})
+			}
+			if leaves(term.TargetB) {
+				addExit(tfg.ExitRef{At: b.End, Slot: tfg.SlotSecondary},
+					tfg.ExitSpec{Kind: isa.KindBranch, Target: term.TargetB, HasTarget: true})
+			}
+		case isa.J:
+			if leaves(term.TargetA) {
+				addExit(tfg.ExitRef{At: b.End, Slot: tfg.SlotPrimary},
+					tfg.ExitSpec{Kind: isa.KindBranch, Target: term.TargetA, HasTarget: true})
+			}
+		case isa.Jal:
+			addExit(tfg.ExitRef{At: b.End, Slot: tfg.SlotPrimary},
+				tfg.ExitSpec{Kind: isa.KindCall, Target: term.TargetA, HasTarget: true, Return: term.Link})
+		case isa.Ret:
+			addExit(tfg.ExitRef{At: b.End, Slot: tfg.SlotPrimary},
+				tfg.ExitSpec{Kind: isa.KindReturn})
+		case isa.Jr:
+			addExit(tfg.ExitRef{At: b.End, Slot: tfg.SlotPrimary},
+				tfg.ExitSpec{Kind: isa.KindIndirectBranch})
+		case isa.Jalr:
+			addExit(tfg.ExitRef{At: b.End, Slot: tfg.SlotPrimary},
+				tfg.ExitSpec{Kind: isa.KindIndirectCall, Return: term.Link})
+		case isa.Halt:
+			// Halt ends the dynamic task stream; it is not an exit point.
+		}
+	}
+	return exits, index
+}

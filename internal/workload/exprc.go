@@ -1,0 +1,548 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"multiscalar/internal/program"
+	"multiscalar/internal/sim/functional"
+)
+
+// newExprc builds the `gcc` analog: a compiler front-end pipeline —
+// token generation, recursive-descent parsing, constant folding, code
+// emission, and a peephole pass that dispatches over a large table of
+// rule-handler functions.
+//
+// gcc's defining property in the paper is its task working set: thousands
+// of distinct tasks (Table 2: 3164 seen), which overwhelms fixed-size
+// predictor tables (Figures 10/11) — plus a meaningful fraction of
+// indirect exits (~5%, §5.3). To reproduce that, the peephole pass
+// dispatches through a 160-entry function-pointer table whose handlers
+// are generated with varied control-flow shapes, inflating the static
+// task count the way gcc's thousands of small functions do.
+func newExprc() *Workload {
+	return &Workload{
+		Name:        "exprc",
+		Analog:      "gcc",
+		Description: "compiler pipeline: lex/parse/fold/emit plus a peephole pass over 160 generated rule handlers",
+		Source:      exprcSrc(),
+		Check: func(m *functional.Machine, p *program.Program) error {
+			if err := expectWord(m, p, "done", 1); err != nil {
+				return err
+			}
+			parsed, err := readWord(m, p, "nodesbuilt")
+			if err != nil {
+				return err
+			}
+			if parsed < 10000 {
+				return expectWord(m, p, "nodesbuilt", 10000)
+			}
+			if err := expectWord(m, p, "parsefails", 0); err != nil {
+				return err
+			}
+			// Golden value pinned at workload freeze; any change to the
+			// program, compiler, or interpreter semantics shows up here.
+			return expectWord(m, p, "checksum", 1187043)
+		},
+	}
+}
+
+// numHandlers is the size of the peephole rule-handler dispatch table.
+// The MSL core below is written with the literal 160 wherever the table
+// size (and batch count) appears; exprcSrc rewrites those literals, so
+// keep other constants in the core clear of the value 160.
+const numHandlers = 320
+
+// exprcSrc assembles the exprc MSL source: a fixed pipeline core plus
+// the generated handler functions and their registration code.
+func exprcSrc() string {
+	var b strings.Builder
+	b.WriteString(strings.ReplaceAll(exprcCore, "160", fmt.Sprint(numHandlers)))
+	writeExprcHandlers(&b)
+	writeExprcRegistration(&b)
+	return b.String()
+}
+
+// writeExprcHandlers emits numHandlers small functions with varied
+// control-flow shapes. Each takes two operands and returns a small
+// value; shapes rotate through eight templates parameterized by the
+// handler index so that no two handlers produce identical task regions.
+func writeExprcHandlers(b *strings.Builder) {
+	for i := 0; i < numHandlers; i++ {
+		k1 := 3 + i%7
+		k2 := 1 + i%13
+		k3 := 2 + i%5
+		fmt.Fprintf(b, "\nfunc h%d(a, b) {\n", i)
+		switch i % 8 {
+		case 0: // branchy compare chain through the shared mixer
+			fmt.Fprintf(b, `	var m = hmix(a, %d);
+	if (m > b + %d) { return m - b; }
+	if ((m ^ b) & %d) { return m & b; }
+	return m | b;
+`, i%29, k2, k3)
+		case 1: // short counted loop
+			fmt.Fprintf(b, `	var s = b;
+	for (var i = 0; i < (a & %d) + 1; i = i + 1) {
+		s = (s * %d + i) & 0xffff;
+	}
+	return s;
+`, k3+1, k2)
+		case 2: // while with early exit
+			fmt.Fprintf(b, `	var x = a & 0xff;
+	var n = 0;
+	while (x != 0) {
+		if (n > %d) { return n + b; }
+		x = x >> 1;
+		n = n + 1;
+	}
+	return n;
+`, k1)
+		case 3: // nested conditionals plus the shared selector
+			fmt.Fprintf(b, `	var r = hsel(%d, a);
+	if (a & 1) {
+		if (b & 2) { r = r + b; } else { r = r - b + %d; }
+	} else {
+		if (b & 1) { r = (r * %d) & 0xffff; }
+	}
+	return r;
+`, i%23, k1, k2)
+		case 4: // small inner switch (sparse)
+			fmt.Fprintf(b, `	switch ((a + b) & 3) {
+	case 0: return a + %d;
+	case 1: return b + %d;
+	case 2: return (a ^ b) & 0xffff;
+	}
+	return (a + b) & 0xffff;
+`, k1, k2)
+		case 5: // helper-calling shape (extra call/return exits)
+			fmt.Fprintf(b, `	var t = hmix(a, %d);
+	if (t & 1) { t = hsel(%d, b); }
+	return (t + b) & 0xffff;
+`, i%31, i%19)
+		case 6: // accumulate with a data-dependent trip count
+			fmt.Fprintf(b, `	var s = 0;
+	for (var i = 0; i < ((a >> %d) & 3) + 2; i = i + 1) {
+		if ((a >> i) & 1) { s = s + b + i; } else { s = s + %d; }
+	}
+	return s & 0xffff;
+`, k3, k2)
+		default: // arithmetic with guard
+			fmt.Fprintf(b, `	var d = (b & %d) + 1;
+	var q = a / d;
+	var r = a %% d;
+	if (q > r) { return (q - r) & 0xffff; }
+	return (q + r + %d) & 0xffff;
+`, k3+3, k1)
+		}
+		b.WriteString("}\n")
+	}
+}
+
+// writeExprcRegistration emits the dispatch-table setup and main.
+func writeExprcRegistration(b *strings.Builder) {
+	b.WriteString("\nfunc sethandlers() {\n")
+	for i := 0; i < numHandlers; i++ {
+		fmt.Fprintf(b, "\thandlers[%d] = &h%d;\n", i, i)
+	}
+	b.WriteString("\treturn 0;\n}\n")
+	b.WriteString(strings.ReplaceAll(exprcMain, "160", fmt.Sprint(numHandlers)))
+}
+
+// exprcCore is the fixed pipeline: token generation, parser, folder,
+// emitter, peephole driver.
+const exprcCore = `
+// exprc: a compiler front-end over randomly generated expressions.
+// Tokens: 0..99 number-literal slot, 100+v variable v (0..25),
+// 200 '+', 201 '-', 202 '*', 203 '/', 204 '(', 205 ')', 299 end.
+
+array toks[9000];
+var ntoks;
+var tpos;
+
+// Template bank: real source code repeats idioms, so expressions are
+// drawn (with small mutations) from a bank of 32 pre-generated template
+// token sequences. This is what gives path-based prediction its edge:
+// the parse path through a template identifies it and predicts its
+// continuation.
+array bank[9000];
+array bankstart[32];
+var bankpos;
+
+array nkind[8000];   // 0 const, 1 var, 2 add, 3 sub, 4 mul, 5 div
+array nlhs[8000];
+array nrhs[8000];
+array nval[8000];
+var nn;
+
+array codeop[16000];
+array codea[16000];
+array codeb[16000];
+var ncode;
+
+array handlers[160];
+array vartab[26];
+
+var seed;
+var checksum;
+var nodesbuilt;
+var parsefails;
+var done;
+
+func rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return (seed >> 16) & 32767;
+}
+
+func emittok(t) {
+	toks[ntoks] = t;
+	ntoks = ntoks + 1;
+	return 0;
+}
+
+// genexpr writes a random, syntactically valid infix expression into the
+// template bank.
+func genexpr(depth) {
+	var r = rnd() % 100;
+	if (depth <= 0 || r < 32) {
+		if (r & 1) {
+			bank[bankpos] = rnd() % 100;
+		} else {
+			bank[bankpos] = 100 + rnd() % 26;
+		}
+		bankpos = bankpos + 1;
+		return 0;
+	}
+	bank[bankpos] = 204;
+	bankpos = bankpos + 1;
+	genexpr(depth - 1);
+	bank[bankpos] = 200 + rnd() % 4;
+	bankpos = bankpos + 1;
+	genexpr(depth - 1);
+	bank[bankpos] = 205;
+	bankpos = bankpos + 1;
+	return 0;
+}
+
+// Each template lives in a fixed 280-word slot (the deepest template is
+// at most 253 tokens), so one template can be regenerated in place —
+// the corpus drifts gradually, the way a compiler moves through a file,
+// instead of being replaced wholesale.
+func refreshtemplate(t) {
+	bankpos = t * 280;
+	genexpr(3 + t % 4);
+	bankstart[t] = bankpos; // slot end
+	return 0;
+}
+
+func genbank() {
+	for (var t = 0; t < 32; t = t + 1) {
+		refreshtemplate(t);
+	}
+	return 0;
+}
+
+// instantiate copies a template into the token stream, mutating a few
+// literal tokens (the "same idiom, different constants" shape of real
+// code).
+func instantiate(t) {
+	var i = t * 280;
+	var e = bankstart[t];
+	while (i < e) {
+		var tok = bank[i];
+		if (tok < 100 && rnd() % 100 < 6) {
+			tok = rnd() % 100;
+		}
+		emittok(tok);
+		i = i + 1;
+	}
+	return 0;
+}
+
+// picktemplate skews template choice toward low indices (hot idioms).
+func picktemplate() {
+	var a = rnd() % 32;
+	var b = rnd() % 32;
+	if (b < a) { return b; }
+	return a;
+}
+
+func newnode(kind, lhs, rhs, val) {
+	if (nn >= 7990) { parsefails = parsefails + 1; return 0; }
+	nkind[nn] = kind;
+	nlhs[nn] = lhs;
+	nrhs[nn] = rhs;
+	nval[nn] = val;
+	nn = nn + 1;
+	nodesbuilt = nodesbuilt + 1;
+	return nn - 1;
+}
+
+func mkbin(kind, lhs, rhs) { return newnode(kind, lhs, rhs, 0); }
+
+// Shift-reduce (operator-precedence) parser — the yacc-ish shape of
+// 1990s front-ends: one scan loop with explicit operator/operand stacks,
+// so only a few task steps separate consecutive tokens and the task path
+// window spans several tokens of left context.
+array opstk[96];
+array ndstk[96];
+var osp;
+var nsp;
+
+// prec maps an operator token to its precedence ('(' lowest).
+func prec(op) {
+	if (op >= 204) { return 0; }
+	if (op >= 202) { return 2; }
+	return 1;
+}
+
+// reduce pops one operator and two operands, pushing the combined node.
+func reduce() {
+	osp = osp - 1;
+	var op = opstk[osp];
+	nsp = nsp - 2;
+	var l = ndstk[nsp];
+	var r = ndstk[nsp + 1];
+	var kind = 2;
+	if (op == 201) { kind = 3; }
+	if (op == 202) { kind = 4; }
+	if (op == 203) { kind = 5; }
+	ndstk[nsp] = mkbin(kind, l, r);
+	nsp = nsp + 1;
+	return 0;
+}
+
+// parseexpr parses one expression terminated by the 299 end token,
+// returning its root node. Leaf nodes are constructed inline (distinct
+// code per token class).
+func parseexpr() {
+	osp = 0;
+	nsp = 0;
+	while (1) {
+		var t = toks[tpos];
+		tpos = tpos + 1;
+		if (t < 100) {
+			if (nn >= 7990) { parsefails = parsefails + 1; return 0; }
+			nkind[nn] = 0;
+			nlhs[nn] = 0;
+			nrhs[nn] = 0;
+			nval[nn] = t;
+			nn = nn + 1;
+			nodesbuilt = nodesbuilt + 1;
+			ndstk[nsp] = nn - 1;
+			nsp = nsp + 1;
+		} else if (t < 200) {
+			if (nn >= 7990) { parsefails = parsefails + 1; return 0; }
+			nkind[nn] = 1;
+			nlhs[nn] = 0;
+			nrhs[nn] = 0;
+			nval[nn] = t - 100;
+			nn = nn + 1;
+			nodesbuilt = nodesbuilt + 1;
+			ndstk[nsp] = nn - 1;
+			nsp = nsp + 1;
+		} else if (t == 204) {
+			opstk[osp] = 204;
+			osp = osp + 1;
+		} else if (t == 205) {
+			while (osp > 0 && opstk[osp - 1] != 204) {
+				reduce();
+			}
+			if (osp > 0) {
+				osp = osp - 1;
+			} else {
+				parsefails = parsefails + 1;
+			}
+		} else if (t == 299) {
+			while (osp > 0) {
+				if (opstk[osp - 1] == 204) {
+					osp = osp - 1;
+					parsefails = parsefails + 1;
+				} else {
+					reduce();
+				}
+			}
+			if (nsp != 1) {
+				parsefails = parsefails + 1;
+				if (nsp == 0) { return newnode(0, 0, 0, 0); }
+			}
+			return ndstk[nsp - 1];
+		} else {
+			while (osp > 0 && prec(opstk[osp - 1]) >= prec(t)) {
+				reduce();
+			}
+			opstk[osp] = t;
+			osp = osp + 1;
+		}
+	}
+	return 0;
+}
+
+// fold does bottom-up constant folding, rewriting const-op-const nodes.
+func fold(n) {
+	var k = nkind[n];
+	if (k == 0 || k == 1) { return n; }
+	var l = fold(nlhs[n]);
+	var r = fold(nrhs[n]);
+	nlhs[n] = l;
+	nrhs[n] = r;
+	if (nkind[l] == 0 && nkind[r] == 0) {
+		var a = nval[l];
+		var b = nval[r];
+		var v = 0;
+		switch (k) {
+		case 2: v = a + b;
+		case 3: v = a - b;
+		case 4: v = a * b;
+		case 5: if (b != 0) { v = a / b; } else { v = 0; }
+		}
+		nkind[n] = 0;
+		nval[n] = v & 0xffff;
+	}
+	return n;
+}
+
+func emitcode(op, a, b) {
+	if (ncode >= 15990) { return 0; }
+	codeop[ncode] = op;
+	codea[ncode] = a;
+	codeb[ncode] = b;
+	ncode = ncode + 1;
+	return 0;
+}
+
+// emitbin emits a binary node's instruction (leaf emits are inlined in
+// gen).
+func emitbin(k, l, r) {
+	return emitcode((k * 37 + nkind[l] * 13 + nkind[r] * 5 + ((nval[l] + nval[r]) & 63)) % 160,
+		nval[l] & 0xff, nval[r] & 0xff);
+}
+
+// gen emits pseudo-instructions in post-order with an explicit work
+// stack (negative entries mark binary nodes whose children are done).
+// Opcodes and operands derive from node *content* (kinds and values), so
+// instantiations of the same template emit the same instruction stream —
+// the repetition structure real compilers see.
+array gstk[128];
+
+func gen(root) {
+	var sp = 1;
+	gstk[0] = root;
+	while (sp > 0) {
+		sp = sp - 1;
+		var n = gstk[sp];
+		if (n < 0) {
+			n = 0 - n - 1;
+			emitbin(nkind[n], nlhs[n], nrhs[n]);
+		} else {
+			var k = nkind[n];
+			if (k == 0) {
+				if (ncode < 15990) {
+					codeop[ncode] = (nval[n] * 7 + 3) % 160;
+					codea[ncode] = nval[n];
+					codeb[ncode] = 0;
+					ncode = ncode + 1;
+				}
+			} else if (k == 1) {
+				if (ncode < 15990) {
+					codeop[ncode] = (nval[n] * 11 + 29) % 160;
+					codea[ncode] = vartab[nval[n]];
+					codeb[ncode] = nval[n];
+					ncode = ncode + 1;
+				}
+			} else {
+				gstk[sp] = 0 - n - 1;
+				gstk[sp + 1] = nrhs[n];
+				gstk[sp + 2] = nlhs[n];
+				sp = sp + 3;
+			}
+		}
+	}
+	return 0;
+}
+
+// hmix is a shared helper called from many handlers with a handler-
+// specific constant mode. Its control flow is determined by the mode —
+// i.e., by the call site. A path history that identifies the caller
+// predicts hmix's branches perfectly; a per-task history conflates all
+// callers into one noisy stream (the conflation the paper's §5.2 argues
+// PATH avoids).
+func hmix(x, k) {
+	var v = x;
+	if (k & 1) {
+		v = v + k * 3;
+	} else {
+		v = v ^ (k << 2);
+	}
+	if (k & 2) {
+		v = (v * 5) & 0xffff;
+	}
+	var i = 0;
+	while (i < (k & 7) + 1) {
+		v = (v * 2 + k + i) & 0xffff;
+		i = i + 1;
+	}
+	return v;
+}
+
+// hsel is a second shared helper: a dense switch on the caller's mode
+// (an indirect branch whose target is call-site determined — CTTB food).
+func hsel(k, x) {
+	switch (k & 7) {
+	case 0: return x + 1;
+	case 1: return x ^ 21;
+	case 2: return (x * 3) & 0xffff;
+	case 3: return x >> 1;
+	case 4: return x + k;
+	case 5: return (x << 1) & 0xffff;
+	case 6: return x - 9;
+	case 7: return x & 0x3ff;
+	}
+	return x;
+}
+
+// peephole dispatches every emitted instruction through its rule
+// handler (the indirect-call engine of this workload).
+func peephole() {
+	for (var i = 0; i < ncode; i = i + 1) {
+		var f = handlers[codeop[i]];
+		var r = f(codea[i], codeb[i]);
+		checksum = (checksum * 31 + r) & 0xffffff;
+	}
+	return 0;
+}
+`
+
+// exprcMain is the driver appended after handler registration.
+const exprcMain = `
+func main() {
+	seed = 555888;
+	checksum = 17;
+	sethandlers();
+	for (var v = 0; v < 26; v = v + 1) {
+		vartab[v] = (v * 97 + 13) & 0xff;
+	}
+	genbank();
+	for (var batch = 0; batch < 160; batch = batch + 1) {
+		// The "source corpus" drifts gradually: one template is
+		// rewritten every few batches.
+		if (batch % 8 == 7) {
+			refreshtemplate(rnd() % 32);
+		}
+		ntoks = 0;
+		nn = 0;
+		ncode = 0;
+		var nexpr = 8 + rnd() % 8;
+		for (var e = 0; e < nexpr; e = e + 1) {
+			var save = ntoks;
+			instantiate(picktemplate());
+			emittok(299);
+			tpos = save;
+			var root = parseexpr();
+			root = fold(root);
+			gen(root);
+		}
+		peephole();
+	}
+	done = 1;
+}
+`

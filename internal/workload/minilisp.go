@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"multiscalar/internal/program"
+	"multiscalar/internal/sim/functional"
+)
+
+// newMinilisp builds the `xlisp` analog: an s-expression interpreter
+// evaluating randomly generated expression trees over a cons heap.
+//
+// Like xlisp, execution is dominated by the eval/apply recursion (deep
+// call/return chains — xlisp has the highest RETURN exit fraction in
+// Figure 4) and by operator dispatch through a function-pointer table
+// (indirect calls, ~8% of xlisp's exits), exactly the traffic the CTTB
+// exists for.
+func newMinilisp() *Workload {
+	return &Workload{
+		Name:        "minilisp",
+		Analog:      "xlisp",
+		Description: "s-expression interpreter: eval/apply recursion with function-pointer builtin dispatch",
+		Source:      minilispSrc,
+		Check: func(m *functional.Machine, p *program.Program) error {
+			if err := expectWord(m, p, "done", 1); err != nil {
+				return err
+			}
+			evals, err := readWord(m, p, "evals")
+			if err != nil {
+				return err
+			}
+			if evals < 1000 {
+				return expectWord(m, p, "evals", 1000)
+			}
+			// Golden value pinned at workload freeze; any change to the
+			// program, compiler, or interpreter semantics shows up here.
+			return expectWord(m, p, "checksum", 4684765)
+		},
+	}
+}
+
+const minilispSrc = `
+// minilisp: values are tagged integers.
+//   even v  -> the number v/2
+//   odd  v  -> cons cell at index (v-1)/2   (always positive)
+//   0       -> nil (the number 0 doubles as false/empty list)
+// An expression is a number or a list (op arg...), op a small number.
+// Accessors (car/cdr/tagging) are inlined everywhere, as the C macros of
+// a real lisp kernel are; only allocation and eval/apply are calls.
+
+array car[30000];
+array cdr[30000];
+var hp;
+
+array builtins[10];
+array roots[80];
+var nroots;
+
+var seed;
+var checksum;
+var evals;
+var done;
+
+func rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return (seed >> 16) & 32767;
+}
+
+func cons(a, d) {
+	car[hp] = a;
+	cdr[hp] = d;
+	hp = hp + 1;
+	return hp * 2 - 1;
+}
+
+// eval is the interpreter core: numbers are self-evaluating, lists
+// dispatch on their operator through the builtin table (indirect call).
+func eval(e) {
+	evals = evals + 1;
+	if ((e & 1) == 0) {
+		return e;
+	}
+	var c = (e - 1) / 2;
+	var f = builtins[car[c] / 2];
+	return f(cdr[c]);
+}
+
+func badd(args) {
+	var c = (args - 1) / 2;
+	var a = eval(car[c]);
+	var d = (cdr[c] - 1) / 2;
+	var b = eval(car[d]);
+	return ((a / 2 + b / 2) & 0xffff) * 2;
+}
+func bsub(args) {
+	var c = (args - 1) / 2;
+	var a = eval(car[c]);
+	var d = (cdr[c] - 1) / 2;
+	var b = eval(car[d]);
+	return ((a / 2 - b / 2) & 0xffff) * 2;
+}
+func bmul(args) {
+	var c = (args - 1) / 2;
+	var a = eval(car[c]);
+	var d = (cdr[c] - 1) / 2;
+	var b = eval(car[d]);
+	return ((a / 2 * (b / 2)) & 0xffff) * 2;
+}
+func blt(args) {
+	var c = (args - 1) / 2;
+	var a = eval(car[c]);
+	var d = (cdr[c] - 1) / 2;
+	var b = eval(car[d]);
+	if (a / 2 < b / 2) { return 2; }
+	return 0;
+}
+func bif(args) {
+	var c = (args - 1) / 2;
+	var cond = eval(car[c]);
+	var d = (cdr[c] - 1) / 2;
+	if (cond / 2 != 0) {
+		return eval(car[d]);
+	}
+	var e2 = (cdr[d] - 1) / 2;
+	return eval(car[e2]);
+}
+// bsum folds a literal list of values (walks the list, evaluating each).
+func bsum(args) {
+	var s = 0;
+	var l = car[(args - 1) / 2];
+	while (l != 0) {
+		var c = (l - 1) / 2;
+		s = (s + eval(car[c]) / 2) & 0xffff;
+		l = cdr[c];
+	}
+	return s * 2;
+}
+// blen measures a literal list.
+func blen(args) {
+	var n = 0;
+	var l = car[(args - 1) / 2];
+	while (l != 0) {
+		n = n + 1;
+		l = cdr[(l - 1) / 2];
+	}
+	return n * 2;
+}
+// bfib is a recursive builtin (numeric recursion through the host stack).
+func fibv(n) {
+	if (n < 2) { return n; }
+	return (fibv(n - 1) + fibv(n - 2)) & 0xffff;
+}
+func bfib(args) {
+	var n = (eval(car[(args - 1) / 2]) / 2) % 13;
+	if (n < 0) { n = 0 - n; }
+	return fibv(n) * 2;
+}
+// bnth indexes into a literal list.
+func bnth(args) {
+	var c = (args - 1) / 2;
+	var n = eval(car[c]) / 2;
+	var l = car[(cdr[c] - 1) / 2];
+	while (n > 0 && l != 0) {
+		l = cdr[(l - 1) / 2];
+		n = n - 1;
+	}
+	if (l == 0) { return 0; }
+	return eval(car[(l - 1) / 2]);
+}
+// bmax3 takes the max of three evaluated arguments.
+func bmax3(args) {
+	var c = (args - 1) / 2;
+	var a = eval(car[c]);
+	var d = (cdr[c] - 1) / 2;
+	var b = eval(car[d]);
+	var e2 = (cdr[d] - 1) / 2;
+	var cc = eval(car[e2]);
+	var m = a;
+	if (b > m) { m = b; }
+	if (cc > m) { m = cc; }
+	return m;
+}
+
+// mklist builds a literal list of n random numbers.
+func mklist(n) {
+	var l = 0;
+	for (var i = 0; i < n; i = i + 1) {
+		l = cons((rnd() % 100) * 2, l);
+	}
+	return l;
+}
+
+// pickop draws an operator with the heavy skew real lisp programs show
+// (a few list/arithmetic primitives dominate dynamic dispatch).
+func pickop() {
+	var r = rnd() % 100;
+	if (r < 30) { return 0; }
+	if (r < 50) { return 1; }
+	if (r < 64) { return 2; }
+	if (r < 74) { return 3; }
+	if (r < 82) { return 4; }
+	if (r < 88) { return 5; }
+	if (r < 92) { return 6; }
+	if (r < 95) { return 7; }
+	if (r < 98) { return 8; }
+	return 9;
+}
+
+// gentree builds a random expression of bounded depth.
+func gentree(depth) {
+	if (depth <= 0 || rnd() % 100 < 25) {
+		return (rnd() % 200) * 2;
+	}
+	var op = pickop();
+	switch (op) {
+	case 0: return cons(0, cons(gentree(depth - 1), cons(gentree(depth - 1), 0)));
+	case 1: return cons(2, cons(gentree(depth - 1), cons(gentree(depth - 1), 0)));
+	case 2: return cons(4, cons(gentree(depth - 1), cons(gentree(depth - 1), 0)));
+	case 3: return cons(6, cons(gentree(depth - 1), cons(gentree(depth - 1), 0)));
+	case 4: return cons(8, cons(gentree(depth - 1), cons(gentree(depth - 1), cons(gentree(depth - 1), 0))));
+	case 5: return cons(10, cons(mklist(3 + rnd() % 6), 0));
+	case 6: return cons(12, cons(gentree(depth - 1), 0));
+	case 7: return cons(14, cons(mklist(2 + rnd() % 5), 0));
+	case 8: return cons(16, cons(gentree(depth - 1), cons(mklist(4 + rnd() % 4), 0)));
+	case 9: return cons(18, cons(gentree(depth - 1), cons(gentree(depth - 1), cons(gentree(depth - 1), 0))));
+	}
+	return 2;
+}
+
+func main() {
+	seed = 99120;
+	checksum = 5;
+	builtins[0] = &badd;
+	builtins[1] = &bsub;
+	builtins[2] = &bmul;
+	builtins[3] = &blt;
+	builtins[4] = &bif;
+	builtins[5] = &bsum;
+	builtins[6] = &bfib;
+	builtins[7] = &blen;
+	builtins[8] = &bnth;
+	builtins[9] = &bmax3;
+
+	for (var batch = 0; batch < 30; batch = batch + 1) {
+		hp = 0;
+		nroots = 0;
+		for (var i = 0; i < 36; i = i + 1) {
+			roots[i] = gentree(5);
+			nroots = nroots + 1;
+		}
+		for (var rep = 0; rep < 24; rep = rep + 1) {
+			for (var i = 0; i < nroots; i = i + 1) {
+				var v = eval(roots[i]);
+				checksum = (checksum * 31 + v / 2) & 0xffffff;
+			}
+		}
+	}
+	done = 1;
+}
+`

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/tfg"
+)
+
+func TestRegistry(t *testing.T) {
+	ws := All()
+	if len(ws) != 5 {
+		t.Fatalf("expected 5 workloads, got %d", len(ws))
+	}
+	analogs := map[string]string{
+		"exprc": "gcc", "compressb": "compress", "boolmin": "espresso",
+		"calcsheet": "sc", "minilisp": "xlisp",
+	}
+	for _, w := range ws {
+		if analogs[w.Name] != w.Analog {
+			t.Errorf("%s: analog %q, want %q", w.Name, w.Analog, analogs[w.Name])
+		}
+		if _, err := ByName(w.Name); err != nil {
+			t.Errorf("ByName(%s): %v", w.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Errorf("ByName(nope) should fail")
+	}
+}
+
+func TestAllWorkloadsCompileAndPartition(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			g, err := w.Graph()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("invalid TFG: %v", err)
+			}
+			if g.NumTasks() < 20 {
+				t.Errorf("suspiciously few tasks: %d", g.NumTasks())
+			}
+			for _, addr := range g.Order {
+				if n := g.Tasks[addr].NumExits(); n > tfg.MaxExits {
+					t.Errorf("task @%d has %d exits", addr, n)
+				}
+			}
+		})
+	}
+}
+
+func TestShortTracesAreValid(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := w.TraceN(20000)
+			if err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+			if tr.Len() != 20000 {
+				t.Fatalf("trace length %d, want 20000", tr.Len())
+			}
+		})
+	}
+}
+
+// TestFullTracesAndSelfChecks executes every workload to completion and
+// runs its output self-check. This is the correctness gate for the whole
+// benchmark suite (a few seconds per workload).
+func TestFullTracesAndSelfChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload execution in -short mode")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, stats, err := w.Trace()
+			if err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			if !stats.Halted {
+				t.Fatalf("did not halt")
+			}
+			if tr.Len() < 1_000_000 {
+				t.Errorf("dynamic task count %d below the 1M experiments need", tr.Len())
+			}
+			if l := stats.InstrsPerTask(); l < 8 || l > 40 {
+				t.Errorf("average task length %.1f outside the Multiscalar-plausible 8..40", l)
+			}
+		})
+	}
+}
+
+// TestWorkingSetOrdering checks the Table 2 structural property the
+// analogs were built for: compressb has a tiny distinct-task working set,
+// exprc by far the largest.
+func TestWorkingSetOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload execution in -short mode")
+	}
+	distinct := map[string]int{}
+	for _, w := range All() {
+		tr, _, err := w.Trace()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		distinct[w.Name] = tr.DistinctTasks()
+	}
+	if !(distinct["compressb"] < distinct["boolmin"] &&
+		distinct["boolmin"] <= distinct["calcsheet"] &&
+		distinct["calcsheet"] < distinct["minilisp"] &&
+		distinct["minilisp"] < distinct["exprc"]) {
+		t.Errorf("working-set ordering violated: %v", distinct)
+	}
+	if distinct["exprc"] < 500 {
+		t.Errorf("exprc working set %d too small for the saturation studies", distinct["exprc"])
+	}
+}
+
+// TestExitKindCoverage checks the Figure 4 structural property: every
+// workload exercises branches, calls, and returns dynamically, and the
+// indirect-heavy analogs (gcc, xlisp) take indirect exits.
+func TestExitKindCoverage(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, err := w.TraceN(300000)
+			if err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			kinds := tr.DynamicExitKinds()
+			for _, k := range []isa.ControlKind{isa.KindBranch, isa.KindCall, isa.KindReturn} {
+				if kinds[k] == 0 {
+					t.Errorf("no dynamic %v exits", k)
+				}
+			}
+			if w.Name == "exprc" || w.Name == "minilisp" {
+				if kinds[isa.KindIndirectCall]+kinds[isa.KindIndirectBranch] == 0 {
+					t.Errorf("indirect-heavy analog has no indirect exits")
+				}
+			}
+		})
+	}
+}
