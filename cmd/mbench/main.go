@@ -34,6 +34,13 @@ func main() {
 
 	cfg := experiments.Config{MaxSteps: *steps, TimingSteps: *timing}
 
+	// Static analysis gate: verify every workload TFG and predictor
+	// configuration before spending hours of simulation on them.
+	if err := experiments.Preflight(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mbench:", err)
+		os.Exit(1)
+	}
+
 	run := func(r experiments.Runner) {
 		start := time.Now()
 		if err := r.Run(os.Stdout, cfg); err != nil {

@@ -1,0 +1,193 @@
+// Command mlint runs the static analyzer over built-in workloads, MSL
+// source files, or MSA assembly files, together with an optional
+// predictor configuration. Error-severity diagnostics set a nonzero exit
+// status, so CI can gate on a clean lint.
+//
+// Usage:
+//
+//	mlint -w all                          # lint every built-in workload
+//	mlint -w exprc -json                  # machine-readable diagnostics
+//	mlint prog.msl other.msl              # lint MSL sources
+//	mlint -asm prog.s                     # lint MSA assembly
+//	mlint -w exprc -dolc 7-5-6-6-3 -cttb 7-4-4-5-3 -ras 32
+//	mlint -w minilisp -cttb none          # no CTTB: indirect-coverage warns
+//	mlint -w exprc -exit-entries 16384    # check a declared table budget
+//	mlint -w exprc -min warn              # hide info diagnostics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/core"
+	"multiscalar/internal/lint"
+	"multiscalar/internal/msl"
+	"multiscalar/internal/program"
+	"multiscalar/internal/taskform"
+	"multiscalar/internal/workload"
+)
+
+func main() {
+	wname := flag.String("w", "", "lint a built-in workload by name, or 'all': "+strings.Join(workload.Names(), ", "))
+	asAsm := flag.Bool("asm", false, "treat file arguments as MSA assembly instead of MSL")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	dolcStr := flag.String("dolc", "7-5-6-6-3", "exit predictor DOLC as D-O-L-C-F, or 'none'")
+	cttbStr := flag.String("cttb", "7-4-4-5-3", "CTTB DOLC as D-O-L-C-F, or 'none'")
+	rasDepth := flag.Int("ras", core.DefaultRASDepth, "return address stack depth")
+	exitEntries := flag.Int("exit-entries", 0, "declared exit-PHT entry count to check (0 = derived)")
+	cttbEntries := flag.Int("cttb-entries", 0, "declared CTTB entry count to check (0 = derived)")
+	minStr := flag.String("min", "info", "minimum severity to print: info | warn | error")
+	maxInstr := flag.Int("task-instr", 0, "task former instruction budget (0 = default)")
+	flag.Parse()
+
+	code, err := run(*wname, flag.Args(), *asAsm, *jsonOut, *dolcStr, *cttbStr,
+		*rasDepth, *exitEntries, *cttbEntries, *minStr, *maxInstr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// parseConfig assembles the predictor configuration from flags.
+func parseConfig(dolcStr, cttbStr string, ras, exitEntries, cttbEntries int) (*lint.PredictorConfig, error) {
+	cfg := &lint.PredictorConfig{
+		RASDepth:    ras,
+		ExitEntries: exitEntries,
+		CTTBEntries: cttbEntries,
+	}
+	parse := func(s string) (*core.DOLC, error) {
+		d, err := core.ParseDOLC(s)
+		// Unparseable syntax (zero DOLC back) is a usage error; a parsed
+		// but invalid configuration is exactly what the cfg passes report.
+		if err != nil && d == (core.DOLC{}) {
+			return nil, err
+		}
+		return &d, nil
+	}
+	var err error
+	if dolcStr != "none" {
+		if cfg.ExitDOLC, err = parse(dolcStr); err != nil {
+			return nil, err
+		}
+	}
+	if cttbStr != "none" {
+		if cfg.CTTB, err = parse(cttbStr); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+// target is one lint subject: a named program (with its TFG when the
+// task former succeeds).
+type target struct {
+	name string
+	prog *program.Program
+}
+
+func collectTargets(wname string, files []string, asAsm bool) ([]target, error) {
+	var out []target
+	switch {
+	case wname == "all":
+		for _, w := range workload.All() {
+			p, err := w.Program()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, target{w.Name, p})
+		}
+	case wname != "":
+		w, err := workload.ByName(wname)
+		if err != nil {
+			return nil, err
+		}
+		p, err := w.Program()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, target{w.Name, p})
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var p *program.Program
+		if asAsm {
+			p, err = asm.Assemble(string(src))
+		} else {
+			p, err = msl.Compile(string(src), msl.Options{})
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, target{path, p})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("nothing to lint (give -w <workload>, -w all, or source files)")
+	}
+	return out, nil
+}
+
+func run(wname string, files []string, asAsm, jsonOut bool, dolcStr, cttbStr string,
+	ras, exitEntries, cttbEntries int, minStr string, maxInstr int) (int, error) {
+	min, err := lint.ParseSeverity(minStr)
+	if err != nil {
+		return 0, err
+	}
+	cfg, err := parseConfig(dolcStr, cttbStr, ras, exitEntries, cttbEntries)
+	if err != nil {
+		return 0, err
+	}
+	targets, err := collectTargets(wname, files, asAsm)
+	if err != nil {
+		return 0, err
+	}
+
+	failed := false
+	var jsonTargets []lint.Target
+	for _, t := range targets {
+		// Partition to the TFG when possible; a program the task former
+		// rejects is still linted at the program layer.
+		graph, perr := taskform.Partition(t.prog, taskform.Options{MaxInstr: maxInstr})
+		rep := lint.Run(lint.NewContext(t.prog, graph, cfg))
+		if rep.HasErrors() {
+			failed = true
+		}
+		if jsonOut {
+			jsonTargets = append(jsonTargets, lint.Target{Name: t.name, Report: rep})
+			continue
+		}
+		fmt.Printf("%s: %s\n", t.name, rep.Summary())
+		if perr != nil {
+			fmt.Printf("  (task former failed: %v; TFG passes skipped)\n", perr)
+		}
+		if err := rep.WriteText(indent{os.Stdout}, min); err != nil {
+			return 0, err
+		}
+	}
+	if jsonOut {
+		if err := lint.WriteJSON(os.Stdout, jsonTargets); err != nil {
+			return 0, err
+		}
+	}
+	if failed {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// indent prefixes each written chunk with two spaces (diagnostics are
+// written line-at-a-time).
+type indent struct{ w *os.File }
+
+func (i indent) Write(p []byte) (int, error) {
+	if _, err := i.w.WriteString("  "); err != nil {
+		return 0, err
+	}
+	return i.w.Write(p)
+}

@@ -14,11 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/lint"
 	"multiscalar/internal/sim/timing"
 	"multiscalar/internal/trace"
 	"multiscalar/internal/workload"
@@ -39,24 +39,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "msim:", err)
 		os.Exit(1)
 	}
-}
-
-// parseDOLC parses "D-O-L-C-F".
-func parseDOLC(s string) (core.DOLC, error) {
-	parts := strings.Split(s, "-")
-	if len(parts) != 5 {
-		return core.DOLC{}, fmt.Errorf("bad DOLC %q (want D-O-L-C-F)", s)
-	}
-	var v [5]int
-	for i, p := range parts {
-		n, err := strconv.Atoi(p)
-		if err != nil {
-			return core.DOLC{}, fmt.Errorf("bad DOLC %q: %v", s, err)
-		}
-		v[i] = n
-	}
-	d := core.DOLC{Depth: v[0], Older: v[1], Last: v[2], Current: v[3], Folds: v[4]}
-	return d, d.Validate()
 }
 
 func buildPredictor(style string, dolc, cttbDOLC core.DOLC, kind core.AutomatonKind, rasDepth int) (core.TaskPredictor, error) {
@@ -87,11 +69,11 @@ func run(wname, dolcStr, automaton, style, cttbStr string, rasDepth, steps int, 
 	if err != nil {
 		return err
 	}
-	dolc, err := parseDOLC(dolcStr)
+	dolc, err := core.ParseDOLC(dolcStr)
 	if err != nil {
 		return err
 	}
-	cttbDOLC, err := parseDOLC(cttbStr)
+	cttbDOLC, err := core.ParseDOLC(cttbStr)
 	if err != nil {
 		return err
 	}
@@ -102,6 +84,27 @@ func run(wname, dolcStr, automaton, style, cttbStr string, rasDepth, steps int, 
 	pred, err := buildPredictor(style, dolc, cttbDOLC, kind, rasDepth)
 	if err != nil {
 		return err
+	}
+
+	// Static analysis gate: lint the workload's TFG together with the
+	// exact predictor configuration before a single task executes.
+	g, err := w.Graph()
+	if err != nil {
+		return err
+	}
+	lcfg := &lint.PredictorConfig{RASDepth: rasDepth}
+	switch style {
+	case "header":
+		lcfg.ExitDOLC, lcfg.CTTB = &dolc, &cttbDOLC
+	case "cttb-only":
+		lcfg.CTTB = &dolc
+	}
+	rep := lint.Run(lint.NewContext(g.Prog, g, lcfg))
+	if err := rep.WriteText(os.Stderr, lint.Warn); err != nil {
+		return err
+	}
+	if rep.HasErrors() {
+		return fmt.Errorf("lint found %d errors in %s under this configuration", rep.Count(lint.Error), wname)
 	}
 
 	var tr *trace.Trace
@@ -134,10 +137,6 @@ func run(wname, dolcStr, automaton, style, cttbStr string, rasDepth, steps int, 
 	}
 
 	if doTiming {
-		g, err := w.Graph()
-		if err != nil {
-			return err
-		}
 		fresh, err := buildPredictor(style, dolc, cttbDOLC, kind, rasDepth)
 		if err != nil {
 			return err

@@ -1,11 +1,16 @@
 // Command mslc compiles MSL source to MSA and inspects the result:
-// assembly listing, task flow graph, or execution.
+// assembly listing, task flow graph, lint report, or execution.
+//
+// Every compile runs the static analyzer (internal/lint) over the
+// program and its task flow graph before anything executes;
+// error-severity diagnostics abort. -nolint skips the gate.
 //
 // Usage:
 //
-//	mslc prog.msl                 # compile, report sizes
+//	mslc prog.msl                 # compile, lint, report sizes
 //	mslc -dump asm prog.msl       # assembly listing
 //	mslc -dump tfg prog.msl       # task flow graph
+//	mslc -dump lint prog.msl      # full lint report (including infos)
 //	mslc -run prog.msl            # compile, partition, execute
 package main
 
@@ -15,28 +20,30 @@ import (
 	"os"
 
 	"multiscalar/internal/asm"
+	"multiscalar/internal/lint"
 	"multiscalar/internal/msl"
 	"multiscalar/internal/sim/functional"
 	"multiscalar/internal/taskform"
 )
 
 func main() {
-	dump := flag.String("dump", "", "what to print: asm | tfg")
+	dump := flag.String("dump", "", "what to print: asm | tfg | lint")
 	runIt := flag.Bool("run", false, "execute the program after compiling")
+	noLint := flag.Bool("nolint", false, "skip the static analyzer gate")
 	maxInstr := flag.Int("task-instr", 0, "task former instruction budget (0 = default)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mslc [-dump asm|tfg] [-run] file.msl")
+		fmt.Fprintln(os.Stderr, "usage: mslc [-dump asm|tfg|lint] [-run] [-nolint] file.msl")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *dump, *runIt, *maxInstr); err != nil {
+	if err := run(flag.Arg(0), *dump, *runIt, *noLint, *maxInstr); err != nil {
 		fmt.Fprintln(os.Stderr, "mslc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, dump string, runIt bool, maxInstr int) error {
+func run(path, dump string, runIt, noLint bool, maxInstr int) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -50,8 +57,22 @@ func run(path, dump string, runIt bool, maxInstr int) error {
 		return err
 	}
 
+	if !noLint || dump == "lint" {
+		rep := lint.Run(lint.NewContext(prog, graph, nil))
+		if dump == "lint" {
+			if err := rep.WriteText(os.Stdout, lint.Info); err != nil {
+				return err
+			}
+		} else if err := rep.WriteText(os.Stderr, lint.Warn); err != nil {
+			return err
+		}
+		if !noLint && rep.HasErrors() {
+			return fmt.Errorf("%s: lint found %d errors (use -nolint to bypass)", path, rep.Count(lint.Error))
+		}
+	}
+
 	switch dump {
-	case "":
+	case "", "lint":
 	case "asm":
 		fmt.Print(asm.Disassemble(prog))
 	case "tfg":

@@ -346,6 +346,7 @@ func (a *assembler) instruction(line string) error {
 	}
 
 	a.prog.Code = append(a.prog.Code, in)
+	a.prog.Lines = append(a.prog.Lines, a.line)
 	return nil
 }
 

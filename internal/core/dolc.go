@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"multiscalar/internal/isa"
 )
@@ -115,6 +117,26 @@ func (d DOLC) Index(h *PathHistory, current isa.Addr) uint32 {
 		v >>= uint(bits)
 	}
 	return uint32(folded)
+}
+
+// ParseDOLC parses a configuration written as "D-O-L-C-F" (five
+// dash-separated integers, e.g. "7-5-6-6-3") and validates it. It is the
+// flag syntax shared by msim and mlint.
+func ParseDOLC(s string) (DOLC, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 5 {
+		return DOLC{}, fmt.Errorf("core: bad DOLC %q (want D-O-L-C-F)", s)
+	}
+	var v [5]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return DOLC{}, fmt.Errorf("core: bad DOLC %q: %v", s, err)
+		}
+		v[i] = n
+	}
+	d := DOLC{Depth: v[0], Older: v[1], Last: v[2], Current: v[3], Folds: v[4]}
+	return d, d.Validate()
 }
 
 // MustDOLC builds a DOLC configuration and panics if it is invalid; it is

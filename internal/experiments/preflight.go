@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/lint"
+	"multiscalar/internal/workload"
+)
+
+// Preflight runs the static analyzer over every built-in workload under
+// the standard predictor configuration, and validates every DOLC point
+// of the published sweeps, before any experiment executes. A workload or
+// configuration that fails the paper's structural assumptions would
+// silently corrupt every downstream table; Preflight turns that into a
+// hard stop. Error diagnostics are written to w and returned as an
+// error; warnings and infos are suppressed (mlint prints them).
+func Preflight(w io.Writer) error {
+	cfg := &lint.PredictorConfig{
+		ExitDOLC: &Depth7Exit,
+		CTTB:     &Depth7CTTBSmall,
+		RASDepth: core.DefaultRASDepth,
+	}
+	for _, wl := range workload.All() {
+		g, err := wl.Graph()
+		if err != nil {
+			return fmt.Errorf("experiments: preflight: %w", err)
+		}
+		rep := lint.Run(lint.NewContext(g.Prog, g, cfg))
+		if rep.HasErrors() {
+			fmt.Fprintf(w, "preflight: %s:\n", wl.Name)
+			if err := rep.WriteText(w, lint.Error); err != nil {
+				return err
+			}
+			return fmt.Errorf("experiments: preflight: %s has %d lint errors", wl.Name, rep.Count(lint.Error))
+		}
+	}
+	for _, sweep := range [][]core.DOLC{ExitDOLC14, CTTBDOLC11} {
+		for _, d := range sweep {
+			if err := d.Validate(); err != nil {
+				return fmt.Errorf("experiments: preflight: sweep point %v: %w", d, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestPreflight: the shipped workloads and sweep configurations must pass
+// the static analysis gate — otherwise mbench refuses to run at all.
+func TestPreflight(t *testing.T) {
+	if err := Preflight(io.Discard); err != nil {
+		t.Fatalf("Preflight: %v", err)
+	}
+}

@@ -1,0 +1,249 @@
+// Configuration-layer passes: DOLC bit budgets, table sizing, static
+// alias pressure, and RAS depth against the program's call nesting.
+package lint
+
+import (
+	"fmt"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/isa"
+)
+
+// Check IDs owned by the configuration layer.
+const (
+	CheckDOLCBudget    = "cfg-dolc-budget"
+	CheckTableSize     = "cfg-table-size"
+	CheckAliasPressure = "cfg-alias-pressure"
+	CheckRASDepth      = "cfg-ras-depth"
+)
+
+func configPasses() []Pass {
+	return []Pass{
+		{
+			Name: "cfg-dolc",
+			Doc:  "DOLC bit budget: (D-1)·O+L+C must fold evenly into the index width, with no dead history fields",
+			Run:  runCfgDOLC,
+		},
+		{
+			Name: "cfg-tables",
+			Doc:  "declared predictor table sizes are powers of two matching their DOLC index widths",
+			Run:  runCfgTables,
+		},
+		{
+			Name: "cfg-alias",
+			Doc:  "static alias pressure: predicted task population vs predictor table entries",
+			Run:  runCfgAlias,
+		},
+		{
+			Name: "cfg-ras",
+			Doc:  "RAS depth against the program's static call nesting",
+			Run:  runCfgRAS,
+		},
+	}
+}
+
+// checkDOLC validates one DOLC and flags dead history fields the fold
+// silently ignores — the exact mis-sizing that turns "realizable"
+// results into alias noise (Figures 9–10).
+func checkDOLC(what string, d core.DOLC) []Diagnostic {
+	var out []Diagnostic
+	if err := d.Validate(); err != nil {
+		out = append(out, Diagnostic{
+			Check: CheckDOLCBudget, Sev: Error,
+			Msg: fmt.Sprintf("%s DOLC %v: %v", what, d, err),
+		})
+		return out
+	}
+	if d.Older > 0 && d.Depth < 2 {
+		out = append(out, Diagnostic{
+			Check: CheckDOLCBudget, Sev: Warn,
+			Msg: fmt.Sprintf("%s DOLC %v: O=%d bits configured but depth %d tracks no older tasks; the bits are dead", what, d, d.Older, d.Depth),
+		})
+	}
+	if d.Last > 0 && d.Depth < 1 {
+		out = append(out, Diagnostic{
+			Check: CheckDOLCBudget, Sev: Warn,
+			Msg: fmt.Sprintf("%s DOLC %v: L=%d bits configured but depth 0 tracks no last task; the bits are dead", what, d, d.Last),
+		})
+	}
+	out = append(out, Diagnostic{
+		Check: CheckDOLCBudget, Sev: Info,
+		Msg: fmt.Sprintf("%s DOLC %v: %d intermediate bits fold to a %d-bit index (%d entries)",
+			what, d, d.IntermediateBits(), d.IndexBits(), d.TableSize()),
+	})
+	return out
+}
+
+func runCfgDOLC(c *Context) []Diagnostic {
+	if c.Config == nil {
+		return nil
+	}
+	var out []Diagnostic
+	if c.Config.ExitDOLC != nil {
+		out = append(out, checkDOLC("exit predictor", *c.Config.ExitDOLC)...)
+	}
+	if c.Config.CTTB != nil {
+		out = append(out, checkDOLC("CTTB", *c.Config.CTTB)...)
+	}
+	return out
+}
+
+// checkTable verifies a declared entry count against the index width
+// that addresses it.
+func checkTable(what string, entries int, d *core.DOLC) []Diagnostic {
+	if entries == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	if entries < 0 || entries&(entries-1) != 0 {
+		out = append(out, Diagnostic{
+			Check: CheckTableSize, Sev: Error,
+			Msg: fmt.Sprintf("%s table of %d entries is not a power of two; index bits cannot address it exactly", what, entries),
+		})
+		return out
+	}
+	if d == nil {
+		out = append(out, Diagnostic{
+			Check: CheckTableSize, Sev: Warn,
+			Msg: fmt.Sprintf("%s table of %d entries declared but no %s DOLC is configured", what, entries, what),
+		})
+		return out
+	}
+	if d.Validate() != nil {
+		return nil // cfg-dolc-budget already reports the broken DOLC
+	}
+	if want := d.TableSize(); entries != want {
+		out = append(out, Diagnostic{
+			Check: CheckTableSize, Sev: Error,
+			Msg: fmt.Sprintf("%s table declares %d entries but the %d-bit DOLC index addresses %d; the difference is wasted or aliased", what, entries, d.IndexBits(), want),
+		})
+	}
+	return out
+}
+
+func runCfgTables(c *Context) []Diagnostic {
+	if c.Config == nil {
+		return nil
+	}
+	var out []Diagnostic
+	out = append(out, checkTable("exit predictor", c.Config.ExitEntries, c.Config.ExitDOLC)...)
+	out = append(out, checkTable("CTTB", c.Config.CTTBEntries, c.Config.CTTB)...)
+	return out
+}
+
+// runCfgAlias estimates static alias pressure: the multi-exit static
+// task population against the exit PHT, and indirect-exit sites against
+// the CTTB. Static counts are a lower bound — path history multiplies
+// the live contexts — so exceeding the table statically guarantees
+// aliasing dynamically.
+func runCfgAlias(c *Context) []Diagnostic {
+	if c.Config == nil || c.Graph == nil || c.Graph.NumTasks() == 0 {
+		return nil
+	}
+	multi, indirect := 0, 0
+	for _, t := range c.Graph.Tasks {
+		if t.NumExits() > 1 {
+			multi++
+		}
+		if t.HasIndirectExit() {
+			indirect++
+		}
+	}
+	var out []Diagnostic
+	report := func(what, population string, sites int, d *core.DOLC) {
+		if d == nil || d.Validate() != nil {
+			return
+		}
+		entries := d.TableSize()
+		dg := Diagnostic{
+			Check: CheckAliasPressure, Sev: Info,
+			Msg: fmt.Sprintf("%s: %d static %s share %d entries", what, sites, population, entries),
+		}
+		if sites > entries {
+			dg.Sev = Warn
+			dg.Msg += "; static population alone exceeds the table, aliasing is guaranteed"
+		}
+		out = append(out, dg)
+	}
+	report("exit predictor", "multi-exit tasks", multi, c.Config.ExitDOLC)
+	report("CTTB", "indirect-exit sites", indirect, c.Config.CTTB)
+	return out
+}
+
+// runCfgRAS compares the RAS capacity against the longest statically
+// nested call chain reachable from the entry. Recursive programs get an
+// informational note instead (their nesting is input-dependent and the
+// circular RAS sheds the oldest frames by design).
+func runCfgRAS(c *Context) []Diagnostic {
+	if c.Config == nil || c.Graph == nil || c.Graph.EntryTask() == nil {
+		return nil
+	}
+	depth := c.Config.rasDepth()
+	if depth < 0 {
+		return []Diagnostic{{
+			Check: CheckRASDepth, Sev: Error,
+			Msg: fmt.Sprintf("RAS depth %d is negative", depth),
+		}}
+	}
+	nesting, recursive := maxCallNesting(c)
+	switch {
+	case recursive:
+		return []Diagnostic{{
+			Check: CheckRASDepth, Sev: Info,
+			Msg: fmt.Sprintf("recursive call chain detected; the %d-entry RAS bounds correctly predicted return nesting", depth),
+		}}
+	case nesting > depth:
+		return []Diagnostic{{
+			Check: CheckRASDepth, Sev: Warn,
+			Msg: fmt.Sprintf("static call nesting reaches %d but the RAS holds %d entries; deep chains will overflow and mispredict returns", nesting, depth),
+		}}
+	default:
+		return []Diagnostic{{
+			Check: CheckRASDepth, Sev: Info,
+			Msg: fmt.Sprintf("static call nesting %d fits the %d-entry RAS", nesting, depth),
+		}}
+	}
+}
+
+// maxCallNesting computes the deepest call nesting reachable from the
+// entry task: a DFS over branch edges (same level), call edges (one
+// level deeper into the callee) and call-summary edges (same level at
+// the return point). A cycle through a call edge means recursion.
+func maxCallNesting(c *Context) (nesting int, recursive bool) {
+	g := c.Graph
+	memo := make(map[isa.Addr]int)
+	onStack := make(map[isa.Addr]bool)
+	var visit func(a isa.Addr) int
+	visit = func(a isa.Addr) int {
+		t := g.Tasks[a]
+		if t == nil {
+			return 0
+		}
+		if onStack[a] {
+			recursive = true
+			return 0
+		}
+		if v, ok := memo[a]; ok {
+			return v
+		}
+		onStack[a] = true
+		best := 0
+		for _, e := range t.Exits {
+			switch {
+			case e.Kind == isa.KindBranch:
+				if e.HasTarget {
+					best = max(best, visit(e.Target))
+				}
+			case e.Kind.IsCall():
+				if e.HasTarget {
+					best = max(best, 1+visit(e.Target))
+				}
+				best = max(best, visit(e.Return))
+			}
+		}
+		onStack[a] = false
+		memo[a] = best
+		return best
+	}
+	return visit(g.Prog.Entry), recursive
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/tfg"
+)
+
+func TestCheckDOLCInvalid(t *testing.T) {
+	// (3-1)*3 + 3 + 4 = 13 intermediate bits do not fold into F=2 fields.
+	bad := core.DOLC{Depth: 3, Older: 3, Last: 3, Current: 4, Folds: 2}
+	diags := checkDOLC("exit predictor", bad)
+	if len(diags) != 1 || diags[0].Check != CheckDOLCBudget || diags[0].Sev != Error {
+		t.Errorf("invalid DOLC: %v, want one %s error", diags, CheckDOLCBudget)
+	}
+}
+
+func TestCheckDOLCDeadFields(t *testing.T) {
+	cases := []struct {
+		d    core.DOLC
+		want string
+	}{
+		// O bits configured but depth 1 tracks no older tasks.
+		{core.DOLC{Depth: 1, Older: 2, Last: 3, Current: 4, Folds: 1}, "O=2"},
+		// L bits configured but depth 0 tracks no last task.
+		{core.DOLC{Depth: 0, Older: 0, Last: 2, Current: 3, Folds: 1}, "L=2"},
+	}
+	for _, tc := range cases {
+		diags := checkDOLC("exit predictor", tc.d)
+		warns := 0
+		for _, d := range diags {
+			if d.Sev == Warn {
+				warns++
+				if !strings.Contains(d.Msg, tc.want) || !strings.Contains(d.Msg, "dead") {
+					t.Errorf("%v: warn %q does not name the dead field %s", tc.d, d.Msg, tc.want)
+				}
+			}
+			if d.Sev == Error {
+				t.Errorf("%v: unexpectedly invalid: %v", tc.d, d)
+			}
+		}
+		if warns != 1 {
+			t.Errorf("%v: %d dead-field warnings, want 1: %v", tc.d, warns, diags)
+		}
+	}
+}
+
+func TestCheckDOLCValid(t *testing.T) {
+	diags := checkDOLC("exit predictor", core.MustDOLC(7, 5, 6, 6, 3))
+	if len(diags) != 1 || diags[0].Sev != Info {
+		t.Errorf("flagship DOLC: %v, want a single sizing info", diags)
+	}
+}
+
+func TestCheckTable(t *testing.T) {
+	flagship := core.MustDOLC(7, 5, 6, 6, 3) // 42 bits / 3 folds = 14 -> 16384 entries
+	cases := []struct {
+		name    string
+		entries int
+		d       *core.DOLC
+		wantSev Severity
+		wantNil bool
+	}{
+		{"zero entries is silent", 0, &flagship, 0, true},
+		{"non-power-of-two", 5000, &flagship, Error, false},
+		{"entries without a DOLC", 1024, nil, Warn, false},
+		{"mismatched size", 4096, &flagship, Error, false},
+		{"exact match", 16384, &flagship, 0, true},
+	}
+	for _, tc := range cases {
+		diags := checkTable("exit predictor", tc.entries, tc.d)
+		if tc.wantNil {
+			if len(diags) != 0 {
+				t.Errorf("%s: %v, want none", tc.name, diags)
+			}
+			continue
+		}
+		if len(diags) != 1 || diags[0].Check != CheckTableSize || diags[0].Sev != tc.wantSev {
+			t.Errorf("%s: %v, want one %s at %s", tc.name, diags, CheckTableSize, tc.wantSev)
+		}
+	}
+}
+
+// aliasGraph builds a bare graph with n multi-exit tasks.
+func aliasGraph(n int) *tfg.Graph {
+	g := &tfg.Graph{Tasks: map[isa.Addr]*tfg.Task{}}
+	for i := 0; i < n; i++ {
+		g.Tasks[isa.Addr(i)] = &tfg.Task{
+			Start: isa.Addr(i),
+			Exits: []tfg.ExitSpec{{Kind: isa.KindBranch}, {Kind: isa.KindBranch}},
+		}
+	}
+	return g
+}
+
+func TestCfgAliasPressure(t *testing.T) {
+	tiny := core.DOLC{Depth: 1, Older: 0, Last: 0, Current: 1, Folds: 1} // 2 entries
+	if err := tiny.Validate(); err != nil {
+		t.Fatalf("tiny DOLC invalid: %v", err)
+	}
+	diags := runCfgAlias(&Context{Graph: aliasGraph(3), Config: &PredictorConfig{ExitDOLC: &tiny}})
+	if len(diags) != 1 || diags[0].Check != CheckAliasPressure || diags[0].Sev != Warn {
+		t.Fatalf("3 tasks on 2 entries: %v, want one %s warning", diags, CheckAliasPressure)
+	}
+	if !strings.Contains(diags[0].Msg, "aliasing is guaranteed") {
+		t.Errorf("warning text: %q", diags[0].Msg)
+	}
+
+	roomy := core.MustDOLC(7, 5, 6, 6, 3)
+	diags = runCfgAlias(&Context{Graph: aliasGraph(3), Config: &PredictorConfig{ExitDOLC: &roomy}})
+	if len(diags) != 1 || diags[0].Sev != Info {
+		t.Errorf("3 tasks on 16384 entries: %v, want one info", diags)
+	}
+}
+
+func TestCfgRAS(t *testing.T) {
+	p, g := assemble(t, `
+.entry main
+.func main
+  jal  @f
+  halt
+.func f
+  jal  @g
+  ret
+.func g
+  ret
+`)
+	ctx := func(depth int) *Context {
+		return &Context{Prog: p, Graph: g, Config: &PredictorConfig{RASDepth: depth}}
+	}
+	if diags := runCfgRAS(ctx(-1)); len(diags) != 1 || diags[0].Sev != Error {
+		t.Errorf("negative depth: %v, want one error", diags)
+	}
+	// Static nesting is 2 (main -> f -> g): a 1-entry RAS overflows.
+	if diags := runCfgRAS(ctx(1)); len(diags) != 1 || diags[0].Sev != Warn ||
+		!strings.Contains(diags[0].Msg, "nesting reaches 2") {
+		t.Errorf("1-entry RAS vs nesting 2: %v, want overflow warning", diags)
+	}
+	if diags := runCfgRAS(ctx(32)); len(diags) != 1 || diags[0].Sev != Info ||
+		!strings.Contains(diags[0].Msg, "fits") {
+		t.Errorf("32-entry RAS: %v, want fits info", diags)
+	}
+}
+
+func TestCfgRASRecursion(t *testing.T) {
+	p, g := assemble(t, `
+.entry main
+.func main
+  jal  @f
+  halt
+.func f
+  jal  @f
+  ret
+`)
+	diags := runCfgRAS(&Context{Prog: p, Graph: g, Config: &PredictorConfig{}})
+	if len(diags) != 1 || diags[0].Sev != Info || !strings.Contains(diags[0].Msg, "recursive") {
+		t.Errorf("recursive chain: %v, want recursion info", diags)
+	}
+}

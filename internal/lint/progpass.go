@@ -1,0 +1,207 @@
+// Program/ASM-layer passes: symbol table sanity, MSA layout invariants
+// (no fall-through, no jumps into straight-line runs), and dead-code
+// detection over the basic-block graph.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"multiscalar/internal/isa"
+)
+
+// Check IDs owned by the program layer.
+const (
+	CheckBadSymbol        = "prog-bad-symbol"
+	CheckFallthrough      = "prog-fallthrough"
+	CheckInteriorJump     = "prog-interior-jump"
+	CheckUnreachableBlock = "prog-unreachable-block"
+)
+
+func progPasses() []Pass {
+	return []Pass{
+		{
+			Name: "prog-symbols",
+			Doc:  "labels, functions, the entry point and data symbols resolve to in-range addresses",
+			Run:  runProgSymbols,
+		},
+		{
+			Name: "prog-layout",
+			Doc:  "MSA layout: no fall-through into a block leader, no control transfer into the interior of a straight-line run",
+			Run:  runProgLayout,
+		},
+		{
+			Name: "prog-reachability",
+			Doc:  "basic blocks unreachable from the entry and every label root (dead code)",
+			Run:  runProgReachability,
+		},
+	}
+}
+
+// sortedNames returns map keys in a stable order.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runProgSymbols checks that every symbol the later passes and the task
+// former rely on actually resolves: entry, labels and functions inside
+// the text segment, data symbols inside the data segment, and position
+// records parallel to the code.
+func runProgSymbols(c *Context) []Diagnostic {
+	p := c.Prog
+	if p == nil {
+		return nil
+	}
+	var out []Diagnostic
+	errf := func(format string, args ...any) {
+		out = append(out, Diagnostic{Check: CheckBadSymbol, Sev: Error, Msg: fmt.Sprintf(format, args...)})
+	}
+	if len(p.Code) == 0 {
+		errf("empty text segment")
+		return out
+	}
+	if int(p.Entry) >= len(p.Code) {
+		errf("entry @%d outside text of %d words", p.Entry, len(p.Code))
+	}
+	for _, name := range sortedNames(p.Labels) {
+		if a := p.Labels[name]; int(a) >= len(p.Code) {
+			errf("label %q @%d outside text of %d words", name, a, len(p.Code))
+		}
+	}
+	for _, name := range sortedNames(p.Functions) {
+		a := p.Functions[name]
+		if int(a) >= len(p.Code) {
+			errf("function %q @%d outside text of %d words", name, a, len(p.Code))
+			continue
+		}
+		if la, ok := p.Labels[name]; !ok || la != a {
+			errf("function %q @%d has no matching label", name, a)
+		}
+	}
+	for _, name := range sortedNames(p.DataSymbols) {
+		sym := p.DataSymbols[name]
+		if sym.Addr < 0 || sym.Size < 0 || sym.Addr+sym.Size > p.DataSize {
+			errf("data symbol %q [%d,%d) outside DataSize=%d", name, sym.Addr, sym.Addr+sym.Size, p.DataSize)
+		}
+	}
+	if len(p.Data) > p.DataSize {
+		errf("%d initialized data words exceed DataSize=%d", len(p.Data), p.DataSize)
+	}
+	if len(p.Lines) != 0 && len(p.Lines) != len(p.Code) {
+		errf("%d line records for %d instructions", len(p.Lines), len(p.Code))
+	}
+	return out
+}
+
+// symbolicLeaders collects every address that control flow may enter
+// symbolically: the entry, labels, static branch targets and call link
+// points.
+func symbolicLeaders(c *Context) map[isa.Addr]bool {
+	p := c.Prog
+	leaders := map[isa.Addr]bool{p.Entry: true}
+	for _, a := range p.Labels {
+		leaders[a] = true
+	}
+	for _, in := range p.Code {
+		for _, t := range in.StaticTargets() {
+			leaders[t] = true
+		}
+		if in.Op == isa.Jal || in.Op == isa.Jalr {
+			leaders[in.Link] = true
+		}
+	}
+	return leaders
+}
+
+// runProgLayout enforces the MSA layout invariants diagnostically,
+// reporting every violation (program.Validate stops at the first):
+//
+//   - no instruction falls through into a block leader (MSA has no
+//     fall-through; merging flows mid-run would tear tasks apart),
+//   - the final instruction is a control transfer,
+//   - no control transfer targets the interior of a straight-line run
+//     (the interior-jump view of the same defect, attributed to the
+//     jumping instruction — fall-through across a task boundary always
+//     has both ends).
+func runProgLayout(c *Context) []Diagnostic {
+	p := c.Prog
+	if p == nil || len(p.Code) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+
+	leaders := symbolicLeaders(c)
+	ordered := make([]isa.Addr, 0, len(leaders))
+	for a := range leaders {
+		ordered = append(ordered, a)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, a := range ordered {
+		if int(a) >= len(p.Code) {
+			continue // prog-symbols reports out-of-range symbols
+		}
+		if a > 0 && !p.Code[a-1].IsControl() {
+			out = append(out, Diagnostic{
+				Check: CheckFallthrough, Sev: Error,
+				Addr: a - 1, HasAddr: true, Line: c.lineOf(a - 1),
+				Msg: fmt.Sprintf("instruction falls through into block leader @%d", a),
+			})
+		}
+	}
+	if last := isa.Addr(len(p.Code) - 1); !p.Code[last].IsControl() {
+		out = append(out, Diagnostic{
+			Check: CheckFallthrough, Sev: Error,
+			Addr: last, HasAddr: true, Line: c.lineOf(last),
+			Msg: "final instruction is not a control transfer; execution falls off the text segment",
+		})
+	}
+
+	// Straight-line runs start at address 0 and after every control
+	// transfer. A target outside this set lands mid-run: the jumping
+	// instruction overlaps somebody else's straight-line code.
+	runStarts := map[isa.Addr]bool{0: true}
+	for i, in := range p.Code {
+		if in.IsControl() && i+1 < len(p.Code) {
+			runStarts[isa.Addr(i+1)] = true
+		}
+	}
+	for i, in := range p.Code {
+		for _, t := range in.StaticTargets() {
+			if int(t) < len(p.Code) && !runStarts[t] {
+				out = append(out, Diagnostic{
+					Check: CheckInteriorJump, Sev: Error,
+					Addr: isa.Addr(i), HasAddr: true, Line: c.lineOf(isa.Addr(i)),
+					Msg: fmt.Sprintf("control transfer targets @%d, the interior of a straight-line run", t),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// runProgReachability warns about basic blocks that neither the entry
+// nor any label root can reach: dead code that inflates the static task
+// count and the predictor's working set for nothing.
+func runProgReachability(c *Context) []Diagnostic {
+	if c.CFG == nil {
+		return nil
+	}
+	reach := c.CFG.Reachable()
+	var out []Diagnostic
+	for _, start := range c.CFG.Order {
+		if reach[start] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Check: CheckUnreachableBlock, Sev: Warn,
+			Addr: start, HasAddr: true, Line: c.lineOf(start),
+			Msg: "basic block is unreachable from the entry and every label",
+		})
+	}
+	return out
+}

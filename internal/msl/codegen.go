@@ -82,6 +82,7 @@ type compiler struct {
 	funcs   map[string]*funcInfo
 
 	code      []isa.Instr
+	lines     []int            // instr index -> source line (0 unknown)
 	refs      map[int]labelRef // instr index -> unresolved targets
 	laRefs    map[int]label    // instr index -> label whose address La loads
 	labelAddr []int            // label -> code address (-1 unbound)
@@ -117,9 +118,11 @@ func (c *compiler) newLabel() label {
 	return label(len(c.labelAddr) - 1)
 }
 
-// emit appends an instruction, returning its index.
+// emit appends an instruction, returning its index. The instruction is
+// attributed to the source line of the statement under translation.
 func (c *compiler) emit(in isa.Instr) int {
 	c.code = append(c.code, in)
+	c.lines = append(c.lines, c.line)
 	return len(c.code) - 1
 }
 
@@ -235,6 +238,7 @@ func (c *compiler) declare(name string) error {
 func (c *compiler) finalize(dataSize int) error {
 	p := program.New()
 	p.Code = c.code
+	p.Lines = c.lines
 	p.Data = c.data
 	p.DataSize = dataSize
 	p.Entry = 0

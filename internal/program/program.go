@@ -21,6 +21,12 @@ type Program struct {
 	Entry    isa.Addr
 	DataSize int
 
+	// Lines maps each instruction to the 1-based source line it was
+	// generated from (assembly line for asm, MSL line for the compiler);
+	// 0 means unknown. Either empty (no position info) or parallel to
+	// Code. Diagnostics use it via LineOf.
+	Lines []int
+
 	// Data holds initial values for the first len(Data) words of data
 	// memory (globals, jump tables). The loader copies it before
 	// execution.
@@ -50,6 +56,15 @@ func New() *Program {
 		Functions:   make(map[string]isa.Addr),
 		DataSymbols: make(map[string]DataSym),
 	}
+}
+
+// LineOf returns the source line the instruction at addr was generated
+// from, or 0 when no position information is available.
+func (p *Program) LineOf(addr isa.Addr) int {
+	if int(addr) < len(p.Lines) {
+		return p.Lines[addr]
+	}
+	return 0
 }
 
 // AddrOf looks up a label address.
@@ -100,6 +115,9 @@ func (p *Program) Validate() error {
 	}
 	if len(p.Data) > p.DataSize {
 		return fmt.Errorf("program: %d initialized data words exceed DataSize=%d", len(p.Data), p.DataSize)
+	}
+	if len(p.Lines) != 0 && len(p.Lines) != len(p.Code) {
+		return fmt.Errorf("program: %d line records for %d instructions", len(p.Lines), len(p.Code))
 	}
 	for name, sym := range p.DataSymbols {
 		if sym.Addr < 0 || sym.Size < 0 || sym.Addr+sym.Size > p.DataSize {

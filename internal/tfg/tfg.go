@@ -96,6 +96,49 @@ type Task struct {
 // NumExits returns the number of exit points in the header.
 func (t *Task) NumExits() int { return len(t.Exits) }
 
+// Edge pairs one region-leaving control-flow edge with its header exit.
+type Edge struct {
+	// Ref names the edge (instruction address and slot).
+	Ref ExitRef
+	// Index is the edge's exit number in the task header.
+	Index int
+	// Spec is the header record the edge maps to. It is the zero ExitSpec
+	// when Index is out of range (an incoherent graph; see
+	// StructuralIssues).
+	Spec ExitSpec
+}
+
+// EdgeList returns the task's exit edges in ascending (address, slot)
+// order — a deterministic iteration over ExitIndex.
+func (t *Task) EdgeList() []Edge {
+	out := make([]Edge, 0, len(t.ExitIndex))
+	for ref, idx := range t.ExitIndex {
+		e := Edge{Ref: ref, Index: idx}
+		if idx >= 0 && idx < len(t.Exits) {
+			e.Spec = t.Exits[idx]
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ref.At != out[j].Ref.At {
+			return out[i].Ref.At < out[j].Ref.At
+		}
+		return out[i].Ref.Slot < out[j].Ref.Slot
+	})
+	return out
+}
+
+// HasIndirectExit reports whether any header exit needs a target buffer
+// (KindIndirectBranch or KindIndirectCall).
+func (t *Task) HasIndirectExit() bool {
+	for _, e := range t.Exits {
+		if e.Kind.IsIndirect() {
+			return true
+		}
+	}
+	return false
+}
+
 // SingleExit reports whether the task has exactly one exit point — the
 // trivially-predictable case the paper's §6.1 optimization exploits.
 func (t *Task) SingleExit() bool { return len(t.Exits) == 1 }
@@ -115,46 +158,137 @@ func (g *Graph) TaskAt(addr isa.Addr) *Task { return g.Tasks[addr] }
 // NumTasks returns the number of static tasks.
 func (g *Graph) NumTasks() int { return len(g.Tasks) }
 
-// Validate checks TFG invariants:
+// EntryTask returns the task at the program entry, or nil if the graph has
+// no task there.
+func (g *Graph) EntryTask() *Task {
+	if g.Prog == nil {
+		return nil
+	}
+	return g.Tasks[g.Prog.Entry]
+}
+
+// TaskList returns the tasks in ascending start-address order. Unlike
+// Order it never goes stale: the order is recomputed from the map.
+func (g *Graph) TaskList() []*Task {
+	addrs := sortAddrs(g.Tasks)
+	out := make([]*Task, len(addrs))
+	for i, a := range addrs {
+		out[i] = g.Tasks[a]
+	}
+	return out
+}
+
+// Successors returns the statically-known successor task starts of t:
+// every exit target and every call return point, deduplicated, in
+// ascending order. Dynamic targets (returns, indirect transfers)
+// contribute nothing.
+func (g *Graph) Successors(t *Task) []isa.Addr {
+	seen := make(map[isa.Addr]bool)
+	for _, e := range t.Exits {
+		if e.HasTarget {
+			seen[e.Target] = true
+		}
+		if e.Kind.IsCall() {
+			seen[e.Return] = true
+		}
+	}
+	out := make([]isa.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stable check IDs for the structural invariants of a Task Flow Graph.
+// They are the single source of truth shared by Validate (which reports the
+// first violation as an error) and the internal/lint passes (which report
+// all of them as diagnostics).
+const (
+	CheckTaskKey       = "tfg-task-key"       // map key disagrees with Task.Start
+	CheckNoBlocks      = "tfg-no-blocks"      // task region has no basic blocks
+	CheckExitOverflow  = "tfg-exit-overflow"  // more than MaxExits header slots
+	CheckExitCoherence = "tfg-exit-coherence" // ExitIndex or exit kind incoherent
+	CheckExitTarget    = "tfg-exit-target"    // exit target/return not a task start
+)
+
+// Issue is one structural invariant violation found in a graph.
+type Issue struct {
+	// Check is the stable ID of the violated invariant.
+	Check string
+	// Task is the start address of the offending task.
+	Task isa.Addr
+	// At is the instruction address involved, valid when HasAt is true.
+	At    isa.Addr
+	HasAt bool
+	// Msg describes the violation (without task/position prefix).
+	Msg string
+}
+
+// StructuralIssues checks the TFG invariants and returns every violation:
+//   - every task is keyed by its start address and has at least one block,
 //   - every task respects MaxExits and has a coherent ExitIndex,
-//   - every statically-known exit target is itself a task start,
-//   - every task's blocks exist in the underlying program's CFG region
-//     bounds (block starts are in-range addresses),
-//   - exit specs agree with the control kind of the exit instruction.
-func (g *Graph) Validate() error {
-	for addr, t := range g.Tasks {
+//   - exit specs agree with the control kind of the exit instruction,
+//   - every statically-known exit target (and call return point) is itself
+//     a task start.
+//
+// The result is deterministic: tasks in ascending start order, edges in
+// ascending (address, slot) order.
+func (g *Graph) StructuralIssues() []Issue {
+	var out []Issue
+	for _, addr := range sortAddrs(g.Tasks) {
+		t := g.Tasks[addr]
+		add := func(check, msg string) {
+			out = append(out, Issue{Check: check, Task: addr, Msg: msg})
+		}
+		addAt := func(check string, at isa.Addr, msg string) {
+			out = append(out, Issue{Check: check, Task: addr, At: at, HasAt: true, Msg: msg})
+		}
 		if t.Start != addr {
-			return fmt.Errorf("tfg: task keyed @%d has Start=@%d", addr, t.Start)
+			add(CheckTaskKey, fmt.Sprintf("task keyed @%d has Start=@%d", addr, t.Start))
 		}
 		if len(t.Exits) > MaxExits {
-			return fmt.Errorf("tfg: task @%d has %d exits (max %d)", addr, len(t.Exits), MaxExits)
+			add(CheckExitOverflow, fmt.Sprintf("%d exits exceed the %d-slot header", len(t.Exits), MaxExits))
 		}
 		if len(t.Blocks) == 0 {
-			return fmt.Errorf("tfg: task @%d has no blocks", addr)
+			add(CheckNoBlocks, "task has no blocks")
 		}
-		for ref, idx := range t.ExitIndex {
-			if idx < 0 || idx >= len(t.Exits) {
-				return fmt.Errorf("tfg: task @%d: edge %v maps to exit %d of %d", addr, ref, idx, len(t.Exits))
+		for _, e := range t.EdgeList() {
+			if e.Index < 0 || e.Index >= len(t.Exits) {
+				addAt(CheckExitCoherence, e.Ref.At,
+					fmt.Sprintf("edge %v maps to exit %d of %d", e.Ref, e.Index, len(t.Exits)))
+				continue
 			}
-			if int(ref.At) >= len(g.Prog.Code) {
-				return fmt.Errorf("tfg: task @%d: exit instruction @%d out of range", addr, ref.At)
+			if int(e.Ref.At) >= len(g.Prog.Code) {
+				addAt(CheckExitCoherence, e.Ref.At,
+					fmt.Sprintf("exit instruction @%d out of range", e.Ref.At))
+				continue
 			}
-			in := g.Prog.Code[ref.At]
-			spec := t.Exits[idx]
-			if k := in.Control(); k != spec.Kind {
-				return fmt.Errorf("tfg: task @%d: exit @%d kind %v != spec kind %v", addr, ref.At, k, spec.Kind)
+			in := g.Prog.Code[e.Ref.At]
+			if k := in.Control(); k != e.Spec.Kind {
+				addAt(CheckExitCoherence, e.Ref.At,
+					fmt.Sprintf("exit @%d kind %v != spec kind %v", e.Ref.At, k, e.Spec.Kind))
 			}
 		}
-		for _, spec := range t.Exits {
-			if spec.HasTarget {
-				if g.Tasks[spec.Target] == nil {
-					return fmt.Errorf("tfg: task @%d: exit target @%d is not a task start", addr, spec.Target)
-				}
+		for i, spec := range t.Exits {
+			if spec.HasTarget && g.Tasks[spec.Target] == nil {
+				add(CheckExitTarget, fmt.Sprintf("exit %d target @%d is not a task start", i, spec.Target))
 			}
 			if spec.Kind.IsCall() && g.Tasks[spec.Return] == nil {
-				return fmt.Errorf("tfg: task @%d: call return point @%d is not a task start", addr, spec.Return)
+				add(CheckExitTarget, fmt.Sprintf("exit %d call return point @%d is not a task start", i, spec.Return))
 			}
 		}
+	}
+	return out
+}
+
+// Validate checks the TFG invariants of StructuralIssues and reports the
+// first violation as an error (nil when the graph is well-formed). The
+// full diagnostic view of the same checks lives in internal/lint.
+func (g *Graph) Validate() error {
+	if iss := g.StructuralIssues(); len(iss) > 0 {
+		i := iss[0]
+		return fmt.Errorf("tfg: [%s] task @%d: %s", i.Check, i.Task, i.Msg)
 	}
 	return nil
 }

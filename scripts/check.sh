@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, race-enabled tests, and the static
+# analyzer over every built-in workload (zero error diagnostics required).
+# Run from the repository root.
+set -eu
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> mlint -w all"
+go run ./cmd/mlint -w all >/dev/null
+
+echo "OK"
