@@ -1,4 +1,8 @@
-// Command mbench regenerates the paper's tables and figures.
+// Command mbench regenerates the paper's tables and figures, resiliently:
+// one experiment's failure (error, panic, or hang) is isolated and the
+// batch continues; multi-experiment runs journal their progress so a
+// killed run resumes where it stopped; SIGINT flushes the in-flight
+// experiment's partial tables before exiting.
 //
 // Usage:
 //
@@ -6,13 +10,24 @@
 //	mbench -exp fig7                # one experiment
 //	mbench -exp table4 -timing 200000
 //	mbench -exp fig10 -steps 500000 # truncate traces (quick look)
+//	mbench -exp all -timeout 30m    # per-experiment watchdog
+//	mbench -exp all -journal run.j  # custom resume journal path
+//	mbench -exp all -fresh          # ignore (and restart) the journal
 //	mbench -list                    # list experiment names
+//
+// A multi-experiment run appends each completed experiment to the resume
+// journal (default mbench.journal). If the process is killed, rerunning
+// the same command skips the completed experiments; a fully successful
+// run removes the journal. Exit status is 0 only when every selected
+// experiment succeeded.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"multiscalar/internal/experiments"
@@ -22,6 +37,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment name or 'all'")
 	steps := flag.Int("steps", 0, "truncate workload traces to N dynamic tasks (0 = full)")
 	timing := flag.Int("timing", 0, "dynamic-task budget per timing run (0 = default 400000)")
+	timeout := flag.Duration("timeout", 0, "per-experiment watchdog timeout (0 = none)")
+	journalPath := flag.String("journal", "mbench.journal", "resume journal path for multi-experiment runs ('' disables)")
+	fresh := flag.Bool("fresh", false, "ignore an existing resume journal and start over")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -32,34 +50,79 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{MaxSteps: *steps, TimingSteps: *timing}
+	os.Exit(run(*exp, *steps, *timing, *timeout, *journalPath, *fresh))
+}
+
+func run(exp string, steps, timing int, timeout time.Duration, journalPath string, fresh bool) int {
+	cfg := experiments.Config{MaxSteps: steps, TimingSteps: timing}
 
 	// Static analysis gate: verify every workload TFG and predictor
 	// configuration before spending hours of simulation on them.
 	if err := experiments.Preflight(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mbench:", err)
-		os.Exit(1)
+		return 1
 	}
 
-	run := func(r experiments.Runner) {
-		start := time.Now()
-		if err := r.Run(os.Stdout, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "mbench: %s: %v\n", r.Name, err)
-			os.Exit(1)
+	var runners []experiments.Runner
+	if exp == "all" {
+		runners = experiments.All()
+	} else {
+		r, err := experiments.ByName(exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbench:", err)
+			return 1
 		}
-		fmt.Printf("[%s done in %v]\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+		runners = []experiments.Runner{r}
 	}
 
-	if *exp == "all" {
-		for _, r := range experiments.All() {
-			run(r)
+	opts := experiments.RunOptions{Timeout: timeout}
+
+	// The resume journal only makes sense across a batch; a single
+	// experiment always reruns.
+	if len(runners) > 1 && journalPath != "" {
+		if fresh {
+			if err := os.Remove(journalPath); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "mbench:", err)
+				return 1
+			}
 		}
-		return
+		j, err := experiments.OpenJournal(journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbench:", err)
+			return 1
+		}
+		if j.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "mbench: resuming from %s (%d experiments already done; -fresh restarts)\n",
+				journalPath, j.Len())
+		}
+		opts.Journal = j
 	}
-	r, err := experiments.ByName(*exp)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mbench:", err)
-		os.Exit(1)
+
+	// SIGINT/SIGTERM close the interrupt channel: the in-flight
+	// experiment's partial tables are flushed, the summary still prints,
+	// and the journal keeps what completed.
+	intr := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "mbench: interrupt — flushing partial results")
+		signal.Stop(sigs)
+		close(intr)
+	}()
+	opts.Interrupt = intr
+
+	outcomes := experiments.RunResilient(os.Stdout, cfg, runners, opts)
+	failed := experiments.Summarize(os.Stdout, outcomes)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mbench: %d of %d experiments failed\n", failed, len(outcomes))
+		return 1
 	}
-	run(r)
+	if opts.Journal != nil {
+		if err := opts.Journal.Remove(); err != nil {
+			fmt.Fprintln(os.Stderr, "mbench:", err)
+			return 1
+		}
+	}
+	return 0
 }

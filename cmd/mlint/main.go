@@ -12,6 +12,7 @@
 //	mlint -w exprc -dolc 7-5-6-6-3 -cttb 7-4-4-5-3 -ras 32
 //	mlint -w minilisp -cttb none          # no CTTB: indirect-coverage warns
 //	mlint -w exprc -exit-entries 16384    # check a declared table budget
+//	mlint -w exprc -fault all=1e-3,seed=7 # validate a fault-injection spec
 //	mlint -w exprc -min warn              # hide info diagnostics
 package main
 
@@ -39,11 +40,12 @@ func main() {
 	rasDepth := flag.Int("ras", core.DefaultRASDepth, "return address stack depth")
 	exitEntries := flag.Int("exit-entries", 0, "declared exit-PHT entry count to check (0 = derived)")
 	cttbEntries := flag.Int("cttb-entries", 0, "declared CTTB entry count to check (0 = derived)")
+	faultStr := flag.String("fault", "", "fault injection spec to validate (e.g. all=1e-3,seed=7; '' = none)")
 	minStr := flag.String("min", "info", "minimum severity to print: info | warn | error")
 	maxInstr := flag.Int("task-instr", 0, "task former instruction budget (0 = default)")
 	flag.Parse()
 
-	code, err := run(*wname, flag.Args(), *asAsm, *jsonOut, *dolcStr, *cttbStr,
+	code, err := run(*wname, flag.Args(), *asAsm, *jsonOut, *dolcStr, *cttbStr, *faultStr,
 		*rasDepth, *exitEntries, *cttbEntries, *minStr, *maxInstr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlint:", err)
@@ -52,12 +54,15 @@ func main() {
 	os.Exit(code)
 }
 
-// parseConfig assembles the predictor configuration from flags.
-func parseConfig(dolcStr, cttbStr string, ras, exitEntries, cttbEntries int) (*lint.PredictorConfig, error) {
+// parseConfig assembles the predictor configuration from flags. The
+// fault spec is passed through raw: validating it is exactly the job of
+// the cfg-fault-spec pass.
+func parseConfig(dolcStr, cttbStr, faultStr string, ras, exitEntries, cttbEntries int) (*lint.PredictorConfig, error) {
 	cfg := &lint.PredictorConfig{
 		RASDepth:    ras,
 		ExitEntries: exitEntries,
 		CTTBEntries: cttbEntries,
+		FaultSpec:   faultStr,
 	}
 	parse := func(s string) (*core.DOLC, error) {
 		d, err := core.ParseDOLC(s)
@@ -133,13 +138,13 @@ func collectTargets(wname string, files []string, asAsm bool) ([]target, error) 
 	return out, nil
 }
 
-func run(wname string, files []string, asAsm, jsonOut bool, dolcStr, cttbStr string,
+func run(wname string, files []string, asAsm, jsonOut bool, dolcStr, cttbStr, faultStr string,
 	ras, exitEntries, cttbEntries int, minStr string, maxInstr int) (int, error) {
 	min, err := lint.ParseSeverity(minStr)
 	if err != nil {
 		return 0, err
 	}
-	cfg, err := parseConfig(dolcStr, cttbStr, ras, exitEntries, cttbEntries)
+	cfg, err := parseConfig(dolcStr, cttbStr, faultStr, ras, exitEntries, cttbEntries)
 	if err != nil {
 		return 0, err
 	}

@@ -8,6 +8,7 @@
 //	msim -w compressb -predictor cttb-only
 //	msim -w calcsheet -timing                    # ring-model IPC
 //	msim -w exprc -steps 200000                  # truncate the run
+//	msim -w exprc -fault all=1e-3,seed=7         # seeded fault injection
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/fault"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/lint"
 	"multiscalar/internal/sim/timing"
@@ -33,9 +35,10 @@ func main() {
 	rasDepth := flag.Int("ras", core.DefaultRASDepth, "return address stack depth")
 	steps := flag.Int("steps", 0, "dynamic task budget (0 = run to halt)")
 	doTiming := flag.Bool("timing", false, "also run the ring timing model")
+	faultStr := flag.String("fault", "", "fault injection spec (e.g. all=1e-3 or ctr=1e-3,ras=1e-2,seed=7; '' = off)")
 	flag.Parse()
 
-	if err := run(*wname, *dolcStr, *automaton, *predictor, *cttbStr, *rasDepth, *steps, *doTiming); err != nil {
+	if err := run(*wname, *dolcStr, *automaton, *predictor, *cttbStr, *faultStr, *rasDepth, *steps, *doTiming); err != nil {
 		fmt.Fprintln(os.Stderr, "msim:", err)
 		os.Exit(1)
 	}
@@ -64,7 +67,7 @@ func buildPredictor(style string, dolc, cttbDOLC core.DOLC, kind core.AutomatonK
 	}
 }
 
-func run(wname, dolcStr, automaton, style, cttbStr string, rasDepth, steps int, doTiming bool) error {
+func run(wname, dolcStr, automaton, style, cttbStr, faultStr string, rasDepth, steps int, doTiming bool) error {
 	w, err := workload.ByName(wname)
 	if err != nil {
 		return err
@@ -81,6 +84,10 @@ func run(wname, dolcStr, automaton, style, cttbStr string, rasDepth, steps int, 
 	if err != nil {
 		return err
 	}
+	spec, err := fault.ParseSpec(faultStr)
+	if err != nil {
+		return err
+	}
 	pred, err := buildPredictor(style, dolc, cttbDOLC, kind, rasDepth)
 	if err != nil {
 		return err
@@ -92,7 +99,7 @@ func run(wname, dolcStr, automaton, style, cttbStr string, rasDepth, steps int, 
 	if err != nil {
 		return err
 	}
-	lcfg := &lint.PredictorConfig{RASDepth: rasDepth}
+	lcfg := &lint.PredictorConfig{RASDepth: rasDepth, FaultSpec: faultStr}
 	switch style {
 	case "header":
 		lcfg.ExitDOLC, lcfg.CTTB = &dolc, &cttbDOLC
@@ -120,6 +127,14 @@ func run(wname, dolcStr, automaton, style, cttbStr string, rasDepth, steps int, 
 	fmt.Printf("workload %s (%s analog): %d dynamic tasks, %d distinct\n",
 		w.Name, w.Analog, tr.Len(), tr.DistinctTasks())
 
+	var inj *fault.Injector
+	if spec.Enabled() {
+		if inj, err = fault.New(spec, pred); err != nil {
+			return err
+		}
+		pred = inj
+	}
+
 	res := core.EvaluateTask(tr, pred)
 	fmt.Printf("predictor %s\n", pred.Name())
 	fmt.Printf("  task miss rate     %6.2f%%  (%d / %d)\n", 100*res.MissRate(), res.Misses, res.Steps)
@@ -135,11 +150,19 @@ func run(wname, dolcStr, automaton, style, cttbStr string, rasDepth, steps int, 
 		fmt.Printf("  %-18s %6.2f%%  (%d / %d)\n", k.String()+" misses",
 			100*float64(km.Misses)/float64(km.Steps), km.Misses, km.Steps)
 	}
+	if inj != nil {
+		fmt.Printf("  faults injected    %s\n", inj.Stats())
+	}
 
 	if doTiming {
 		fresh, err := buildPredictor(style, dolc, cttbDOLC, kind, rasDepth)
 		if err != nil {
 			return err
+		}
+		if spec.Enabled() {
+			if fresh, err = fault.New(spec, fresh); err != nil {
+				return err
+			}
 		}
 		tres, err := timing.Run(g, fresh, timing.Config{MaxSteps: steps})
 		if err != nil {

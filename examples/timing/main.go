@@ -30,7 +30,11 @@ func main() {
 	fmt.Printf("workload %s (%s analog), %d-task timing runs\n\n", w.Name, w.Analog, steps)
 	fmt.Println("Table 4 predictors on the default 4-unit, 2-way ring:")
 	for _, p := range experiments.Table4Predictors() {
-		res, err := timing.Run(graph, p.Make(), timing.Config{MaxSteps: steps})
+		pred, err := p.Make()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := timing.Run(graph, pred, timing.Config{MaxSteps: steps})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,7 +45,11 @@ func main() {
 	fmt.Println("\nunit sweep (PATH predictor): window size vs prediction accuracy")
 	for _, units := range []int{1, 2, 4, 8, 16} {
 		var path = experiments.Table4Predictors()[3]
-		res, err := timing.Run(graph, path.Make(), timing.Config{Units: units, MaxSteps: steps})
+		pred, err := path.Make()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := timing.Run(graph, pred, timing.Config{Units: units, MaxSteps: steps})
 		if err != nil {
 			log.Fatal(err)
 		}

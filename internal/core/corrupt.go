@@ -1,0 +1,187 @@
+package core
+
+// Fault-injection hooks: controlled, paper-meaningful corruption of
+// predictor state. The Multiscalar sequencer's prediction structures are
+// performance hints, never architectural state — a bit flip in a PHT
+// automaton, a clobbered CTTB entry, or a misrepaired RAS must only ever
+// cost accuracy, not correctness. These hooks let internal/fault flip
+// exactly those bits so the recovery-validation harness can prove that
+// property end to end.
+//
+// Every hook takes the fault layer's die roll as a rnd func(n int) int
+// (uniform in [0, n)) so injections stay deterministic under a seed, and
+// returns whether any state was actually corrupted (a predictor that has
+// touched no state yet has nothing to corrupt).
+
+// bitFlipper is implemented by automaton kinds that support single-bit
+// state corruption. All built-in kinds implement it; custom kinds that do
+// not are simply skipped by corruptPHT.
+type bitFlipper interface {
+	flipBit(rnd func(int) int)
+}
+
+// flipBit flips one of the two stored exit-number bits.
+func (a *lastExit) flipBit(rnd func(int) int) {
+	*a = lastExit(int8(*a) ^ int8(1<<rnd(2)))
+}
+
+// flipBit flips a bit of the stored exit (2 bits) or of the hysteresis
+// counter. Counter values stay within [0, max] because max is all-ones
+// for both LEH variants (1 and 3).
+func (a *leh) flipBit(rnd func(int) int) {
+	ctrBits := 1
+	if a.max == 3 {
+		ctrBits = 2
+	}
+	b := rnd(2 + ctrBits)
+	if b < 2 {
+		a.exit ^= 1 << b
+		return
+	}
+	a.ctr ^= 1 << (b - 2)
+}
+
+// flipBit flips a bit of one voting counter. Counter values stay within
+// [0, max] because max is all-ones for both VC variants (3 and 7).
+func (a *votingCounters) flipBit(rnd func(int) int) {
+	ctrBits := 2
+	if a.max == 7 {
+		ctrBits = 3
+	}
+	a.ctr[rnd(len(a.ctr))] ^= 1 << rnd(ctrBits)
+}
+
+// corruptPHT flips a random bit in a random allocated PHT automaton,
+// scanning forward from a random start so sparse tables still find a
+// victim in one call. It reports false when the table holds no corruptible
+// state yet.
+func corruptPHT(pht []Automaton, rnd func(int) int) bool {
+	n := len(pht)
+	if n == 0 {
+		return false
+	}
+	start := rnd(n)
+	for i := 0; i < n; i++ {
+		a := pht[(start+i)%n]
+		if a == nil {
+			continue
+		}
+		f, ok := a.(bitFlipper)
+		if !ok {
+			return false
+		}
+		f.flipBit(rnd)
+		return true
+	}
+	return false
+}
+
+// FlipBit corrupts the path history register: one of the pathKeyBits
+// address bits of one history entry is inverted, modelling an upset in
+// the sequencer's shift register under deep speculation.
+func (h *PathHistory) FlipBit(rnd func(int) int) {
+	h.ring[rnd(len(h.ring))] ^= 1 << rnd(pathKeyBits)
+}
+
+// CorruptCounter implements the fault layer's counter-corruption hook:
+// a single bit flip in one allocated PHT automaton.
+func (p *PathExit) CorruptCounter(rnd func(int) int) bool {
+	return corruptPHT(p.pht, rnd)
+}
+
+// CorruptHistory implements the fault layer's history-corruption hook:
+// a single bit flip in the path history register.
+func (p *PathExit) CorruptHistory(rnd func(int) int) bool {
+	p.hist.FlipBit(rnd)
+	return true
+}
+
+// CorruptCounter flips a bit in one allocated PHT automaton.
+func (p *GlobalExit) CorruptCounter(rnd func(int) int) bool {
+	return corruptPHT(p.pht, rnd)
+}
+
+// CorruptHistory flips one bit of the global exit history register (a
+// no-op at depth 0, where no history bits exist).
+func (p *GlobalExit) CorruptHistory(rnd func(int) int) bool {
+	if p.depth == 0 {
+		return false
+	}
+	p.hist ^= 1 << rnd(2*p.depth)
+	return true
+}
+
+// CorruptCounter flips a bit in one allocated PHT automaton.
+func (p *PerExit) CorruptCounter(rnd func(int) int) bool {
+	return corruptPHT(p.pht, rnd)
+}
+
+// CorruptHistory flips one bit of a random per-task history register.
+func (p *PerExit) CorruptHistory(rnd func(int) int) bool {
+	if p.depth == 0 {
+		return false
+	}
+	p.hrt[rnd(len(p.hrt))] ^= 1 << rnd(2*p.depth)
+	return true
+}
+
+// CorruptEntry clobbers a CTTB entry, modelling an upset in the target
+// buffer RAM: the victim is the first valid entry at or after a random
+// index, and the upset either flips a target address bit, decays the
+// hysteresis counter to zero, or invalidates the entry outright.
+func (b *CTTB) CorruptEntry(rnd func(int) int) bool {
+	n := len(b.entries)
+	if n == 0 {
+		return false
+	}
+	start := rnd(n)
+	for i := 0; i < n; i++ {
+		e := &b.entries[(start+i)%n]
+		if !e.valid {
+			continue
+		}
+		switch rnd(3) {
+		case 0:
+			e.target ^= 1 << rnd(pathKeyBits)
+		case 1:
+			e.ctr = 0
+		default:
+			*e = ttbEntry{}
+		}
+		return true
+	}
+	return false
+}
+
+// CorruptHistory flips one bit of the buffer's path history register.
+func (b *CTTB) CorruptHistory(rnd func(int) int) bool {
+	b.hist.FlipBit(rnd)
+	return true
+}
+
+// Corrupt injures the return address stack in one of the ways deep
+// speculation can: a pop-drop (the top entry is consumed without a
+// matching return), a forced overflow wraparound (the top pointer slips
+// one slot, as if an overwritten frame were exposed), or an address bit
+// flip in the top entry. Reports false when the stack is empty.
+func (s *RAS) Corrupt(rnd func(int) int) bool {
+	if s.size == 0 {
+		return false
+	}
+	switch rnd(3) {
+	case 0: // pop-drop: silently lose the top entry
+		s.top--
+		if s.top < 0 {
+			s.top = s.depth - 1
+		}
+		s.size--
+	case 1: // wraparound: the top pointer slips to the overwritten slot
+		s.top++
+		if s.top == s.depth {
+			s.top = 0
+		}
+	default: // bit flip in the predicted return address
+		s.ring[s.top] ^= 1 << rnd(pathKeyBits)
+	}
+	return true
+}

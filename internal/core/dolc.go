@@ -142,6 +142,12 @@ func ParseDOLC(s string) (DOLC, error) {
 // MustDOLC builds a DOLC configuration and panics if it is invalid; it is
 // a convenience for the experiment tables, whose configurations are
 // static.
+//
+// Panic contract: Must* constructors in this package panic if and only if
+// their statically-known arguments fail Validate — a programming error,
+// never a data-dependent condition. Runtime-provided configurations (CLI
+// flags, fault specs) must go through the error-returning constructors
+// (ParseDOLC, NewPathExit, NewCTTB, ...).
 func MustDOLC(depth, older, last, current, folds int) DOLC {
 	d := DOLC{Depth: depth, Older: older, Last: last, Current: current, Folds: folds}
 	if err := d.Validate(); err != nil {

@@ -33,7 +33,11 @@ type IdealGlobal struct {
 }
 
 // NewIdealGlobal returns an alias-free GLOBAL exit predictor of the given
-// history depth using the given automaton kind.
+// history depth using the given automaton kind. Like every ideal
+// constructor it panics on a depth outside [0, MaxHistoryDepth]: ideal
+// predictors serve the limit studies, whose depths are compile-time
+// constants, so an out-of-range depth is a programming error (see the
+// panic contract on MustDOLC).
 func NewIdealGlobal(depth int, kind AutomatonKind) *IdealGlobal {
 	if depth < 0 || depth > MaxHistoryDepth {
 		panic(fmt.Sprintf("core: IdealGlobal depth %d out of range", depth))
@@ -88,7 +92,8 @@ type IdealPer struct {
 	table map[exitKey]Automaton
 }
 
-// NewIdealPer returns an alias-free PER exit predictor.
+// NewIdealPer returns an alias-free PER exit predictor. It panics on a
+// depth outside [0, MaxHistoryDepth]; see NewIdealGlobal.
 func NewIdealPer(depth int, kind AutomatonKind) *IdealPer {
 	if depth < 0 || depth > MaxHistoryDepth {
 		panic(fmt.Sprintf("core: IdealPer depth %d out of range", depth))
@@ -145,7 +150,8 @@ type IdealPath struct {
 	table map[PathKey]Automaton
 }
 
-// NewIdealPath returns an alias-free PATH exit predictor.
+// NewIdealPath returns an alias-free PATH exit predictor. It panics on a
+// depth outside [0, MaxHistoryDepth]; see NewIdealGlobal.
 func NewIdealPath(depth int, kind AutomatonKind) *IdealPath {
 	if depth < 0 || depth > MaxHistoryDepth {
 		panic(fmt.Sprintf("core: IdealPath depth %d out of range", depth))

@@ -71,7 +71,9 @@ func NewPathExit(d DOLC, kind AutomatonKind, opts PathExitOptions) (*PathExit, e
 	}, nil
 }
 
-// MustPathExit is NewPathExit for statically-known configurations.
+// MustPathExit is NewPathExit for statically-known configurations. It
+// panics iff the configuration fails validation (see the panic contract
+// on MustDOLC); runtime-provided configurations must use NewPathExit.
 func MustPathExit(d DOLC, kind AutomatonKind, opts PathExitOptions) *PathExit {
 	p, err := NewPathExit(d, kind, opts)
 	if err != nil {

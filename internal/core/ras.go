@@ -73,6 +73,32 @@ func (s *RAS) Pop() (addr isa.Addr, ok bool) {
 	return addr, true
 }
 
+// RASMark is a repair point captured by Mark: the sequencer's snapshot of
+// the top-of-stack pointer, the live-entry count, and the top entry's
+// value. It is the state hardware saves when dispatch speculates past a
+// call or return so a misprediction can restore the stack (§5.3).
+type RASMark struct {
+	top  int
+	size int
+	val  isa.Addr
+}
+
+// Mark captures a repair point before speculative pushes and pops.
+func (s *RAS) Mark() RASMark {
+	return RASMark{top: s.top, size: s.size, val: s.ring[s.top]}
+}
+
+// Repair restores the stack to a previously captured mark: the top
+// pointer, depth, and top entry value are rolled back, so the next Top
+// predicts exactly what it would have before speculation. Entries below
+// the restored top that were overwritten by deep wrong-path pushes are
+// not recovered — the same limitation real checkpoint-repair hardware
+// has.
+func (s *RAS) Repair(m RASMark) {
+	s.top, s.size = m.top, m.size
+	s.ring[s.top] = m.val
+}
+
 // Depth returns the stack capacity.
 func (s *RAS) Depth() int { return s.depth }
 

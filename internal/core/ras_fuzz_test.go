@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"multiscalar/internal/isa"
+)
+
+// FuzzRAS drives the return address stack with arbitrary call / return /
+// speculate-repair / corrupt sequences and checks its hardware
+// invariants: it never panics, its live-entry count stays within
+// [0, depth], and a Repair always restores the top-of-stack prediction
+// captured by the matching Mark.
+//
+// Input encoding: the first byte selects the stack depth (1..32); every
+// following byte is one operation (op = b % 5) with the payload bits
+// reused as a pseudo-address.
+func FuzzRAS(f *testing.F) {
+	f.Add([]byte{8, 0, 0, 5, 10, 1, 2, 3})                      // pushes and pops
+	f.Add([]byte{1, 0, 0, 0, 1, 1, 1})                          // depth-1 overflow churn
+	f.Add([]byte{4, 3, 0, 0, 0, 0, 0, 4, 3})                    // mark, deep pushes, repair
+	f.Add([]byte{16, 3, 2, 2, 2, 4, 4, 4, 4, 3})                // corrupt then repair
+	f.Add([]byte{32, 0, 1, 3, 0, 0, 1, 1, 1, 4, 2, 2, 3, 0, 1}) // mixed
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 {
+			return
+		}
+		depth := int(ops[0]%32) + 1
+		s := NewRAS(depth)
+
+		// rnd feeds Corrupt deterministically from the fuzz input.
+		seed := uint32(0x243f6a88)
+		rnd := func(n int) int {
+			seed ^= seed << 13
+			seed ^= seed >> 17
+			seed ^= seed << 5
+			if n <= 0 {
+				return 0
+			}
+			return int(seed % uint32(n))
+		}
+
+		marked := false
+		var mark RASMark
+		var markTop isa.Addr
+		var markOK bool
+
+		for i, b := range ops[1:] {
+			switch b % 5 {
+			case 0: // call: push a return address
+				s.Push(isa.Addr(uint32(b)<<4 | uint32(i)))
+			case 1: // return: pop
+				s.Pop()
+			case 2: // wrong-path activity between mark and repair
+				if b&0x10 != 0 {
+					s.Push(isa.Addr(b))
+				} else {
+					s.Pop()
+				}
+			case 3: // speculate: capture a repair point
+				mark, marked = s.Mark(), true
+				markTop, markOK = s.Top()
+			case 4: // misprediction resolved: repair, then verify
+				if !marked {
+					continue
+				}
+				s.Repair(mark)
+				gotTop, gotOK := s.Top()
+				if gotOK != markOK || (markOK && gotTop != markTop) {
+					t.Fatalf("op %d: repair did not restore the top: got (%v,%v), marked (%v,%v)",
+						i, gotTop, gotOK, markTop, markOK)
+				}
+			}
+			if b%5 != 4 && b%5 != 3 && rnd(7) == 0 {
+				s.Corrupt(rnd) // fault injection interleaved with real ops
+			}
+			if s.Size() < 0 || s.Size() > depth {
+				t.Fatalf("op %d: size %d outside [0, %d]", i, s.Size(), depth)
+			}
+		}
+
+		if s.Underflows() < 0 || s.Overflows() < 0 {
+			t.Fatalf("negative statistics: underflows %d, overflows %d", s.Underflows(), s.Overflows())
+		}
+	})
+}

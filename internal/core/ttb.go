@@ -86,7 +86,9 @@ func NewCTTB(d DOLC) (*CTTB, error) {
 	return &CTTB{dolc: d, entries: make([]ttbEntry, d.TableSize())}, nil
 }
 
-// MustCTTB is NewCTTB for statically-known configurations.
+// MustCTTB is NewCTTB for statically-known configurations. It panics iff
+// the configuration fails validation (see the panic contract on
+// MustDOLC); runtime-provided configurations must use NewCTTB.
 func MustCTTB(d DOLC) *CTTB {
 	b, err := NewCTTB(d)
 	if err != nil {
@@ -158,6 +160,11 @@ type IdealCTTB struct {
 
 // NewIdealCTTB builds an infinite, alias-free correlated target buffer of
 // the given path depth. Depth 0 is the ideal (infinite) naive TTB.
+//
+// It panics if depth is outside [0, MaxHistoryDepth]. Ideal predictors
+// exist only for the paper's limit studies, whose depths are compile-time
+// constants; the panic marks a programming error, not an input error
+// (see the panic contract on MustDOLC).
 func NewIdealCTTB(depth int) *IdealCTTB {
 	if depth < 0 || depth > MaxHistoryDepth {
 		panic(fmt.Sprintf("core: IdealCTTB depth %d out of range", depth))

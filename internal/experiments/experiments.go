@@ -61,6 +61,7 @@ func All() []Runner {
 		{"ablation-ras", "return address stack depth sweep", AblationRAS},
 		{"ablation-real-histories", "real GLOBAL and PER implementations vs real PATH", AblationRealHistories},
 		{"ablation-updatedelay", "predictor update latency ablation (§3.1 Update Timing)", AblationUpdateDelay},
+		{"fault-sweep", "graceful degradation: task miss rate vs predictor-state fault rate", FaultSweep},
 	}
 }
 

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/fault"
+	"multiscalar/internal/stats"
+	"multiscalar/internal/workload"
+)
+
+// FaultSweepRates is the injection-rate sweep of the graceful-degradation
+// study: every fault kind enabled at the same per-step probability,
+// spanning four decades from fault-free to one fault per ten tasks.
+var FaultSweepRates = []float64{0, 1e-4, 1e-3, 1e-2, 1e-1}
+
+// FaultSweepSeed pins the injection RNG so the sweep is reproducible.
+const FaultSweepSeed = 0x5eed
+
+// FaultSweepRow is one workload's degradation curve.
+type FaultSweepRow struct {
+	// Workload is the workload name.
+	Workload string
+	// MissRate is the task miss rate at each FaultSweepRates point.
+	MissRate []float64
+	// Injected is the number of faults actually injected at each point.
+	Injected []int
+}
+
+// faultSpec builds the all-kinds spec for one sweep point.
+func faultSpec(rate float64) fault.Spec {
+	var s fault.Spec
+	for k := range s.Rate {
+		s.Rate[k] = rate
+	}
+	s.Seed = FaultSweepSeed
+	return s
+}
+
+// FaultSweepData replays every workload's trace through the standard
+// composed predictor under each injection rate, verifying the recovery
+// invariants (no panic, no divergence from the trace oracle) as it goes.
+// The complement to Figures 6–8: where those show how much accuracy the
+// predictor wins, this shows how gracefully it loses accuracy as its
+// state decays.
+func FaultSweepData(cfg Config) ([]FaultSweepRow, error) {
+	var out []FaultSweepRow
+	for _, wl := range workload.All() {
+		tr, err := getTrace(wl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := FaultSweepRow{Workload: wl.Name}
+		for _, rate := range FaultSweepRates {
+			rep, err := fault.CheckRecovery(tr,
+				func() core.TaskPredictor { return standardPredictor("exit+RAS+CTTB") },
+				faultSpec(rate))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fault sweep %s rate %g: %w", wl.Name, rate, err)
+			}
+			// No-panic and no-divergence hold at *any* rate; surface a
+			// violation as a hard experiment failure.
+			if rep.Panicked != nil {
+				return nil, fmt.Errorf("experiments: fault sweep %s rate %g: %w", wl.Name, rate, rep.Panicked)
+			}
+			if rep.Diverged != nil {
+				return nil, fmt.Errorf("experiments: fault sweep %s rate %g: %w", wl.Name, rate, rep.Diverged)
+			}
+			row.MissRate = append(row.MissRate, rep.FaultedMissRate())
+			row.Injected = append(row.Injected, rep.Injection.TotalInjected())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FaultSweep renders the graceful-degradation table: task miss rate as a
+// function of the per-step fault rate, per workload.
+func FaultSweep(w io.Writer, cfg Config) error {
+	data, err := FaultSweepData(cfg)
+	if err != nil {
+		return err
+	}
+	cols := []string{"workload"}
+	for _, r := range FaultSweepRates {
+		cols = append(cols, fmt.Sprintf("rate %g", r))
+	}
+	tbl := stats.New("Fault sweep — task miss rate vs injection rate (all fault kinds)", cols...)
+	tbl.Note = "standard predictor (exit+RAS+CTTB); faults corrupt predictor state only — accuracy degrades, execution never diverges"
+	inj := stats.New("Fault sweep supplement — faults injected per run", cols...)
+	for _, row := range data {
+		cells := []string{row.Workload}
+		icells := []string{row.Workload}
+		for i := range FaultSweepRates {
+			cells = append(cells, stats.Pct(row.MissRate[i]))
+			icells = append(icells, stats.I(row.Injected[i]))
+		}
+		tbl.AddRow(cells...)
+		inj.AddRow(icells...)
+	}
+	return writeTables(w, tbl, inj)
+}

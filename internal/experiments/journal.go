@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Journal is mbench's resume journal: an append-only file recording which
+// experiments completed successfully, so a killed multi-hour run restarts
+// where it left off instead of from zero. Each completion is one line
+// ("done <name>") appended and synced immediately — a crash can lose at
+// most the experiment that was running.
+type Journal struct {
+	path string
+	done map[string]bool
+}
+
+// OpenJournal loads the journal at path, creating an empty one if the
+// file does not exist. Unrecognized lines are ignored (forward
+// compatibility with future entry kinds).
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, done: make(map[string]bool)}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return j, nil
+		}
+		return nil, fmt.Errorf("experiments: open journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == "done" {
+			j.done[fields[1]] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: read journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns how many experiments the journal records as done.
+func (j *Journal) Len() int { return len(j.done) }
+
+// IsDone reports whether the named experiment already completed in a
+// previous (or the current) run.
+func (j *Journal) IsDone(name string) bool { return j.done[name] }
+
+// MarkDone records a successful completion, appending and syncing the
+// journal file so the entry survives an immediately following kill.
+func (j *Journal) MarkDone(name string) error {
+	j.done[name] = true
+	f, err := os.OpenFile(j.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("experiments: append journal: %w", err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "done %s\n", name); err != nil {
+		return fmt.Errorf("experiments: append journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("experiments: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Remove deletes the journal file — called after a fully successful run,
+// so the next invocation starts fresh.
+func (j *Journal) Remove() error {
+	err := os.Remove(j.path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("experiments: remove journal: %w", err)
+	}
+	return nil
+}

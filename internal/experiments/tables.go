@@ -84,44 +84,46 @@ func Table3(w io.Writer, cfg Config) error {
 	return writeTables(w, tbl)
 }
 
-// Table4Predictors builds the five predictor configurations of Table 4.
-// The returned map value is nil for the Perfect row (the timing simulator
-// treats a nil predictor as always-correct).
-func Table4Predictors() []struct {
+// Table4Predictor is one of the five predictor configurations of Table 4.
+// Make returns nil (and no error) for the Perfect row — the timing
+// simulator treats a nil predictor as always-correct. Construction errors
+// are returned, not panicked, so one broken configuration cannot abort a
+// whole experiment batch.
+type Table4Predictor struct {
 	Name string
-	Make func() core.TaskPredictor
-} {
+	Make func() (core.TaskPredictor, error)
+}
+
+// Table4Predictors builds the five predictor configurations of Table 4.
+func Table4Predictors() []Table4Predictor {
 	mk := func(exit core.ExitPredictor, name string) core.TaskPredictor {
 		return core.NewHeaderPredictor(name, exit, core.NewRAS(0), core.MustCTTB(Depth7CTTBSmall))
 	}
-	return []struct {
-		Name string
-		Make func() core.TaskPredictor
-	}{
-		{"Simple", func() core.TaskPredictor {
+	return []Table4Predictor{
+		{"Simple", func() (core.TaskPredictor, error) {
 			// Task-address-indexed PHT: a depth-0 DOLC.
 			return mk(core.MustPathExit(core.MustDOLC(0, 0, 0, 14, 1), core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true}), "Simple")
+				core.PathExitOptions{SkipSingleExit: true}), "Simple"), nil
 		}},
-		{"GLOBAL", func() core.TaskPredictor {
+		{"GLOBAL", func() (core.TaskPredictor, error) {
 			exit, err := core.NewGlobalExit(7, 14, 14, core.LEH2)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			return mk(exit, "GLOBAL")
+			return mk(exit, "GLOBAL"), nil
 		}},
-		{"PER", func() core.TaskPredictor {
+		{"PER", func() (core.TaskPredictor, error) {
 			exit, err := core.NewPerExit(7, 12, 14, 14, core.LEH2)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			return mk(exit, "PER")
+			return mk(exit, "PER"), nil
 		}},
-		{"PATH", func() core.TaskPredictor {
+		{"PATH", func() (core.TaskPredictor, error) {
 			return mk(core.MustPathExit(Depth7Exit, core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true}), "PATH")
+				core.PathExitOptions{SkipSingleExit: true}), "PATH"), nil
 		}},
-		{"Perfect", func() core.TaskPredictor { return nil }},
+		{"Perfect", func() (core.TaskPredictor, error) { return nil, nil }},
 	}
 }
 
@@ -145,7 +147,11 @@ func Table4Data(cfg Config) ([]Table4Row, error) {
 		row := Table4Row{Workload: wl.Name,
 			IPC: map[string]float64{}, MissRate: map[string]float64{}}
 		for _, p := range preds {
-			res, err := timing.Run(g, p.Make(), timing.Config{MaxSteps: cfg.TimingSteps})
+			pred, err := p.Make()
+			if err != nil {
+				return nil, err
+			}
+			res, err := timing.Run(g, pred, timing.Config{MaxSteps: cfg.TimingSteps})
 			if err != nil {
 				return nil, err
 			}

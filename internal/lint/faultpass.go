@@ -1,0 +1,85 @@
+// Fault-spec configuration pass: validates fault-injection spec strings
+// against the predictor configuration before a run spends hours injecting
+// into structures that do not exist.
+package lint
+
+import (
+	"fmt"
+
+	"multiscalar/internal/fault"
+)
+
+// CheckFaultSpec is the check ID of the fault-spec configuration pass.
+const CheckFaultSpec = "cfg-fault-spec"
+
+func faultPasses() []Pass {
+	return []Pass{{
+		Name: "cfg-fault",
+		Doc:  "fault-injection spec parses, and every enabled fault kind has a matching predictor structure",
+		Run:  runCfgFault,
+	}}
+}
+
+// runCfgFault validates the raw fault spec: a spec that does not parse is
+// an error (the run would refuse it anyway — fail at lint time instead);
+// an enabled fault kind whose target structure is not configured warns
+// (the injection rolls would silently do nothing); rates past 0.5 warn
+// (beyond graceful degradation — the predictor is mostly noise).
+func runCfgFault(c *Context) []Diagnostic {
+	if c.Config == nil || c.Config.FaultSpec == "" {
+		return nil
+	}
+	spec, err := fault.ParseSpec(c.Config.FaultSpec)
+	if err != nil {
+		return []Diagnostic{{
+			Check: CheckFaultSpec, Sev: Error,
+			Msg: fmt.Sprintf("fault spec %q: %v", c.Config.FaultSpec, err),
+		}}
+	}
+	if !spec.Enabled() {
+		return []Diagnostic{{
+			Check: CheckFaultSpec, Sev: Info,
+			Msg: fmt.Sprintf("fault spec %q enables no fault kind (injection off)", c.Config.FaultSpec),
+		}}
+	}
+
+	var out []Diagnostic
+	warn := func(format string, args ...any) {
+		out = append(out, Diagnostic{Check: CheckFaultSpec, Sev: Warn, Msg: fmt.Sprintf(format, args...)})
+	}
+	hasExit := c.Config.ExitDOLC != nil
+	hasCTTB := c.Config.CTTB != nil
+	if spec.Rate[fault.KindCounter] > 0 && !hasExit {
+		warn("ctr faults at rate %g but no exit predictor DOLC is configured; counter injections will find no PHT", spec.Rate[fault.KindCounter])
+	}
+	if spec.Rate[fault.KindHistory] > 0 && !hasExit && !hasCTTB {
+		warn("hist faults at rate %g but neither exit predictor nor CTTB is configured; no history register to corrupt", spec.Rate[fault.KindHistory])
+	}
+	if spec.Rate[fault.KindTTB] > 0 && !hasCTTB {
+		warn("ttb faults at rate %g but no CTTB is configured; entry clobbers will find no buffer", spec.Rate[fault.KindTTB])
+	}
+	if spec.Rate[fault.KindRAS] > 0 && c.Config.rasDepth() <= 0 {
+		warn("ras faults at rate %g but the RAS has no capacity", spec.Rate[fault.KindRAS])
+	}
+	for _, k := range fault.Kinds() {
+		if r := spec.Rate[k]; r > 0.5 {
+			warn("%s rate %g exceeds 0.5: beyond graceful degradation, the predictor is mostly noise", k, r)
+		}
+	}
+	out = append(out, Diagnostic{
+		Check: CheckFaultSpec, Sev: Info,
+		Msg: fmt.Sprintf("fault spec %v parsed: %d kinds enabled, seed %d", spec, enabledKinds(spec), spec.Seed),
+	})
+	return out
+}
+
+// enabledKinds counts the fault kinds with non-zero rates.
+func enabledKinds(s fault.Spec) int {
+	n := 0
+	for _, r := range s.Rate {
+		if r > 0 {
+			n++
+		}
+	}
+	return n
+}

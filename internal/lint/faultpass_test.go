@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/core"
+)
+
+// faultDiags runs only the cfg-fault pass over a bare config context.
+func faultDiags(cfg *PredictorConfig) []Diagnostic {
+	return runCfgFault(&Context{Config: cfg})
+}
+
+func TestCfgFaultSkipsWhenUnconfigured(t *testing.T) {
+	if got := runCfgFault(&Context{}); got != nil {
+		t.Fatalf("nil config produced %v", got)
+	}
+	if got := faultDiags(&PredictorConfig{}); got != nil {
+		t.Fatalf("empty spec produced %v", got)
+	}
+}
+
+func TestCfgFaultParseError(t *testing.T) {
+	diags := faultDiags(&PredictorConfig{FaultSpec: "ctr=banana"})
+	if len(diags) != 1 || diags[0].Check != CheckFaultSpec || diags[0].Sev != Error {
+		t.Fatalf("unparseable spec: %v, want one %s error", diags, CheckFaultSpec)
+	}
+}
+
+func TestCfgFaultDisabledSpec(t *testing.T) {
+	diags := faultDiags(&PredictorConfig{FaultSpec: "off"})
+	if len(diags) != 1 || diags[0].Sev != Info || !strings.Contains(diags[0].Msg, "injection off") {
+		t.Fatalf("disabled spec: %v", diags)
+	}
+}
+
+func TestCfgFaultStructureMismatch(t *testing.T) {
+	// ttb faults with no CTTB, ctr faults with no exit predictor: both
+	// warn that the injections will find nothing.
+	diags := faultDiags(&PredictorConfig{FaultSpec: "ctr=0.01,ttb=0.01"})
+	warns := map[string]bool{}
+	for _, d := range diags {
+		if d.Check != CheckFaultSpec {
+			t.Fatalf("foreign check ID %q", d.Check)
+		}
+		if d.Sev == Warn {
+			switch {
+			case strings.Contains(d.Msg, "ctr"):
+				warns["ctr"] = true
+			case strings.Contains(d.Msg, "ttb"):
+				warns["ttb"] = true
+			}
+		}
+	}
+	if !warns["ctr"] || !warns["ttb"] {
+		t.Fatalf("missing structure-mismatch warnings: %v", diags)
+	}
+}
+
+func TestCfgFaultCleanSpec(t *testing.T) {
+	exit := core.MustDOLC(7, 5, 6, 6, 3)
+	cttb := core.MustDOLC(7, 4, 4, 5, 3)
+	diags := faultDiags(&PredictorConfig{
+		ExitDOLC:  &exit,
+		CTTB:      &cttb,
+		FaultSpec: "all=1e-3,seed=7",
+	})
+	if len(diags) != 1 || diags[0].Sev != Info || !strings.Contains(diags[0].Msg, "5 kinds enabled") {
+		t.Fatalf("clean spec: %v, want a single summary info", diags)
+	}
+}
+
+func TestCfgFaultExtremeRate(t *testing.T) {
+	exit := core.MustDOLC(7, 5, 6, 6, 3)
+	diags := faultDiags(&PredictorConfig{ExitDOLC: &exit, FaultSpec: "ctr=0.9"})
+	found := false
+	for _, d := range diags {
+		if d.Sev == Warn && strings.Contains(d.Msg, "graceful degradation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rate 0.9 not flagged: %v", diags)
+	}
+}

@@ -122,6 +122,10 @@ type PredictorConfig struct {
 	// RASDepth is the return address stack capacity (0 = the default
 	// depth, core.DefaultRASDepth).
 	RASDepth int
+	// FaultSpec is the raw fault-injection spec string the run will use
+	// ("" = no injection). The cfg-fault-spec pass validates it against
+	// the rest of the configuration.
+	FaultSpec string
 }
 
 // rasDepth resolves the effective RAS capacity.
@@ -191,6 +195,7 @@ func AllPasses() []Pass {
 	out = append(out, tfgPasses()...)
 	out = append(out, progPasses()...)
 	out = append(out, configPasses()...)
+	out = append(out, faultPasses()...)
 	return out
 }
 

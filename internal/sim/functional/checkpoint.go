@@ -1,0 +1,59 @@
+package functional
+
+import (
+	"fmt"
+
+	"multiscalar/internal/isa"
+)
+
+// Checkpoint is a complete snapshot of a Machine's architectural state at
+// a task boundary: registers, data memory, the program counter, and the
+// execution statistics. It is the sequencer-side recovery primitive the
+// resilience harness builds on — restoring a checkpoint and re-running
+// must reproduce the exact same task trace, whatever happened to
+// predictor state in between (predictor state is deliberately excluded:
+// it is a performance hint, and recovery resets or repairs it without
+// affecting correctness).
+type Checkpoint struct {
+	regs  [isa.NumRegs]int64
+	mem   []int64
+	pc    isa.Addr
+	stats Stats
+}
+
+// PC returns the program counter the checkpoint will resume from.
+func (c *Checkpoint) PC() isa.Addr { return c.pc }
+
+// Stats returns the execution statistics captured at checkpoint time.
+func (c *Checkpoint) Stats() Stats { return c.stats }
+
+// Checkpoint snapshots the machine. Call it between Run invocations
+// (i.e. at a task boundary, where the pc is parked on a task start);
+// the snapshot owns its own copy of memory, so later execution cannot
+// leak into it.
+func (m *Machine) Checkpoint() *Checkpoint {
+	c := &Checkpoint{
+		regs:  m.regs,
+		mem:   make([]int64, len(m.mem)),
+		pc:    m.pc,
+		stats: m.stats,
+	}
+	copy(c.mem, m.mem)
+	return c
+}
+
+// Restore rolls the machine back to a checkpoint taken from a machine of
+// the same program. It errors (rather than corrupting state) when the
+// checkpoint's memory image does not match this machine's memory size —
+// the only way a snapshot can be foreign.
+func (m *Machine) Restore(c *Checkpoint) error {
+	if len(c.mem) != len(m.mem) {
+		return fmt.Errorf("functional: checkpoint memory of %d words does not fit machine memory of %d words",
+			len(c.mem), len(m.mem))
+	}
+	m.regs = c.regs
+	copy(m.mem, c.mem)
+	m.pc = c.pc
+	m.stats = c.stats
+	return nil
+}

@@ -1,0 +1,132 @@
+package functional_test
+
+import (
+	"testing"
+
+	"multiscalar/internal/sim/functional"
+	"multiscalar/internal/tfg"
+	"multiscalar/internal/trace"
+	"multiscalar/internal/workload"
+)
+
+func testGraph(t *testing.T, name string) *tfg.Graph {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := w.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func stepsEqual(a, b []trace.Step) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCheckpointResume proves the recovery primitive: running a machine
+// in bounded segments with a checkpoint/restore between them reproduces
+// exactly the trace of an uninterrupted run.
+func TestCheckpointResume(t *testing.T) {
+	g := testGraph(t, "exprc")
+
+	ref, _, err := functional.Run(g, functional.Config{MaxSteps: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const seg = 1000
+	m := functional.NewMachine(g, functional.Config{})
+	tr1, err := m.Run(functional.Config{MaxSteps: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stepsEqual(tr1.Steps, ref.Steps[:seg]) {
+		t.Fatal("segment 1 diverges from the reference run")
+	}
+
+	ck := m.Checkpoint()
+	if ck.Stats().Tasks != m.Stats().Tasks {
+		t.Fatalf("checkpoint stats %+v != machine stats %+v", ck.Stats(), m.Stats())
+	}
+
+	// Continue past the checkpoint...
+	tr2, err := m.Run(functional.Config{MaxSteps: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stepsEqual(tr2.Steps, ref.Steps[seg:2*seg]) {
+		t.Fatal("segment 2 diverges from the reference run")
+	}
+
+	// ...then roll back and re-run: the machine must retrace segment 2
+	// step for step, whatever happened after the snapshot.
+	if err := m.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	tr2b, err := m.Run(functional.Config{MaxSteps: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stepsEqual(tr2b.Steps, tr2.Steps) {
+		t.Fatal("restored run diverges from the original continuation")
+	}
+
+	// And keep going to the 3000-step mark to confirm the restore left a
+	// fully working machine behind.
+	tr3, err := m.Run(functional.Config{MaxSteps: seg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stepsEqual(tr3.Steps, ref.Steps[2*seg:3*seg]) {
+		t.Fatal("segment 3 diverges from the reference run")
+	}
+}
+
+// TestCheckpointIsolation: later execution must not leak into a snapshot
+// (the checkpoint owns its memory image).
+func TestCheckpointIsolation(t *testing.T) {
+	g := testGraph(t, "compressb")
+	m := functional.NewMachine(g, functional.Config{})
+	if _, err := m.Run(functional.Config{MaxSteps: 200}); err != nil {
+		t.Fatal(err)
+	}
+	ck := m.Checkpoint()
+	pc, stats := ck.PC(), ck.Stats()
+
+	if _, err := m.Run(functional.Config{MaxSteps: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if ck.PC() != pc || ck.Stats() != stats {
+		t.Fatal("continued execution mutated the checkpoint")
+	}
+	if err := m.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats() != stats {
+		t.Fatalf("restore left stats %+v, want %+v", m.Stats(), stats)
+	}
+}
+
+// TestRestoreRejectsForeignCheckpoint: a snapshot from a machine with a
+// different memory image must be refused, not silently applied.
+func TestRestoreRejectsForeignCheckpoint(t *testing.T) {
+	g := testGraph(t, "exprc")
+	m1 := functional.NewMachine(g, functional.Config{})
+	ck := m1.Checkpoint()
+
+	m2 := functional.NewMachine(g, functional.Config{ExtraMem: 64})
+	if err := m2.Restore(ck); err == nil {
+		t.Fatal("Restore accepted a checkpoint with a different memory size")
+	}
+}

@@ -150,6 +150,9 @@ func (m *Machine) Run(cfg Config) (*trace.Trace, error) {
 				cur.Start, exit, next)
 		}
 		cur = nt
+		// Park the pc on the next task's start so the machine can be
+		// checkpointed and resumed (Run re-enters from m.pc).
+		m.pc = cur.Start
 		if cfg.MaxSteps > 0 && len(tr.Steps) >= cfg.MaxSteps {
 			return tr, nil
 		}

@@ -153,17 +153,21 @@ func Read(r io.Reader, graph *tfg.Graph) (*Trace, error) {
 	if n > maxSteps {
 		return nil, fmt.Errorf("trace: implausible step count %d", n)
 	}
-	steps := make([]Step, n)
+	// Grow the step slice as data actually arrives instead of trusting
+	// the header: a corrupted count must produce a read error, not a
+	// multi-gigabyte allocation.
+	const allocChunk = 1 << 16
+	steps := make([]Step, 0, min(n, allocChunk))
 	buf := make([]byte, 9)
-	for i := range steps {
+	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, fmt.Errorf("trace: read step %d: %w", i, err)
+			return nil, fmt.Errorf("trace: read step %d of %d: %w", i, n, err)
 		}
-		steps[i] = Step{
+		steps = append(steps, Step{
 			Task:   isa.Addr(binary.LittleEndian.Uint32(buf[0:])),
 			Exit:   int8(buf[4]),
 			Target: isa.Addr(binary.LittleEndian.Uint32(buf[5:])),
-		}
+		})
 	}
 	return &Trace{Graph: graph, Steps: steps}, nil
 }

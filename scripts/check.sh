@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, race-enabled tests, and the static
-# analyzer over every built-in workload (zero error diagnostics required).
-# Run from the repository root.
+# Tier-1 verification: build, vet, race-enabled tests (with a per-package
+# watchdog so a hung test cannot wedge CI), a fuzz smoke over the
+# hardened parsers, and the static analyzer over every built-in workload
+# (zero error diagnostics required). Run from the repository root.
 set -eu
 
 echo "==> go build ./..."
@@ -10,10 +11,17 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> go test -race -timeout 10m ./..."
+go test -race -timeout 10m ./...
+
+echo "==> fuzz smoke (5s per target)"
+go test ./internal/core -run '^$' -fuzz FuzzRAS -fuzztime 5s >/dev/null
+go test ./internal/trace -run '^$' -fuzz FuzzTraceRead -fuzztime 5s >/dev/null
 
 echo "==> mlint -w all"
 go run ./cmd/mlint -w all >/dev/null
+
+echo "==> mlint fault spec check"
+go run ./cmd/mlint -w exprc -fault all=1e-3,seed=7 >/dev/null
 
 echo "OK"
