@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/experiments"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/msl"
@@ -89,8 +90,7 @@ func benchTrace(b *testing.B, name string, steps int) *trace.Trace {
 // path-based exit predictor (the hardware-modelled hot path).
 func BenchmarkPathExitPredict(b *testing.B) {
 	tr := benchTrace(b, "exprc", 200000)
-	p := core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2,
-		core.PathExitOptions{SkipSingleExit: true})
+	p := engine.MustBuildExit("path:d7-o5-l6-c6-f3:leh2")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := tr.Steps[i%tr.PredictionSteps()]
@@ -116,7 +116,7 @@ func BenchmarkIdealPathPredict(b *testing.B) {
 
 // BenchmarkCTTBStep measures the correlated target buffer's per-step cost.
 func BenchmarkCTTBStep(b *testing.B) {
-	buf := core.MustCTTB(core.MustDOLC(7, 4, 4, 5, 3))
+	buf := engine.MustBuildTarget("cttb:d7-o4-l4-c5-f3")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cur := isa.Addr(i & 0xFFFF)
@@ -142,10 +142,7 @@ func BenchmarkDOLCIndex(b *testing.B) {
 // BenchmarkHeaderPredictorStep measures the fully composed predictor.
 func BenchmarkHeaderPredictorStep(b *testing.B) {
 	tr := benchTrace(b, "minilisp", 200000)
-	exit := core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2,
-		core.PathExitOptions{SkipSingleExit: true})
-	p := core.NewHeaderPredictor("bench", exit, core.NewRAS(0),
-		core.MustCTTB(core.MustDOLC(7, 4, 4, 5, 3)))
+	p := engine.MustBuild("composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := tr.Steps[i%tr.PredictionSteps()]

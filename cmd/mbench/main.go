@@ -10,6 +10,8 @@
 //	mbench -exp fig7                # one experiment
 //	mbench -exp table4 -timing 200000
 //	mbench -exp fig10 -steps 500000 # truncate traces (quick look)
+//	mbench -exp all -workers 8      # shard evaluation grids over 8 workers
+//	                                # (output is byte-identical at any count)
 //	mbench -exp all -timeout 30m    # per-experiment watchdog
 //	mbench -exp all -journal run.j  # custom resume journal path
 //	mbench -exp all -fresh          # ignore (and restart) the journal
@@ -37,6 +39,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment name or 'all'")
 	steps := flag.Int("steps", 0, "truncate workload traces to N dynamic tasks (0 = full)")
 	timing := flag.Int("timing", 0, "dynamic-task budget per timing run (0 = default 400000)")
+	workers := flag.Int("workers", 0, "evaluation-grid worker pool size (0 = GOMAXPROCS); output is identical at any count")
 	timeout := flag.Duration("timeout", 0, "per-experiment watchdog timeout (0 = none)")
 	journalPath := flag.String("journal", "mbench.journal", "resume journal path for multi-experiment runs ('' disables)")
 	fresh := flag.Bool("fresh", false, "ignore an existing resume journal and start over")
@@ -50,11 +53,11 @@ func main() {
 		return
 	}
 
-	os.Exit(run(*exp, *steps, *timing, *timeout, *journalPath, *fresh))
+	os.Exit(run(*exp, *steps, *timing, *workers, *timeout, *journalPath, *fresh))
 }
 
-func run(exp string, steps, timing int, timeout time.Duration, journalPath string, fresh bool) int {
-	cfg := experiments.Config{MaxSteps: steps, TimingSteps: timing}
+func run(exp string, steps, timing, workers int, timeout time.Duration, journalPath string, fresh bool) int {
+	cfg := experiments.Config{MaxSteps: steps, TimingSteps: timing, Workers: workers}
 
 	// Static analysis gate: verify every workload TFG and predictor
 	// configuration before spending hours of simulation on them.

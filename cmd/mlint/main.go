@@ -10,6 +10,7 @@
 //	mlint prog.msl other.msl              # lint MSL sources
 //	mlint -asm prog.s                     # lint MSA assembly
 //	mlint -w exprc -dolc 7-5-6-6-3 -cttb 7-4-4-5-3 -ras 32
+//	mlint -w exprc -pred composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3
 //	mlint -w minilisp -cttb none          # no CTTB: indirect-coverage warns
 //	mlint -w exprc -exit-entries 16384    # check a declared table budget
 //	mlint -w exprc -fault all=1e-3,seed=7 # validate a fault-injection spec
@@ -35,6 +36,7 @@ func main() {
 	wname := flag.String("w", "", "lint a built-in workload by name, or 'all': "+strings.Join(workload.Names(), ", "))
 	asAsm := flag.Bool("asm", false, "treat file arguments as MSA assembly instead of MSL")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	predStr := flag.String("pred", "", "predictor spec string (engine grammar); overrides -dolc/-cttb/-ras")
 	dolcStr := flag.String("dolc", "7-5-6-6-3", "exit predictor DOLC as D-O-L-C-F, or 'none'")
 	cttbStr := flag.String("cttb", "7-4-4-5-3", "CTTB DOLC as D-O-L-C-F, or 'none'")
 	rasDepth := flag.Int("ras", core.DefaultRASDepth, "return address stack depth")
@@ -45,7 +47,7 @@ func main() {
 	maxInstr := flag.Int("task-instr", 0, "task former instruction budget (0 = default)")
 	flag.Parse()
 
-	code, err := run(*wname, flag.Args(), *asAsm, *jsonOut, *dolcStr, *cttbStr, *faultStr,
+	code, err := run(*wname, flag.Args(), *asAsm, *jsonOut, *predStr, *dolcStr, *cttbStr, *faultStr,
 		*rasDepth, *exitEntries, *cttbEntries, *minStr, *maxInstr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlint:", err)
@@ -55,9 +57,19 @@ func main() {
 }
 
 // parseConfig assembles the predictor configuration from flags. The
-// fault spec is passed through raw: validating it is exactly the job of
-// the cfg-fault-spec pass.
-func parseConfig(dolcStr, cttbStr, faultStr string, ras, exitEntries, cttbEntries int) (*lint.PredictorConfig, error) {
+// fault and predictor specs are passed through raw: validating them is
+// exactly the job of the cfg-fault-spec and cfg-pred-spec passes. A
+// -pred spec supersedes the hand-rolled -dolc/-cttb/-ras flags — the
+// config-layer passes then derive those structures from the spec.
+func parseConfig(predStr, dolcStr, cttbStr, faultStr string, ras, exitEntries, cttbEntries int) (*lint.PredictorConfig, error) {
+	if predStr != "" {
+		return &lint.PredictorConfig{
+			PredSpec:    predStr,
+			ExitEntries: exitEntries,
+			CTTBEntries: cttbEntries,
+			FaultSpec:   faultStr,
+		}, nil
+	}
 	cfg := &lint.PredictorConfig{
 		RASDepth:    ras,
 		ExitEntries: exitEntries,
@@ -138,13 +150,13 @@ func collectTargets(wname string, files []string, asAsm bool) ([]target, error) 
 	return out, nil
 }
 
-func run(wname string, files []string, asAsm, jsonOut bool, dolcStr, cttbStr, faultStr string,
+func run(wname string, files []string, asAsm, jsonOut bool, predStr, dolcStr, cttbStr, faultStr string,
 	ras, exitEntries, cttbEntries int, minStr string, maxInstr int) (int, error) {
 	min, err := lint.ParseSeverity(minStr)
 	if err != nil {
 		return 0, err
 	}
-	cfg, err := parseConfig(dolcStr, cttbStr, faultStr, ras, exitEntries, cttbEntries)
+	cfg, err := parseConfig(predStr, dolcStr, cttbStr, faultStr, ras, exitEntries, cttbEntries)
 	if err != nil {
 		return 0, err
 	}

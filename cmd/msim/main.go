@@ -1,14 +1,19 @@
-// Command msim runs one workload under one task-predictor configuration
-// and reports prediction statistics (and optionally ring-model timing).
+// Command msim runs one workload under one predictor spec and reports
+// prediction statistics (and optionally ring-model timing). The -pred
+// spec grammar is the engine's (internal/engine): exit-only specs replay
+// exit prediction, cttb: specs replay indirect-target prediction,
+// composed: specs replay full task prediction, and "perfect" drives the
+// timing model with oracle prediction.
 //
 // Usage:
 //
-//	msim -w exprc                                # standard predictor
-//	msim -w minilisp -dolc 5-4-6-6-2 -automaton LE
-//	msim -w compressb -predictor cttb-only
-//	msim -w calcsheet -timing                    # ring-model IPC
-//	msim -w exprc -steps 200000                  # truncate the run
-//	msim -w exprc -fault all=1e-3,seed=7         # seeded fault injection
+//	msim -w exprc                                     # standard composed predictor
+//	msim -w minilisp -pred path:d5-o4-l6-c6-f2:le     # exit-only replay
+//	msim -w compressb -pred cttb:d7-o5-l6-c6-f3       # CTTB target replay
+//	msim -w calcsheet -timing                         # ring-model IPC
+//	msim -w calcsheet -pred perfect -timing           # oracle timing bound
+//	msim -w exprc -steps 200000                       # truncate the run
+//	msim -w exprc -fault all=1e-3,seed=7              # seeded fault injection
 package main
 
 import (
@@ -17,96 +22,49 @@ import (
 	"os"
 	"strings"
 
-	"multiscalar/internal/core"
-	"multiscalar/internal/fault"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/lint"
-	"multiscalar/internal/sim/timing"
-	"multiscalar/internal/trace"
 	"multiscalar/internal/workload"
 )
 
+// stdSpec is the canonical spec of the paper's standard composed task
+// predictor: depth-7 path-based exit prediction, a default-depth RAS,
+// and the small CTTB for indirect exits.
+const stdSpec = "composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3"
+
 func main() {
 	wname := flag.String("w", "exprc", "workload: "+strings.Join(workload.Names(), ", "))
-	dolcStr := flag.String("dolc", "7-5-6-6-3", "exit predictor DOLC as D-O-L-C-F")
-	automaton := flag.String("automaton", "LEH-2bit", "prediction automaton kind")
-	predictor := flag.String("predictor", "header", "predictor style: header | cttb-only")
-	cttbStr := flag.String("cttb", "7-4-4-5-3", "CTTB DOLC as D-O-L-C-F")
-	rasDepth := flag.Int("ras", core.DefaultRASDepth, "return address stack depth")
+	pred := flag.String("pred", stdSpec, "predictor spec (engine grammar, e.g. path:d7-o5-l6-c6-f3:leh2 or composed:...)")
 	steps := flag.Int("steps", 0, "dynamic task budget (0 = run to halt)")
 	doTiming := flag.Bool("timing", false, "also run the ring timing model")
 	faultStr := flag.String("fault", "", "fault injection spec (e.g. all=1e-3 or ctr=1e-3,ras=1e-2,seed=7; '' = off)")
 	flag.Parse()
 
-	if err := run(*wname, *dolcStr, *automaton, *predictor, *cttbStr, *faultStr, *rasDepth, *steps, *doTiming); err != nil {
+	if err := run(*wname, *pred, *faultStr, *steps, *doTiming); err != nil {
 		fmt.Fprintln(os.Stderr, "msim:", err)
 		os.Exit(1)
 	}
 }
 
-func buildPredictor(style string, dolc, cttbDOLC core.DOLC, kind core.AutomatonKind, rasDepth int) (core.TaskPredictor, error) {
-	switch style {
-	case "header":
-		exit, err := core.NewPathExit(dolc, kind, core.PathExitOptions{SkipSingleExit: true})
-		if err != nil {
-			return nil, err
-		}
-		cttb, err := core.NewCTTB(cttbDOLC)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewHeaderPredictor("", exit, core.NewRAS(rasDepth), cttb), nil
-	case "cttb-only":
-		cttb, err := core.NewCTTB(dolc)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewCTTBOnly(cttb), nil
-	default:
-		return nil, fmt.Errorf("unknown predictor style %q", style)
-	}
-}
-
-func run(wname, dolcStr, automaton, style, cttbStr, faultStr string, rasDepth, steps int, doTiming bool) error {
+func run(wname, predStr, faultStr string, steps int, doTiming bool) error {
 	w, err := workload.ByName(wname)
 	if err != nil {
 		return err
 	}
-	dolc, err := core.ParseDOLC(dolcStr)
-	if err != nil {
-		return err
-	}
-	cttbDOLC, err := core.ParseDOLC(cttbStr)
-	if err != nil {
-		return err
-	}
-	kind, err := core.AutomatonKindByName(automaton)
-	if err != nil {
-		return err
-	}
-	spec, err := fault.ParseSpec(faultStr)
-	if err != nil {
-		return err
-	}
-	pred, err := buildPredictor(style, dolc, cttbDOLC, kind, rasDepth)
+	sp, err := engine.Parse(predStr)
 	if err != nil {
 		return err
 	}
 
 	// Static analysis gate: lint the workload's TFG together with the
-	// exact predictor configuration before a single task executes.
+	// exact predictor spec before a single task executes.
 	g, err := w.Graph()
 	if err != nil {
 		return err
 	}
-	lcfg := &lint.PredictorConfig{RASDepth: rasDepth, FaultSpec: faultStr}
-	switch style {
-	case "header":
-		lcfg.ExitDOLC, lcfg.CTTB = &dolc, &cttbDOLC
-	case "cttb-only":
-		lcfg.CTTB = &dolc
-	}
-	rep := lint.Run(lint.NewContext(g.Prog, g, lcfg))
+	rep := lint.Run(lint.NewContext(g.Prog, g,
+		&lint.PredictorConfig{PredSpec: predStr, FaultSpec: faultStr}))
 	if err := rep.WriteText(os.Stderr, lint.Warn); err != nil {
 		return err
 	}
@@ -114,62 +72,59 @@ func run(wname, dolcStr, automaton, style, cttbStr, faultStr string, rasDepth, s
 		return fmt.Errorf("lint found %d errors in %s under this configuration", rep.Count(lint.Error), wname)
 	}
 
-	var tr *trace.Trace
-	if steps > 0 {
-		tr, err = w.TraceN(steps)
-	} else {
-		tr, _, err = w.Trace()
-	}
-	if err != nil {
-		return err
+	if sp.Class() == engine.ClassPerfect && !doTiming {
+		return fmt.Errorf("spec %q is the perfect predictor; it is only meaningful with -timing", predStr)
 	}
 
-	fmt.Printf("workload %s (%s analog): %d dynamic tasks, %d distinct\n",
-		w.Name, w.Analog, tr.Len(), tr.DistinctTasks())
-
-	var inj *fault.Injector
-	if spec.Enabled() {
-		if inj, err = fault.New(spec, pred); err != nil {
+	if sp.Class() != engine.ClassPerfect {
+		tr, err := workload.CachedTrace(w.Name, steps)
+		if err != nil {
 			return err
 		}
-		pred = inj
-	}
+		fmt.Printf("workload %s (%s analog): %d dynamic tasks, %d distinct\n",
+			w.Name, w.Analog, tr.Len(), tr.DistinctTasks())
 
-	res := core.EvaluateTask(tr, pred)
-	fmt.Printf("predictor %s\n", pred.Name())
-	fmt.Printf("  task miss rate     %6.2f%%  (%d / %d)\n", 100*res.MissRate(), res.Misses, res.Steps)
-	if style == "header" {
-		fmt.Printf("  exit miss rate     %6.2f%%\n", 100*res.ExitMissRate())
-	}
-	for _, k := range []isa.ControlKind{isa.KindBranch, isa.KindCall, isa.KindReturn,
-		isa.KindIndirectBranch, isa.KindIndirectCall} {
-		km := res.ByKind[k]
-		if km.Steps == 0 {
-			continue
+		res := engine.Do(engine.Run{Workload: w.Name, Spec: predStr, Fault: faultStr, MaxSteps: steps})
+		if res.Err != nil {
+			return res.Err
 		}
-		fmt.Printf("  %-18s %6.2f%%  (%d / %d)\n", k.String()+" misses",
-			100*float64(km.Misses)/float64(km.Steps), km.Misses, km.Steps)
-	}
-	if inj != nil {
-		fmt.Printf("  faults injected    %s\n", inj.Stats())
+		fmt.Printf("predictor %s\n", sp)
+		switch sp.Class() {
+		case engine.ClassExit:
+			fmt.Printf("  exit miss rate     %6.2f%%  (%d / %d)\n",
+				100*res.Exit.MissRate(), res.Exit.Misses, res.Exit.Steps)
+		case engine.ClassTarget:
+			fmt.Printf("  target miss rate   %6.2f%%  (%d / %d indirect exits)\n",
+				100*res.Target.MissRate(), res.Target.Misses, res.Target.Steps)
+		case engine.ClassTask:
+			fmt.Printf("  task miss rate     %6.2f%%  (%d / %d)\n",
+				100*res.Task.MissRate(), res.Task.Misses, res.Task.Steps)
+			if sp.HasExit() {
+				fmt.Printf("  exit miss rate     %6.2f%%\n", 100*res.Task.ExitMissRate())
+			}
+			for _, k := range []isa.ControlKind{isa.KindBranch, isa.KindCall, isa.KindReturn,
+				isa.KindIndirectBranch, isa.KindIndirectCall} {
+				km := res.Task.ByKind[k]
+				if km.Steps == 0 {
+					continue
+				}
+				fmt.Printf("  %-18s %6.2f%%  (%d / %d)\n", k.String()+" misses",
+					100*float64(km.Misses)/float64(km.Steps), km.Misses, km.Steps)
+			}
+			if res.Faulted {
+				fmt.Printf("  faults injected    %s\n", res.Injection)
+			}
+		}
 	}
 
 	if doTiming {
-		fresh, err := buildPredictor(style, dolc, cttbDOLC, kind, rasDepth)
-		if err != nil {
-			return err
-		}
-		if spec.Enabled() {
-			if fresh, err = fault.New(spec, fresh); err != nil {
-				return err
-			}
-		}
-		tres, err := timing.Run(g, fresh, timing.Config{MaxSteps: steps})
-		if err != nil {
-			return err
+		res := engine.Do(engine.Run{Workload: w.Name, Spec: predStr, Fault: faultStr,
+			Mode: engine.ModeTiming, TimingSteps: steps})
+		if res.Err != nil {
+			return res.Err
 		}
 		fmt.Printf("timing (4 units, 2-way): IPC %.2f over %d cycles, %d tasks, task miss %.2f%%\n",
-			tres.IPC(), tres.Cycles, tres.Tasks, 100*tres.TaskMissRate())
+			res.Timing.IPC(), res.Timing.Cycles, res.Timing.Tasks, 100*res.Timing.TaskMissRate())
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/sim/functional"
 	"multiscalar/internal/tfg"
 	"multiscalar/internal/trace"
@@ -88,11 +89,10 @@ func run(wname, record, info, replay string, steps int) error {
 			return err
 		}
 		preds := []core.ExitPredictor{
-			core.NewIdealGlobal(7, core.LEH2),
-			core.NewIdealPer(7, core.LEH2),
-			core.NewIdealPath(7, core.LEH2),
-			core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true}),
+			engine.MustBuildExit("iglobal:d7:leh2"),
+			engine.MustBuildExit("iper:d7:leh2"),
+			engine.MustBuildExit("ipath:d7:leh2"),
+			engine.MustBuildExit("path:d7-o5-l6-c6-f3:leh2"),
 		}
 		for _, res := range core.EvaluateExitAll(tr, preds) {
 			fmt.Printf("%-32s %6.2f%% misses (%d states)\n", res.Name, 100*res.MissRate(), res.States)

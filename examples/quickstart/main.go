@@ -13,6 +13,7 @@ import (
 
 	"multiscalar/internal/asm"
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/sim/functional"
 	"multiscalar/internal/taskform"
 )
@@ -78,21 +79,18 @@ func main() {
 
 	// The paper's recommended configuration: a path-based exit predictor
 	// (depth 7, DOLC-folded 14-bit index, LEH-2 automata) with a return
-	// address stack and a correlated target buffer.
-	exit := core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2,
-		core.PathExitOptions{SkipSingleExit: true})
-	pred := core.NewHeaderPredictor("PATH", exit, core.NewRAS(0),
-		core.MustCTTB(core.MustDOLC(7, 4, 4, 5, 3)))
+	// address stack and a correlated target buffer. The engine spec
+	// grammar is the single way predictors are built everywhere in the
+	// repo — msim's -pred flag takes the same strings.
+	pred := engine.MustBuild("composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3")
 
 	res := core.EvaluateTask(trace, pred)
 	fmt.Printf("task predictions: %d, misses: %d (%.2f%%)\n",
 		res.Steps, res.Misses, 100*res.MissRate())
 
-	// Compare against a history-less predictor (the Table 4 "Simple" row).
-	simple := core.NewHeaderPredictor("Simple",
-		core.MustPathExit(core.MustDOLC(0, 0, 0, 14, 1), core.LEH2,
-			core.PathExitOptions{SkipSingleExit: true}),
-		core.NewRAS(0), core.MustCTTB(core.MustDOLC(7, 4, 4, 5, 3)))
+	// Compare against a history-less predictor (the Table 4 "Simple" row:
+	// a depth-0 DOLC indexes the PHT by task address alone).
+	simple := engine.MustBuild("composed:path:d0-o0-l0-c14:leh2:ras32:cttb:d7-o4-l4-c5-f3")
 	sres := core.EvaluateTask(trace, simple)
 	fmt.Printf("without path history: %.2f%% misses — path history removes %.0f%% of them\n",
 		100*sres.MissRate(), 100*(1-res.MissRate()/sres.MissRate()))

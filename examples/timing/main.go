@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 
+	"multiscalar/internal/engine"
 	"multiscalar/internal/experiments"
 	"multiscalar/internal/sim/timing"
 	"multiscalar/internal/workload"
@@ -29,8 +30,8 @@ func main() {
 
 	fmt.Printf("workload %s (%s analog), %d-task timing runs\n\n", w.Name, w.Analog, steps)
 	fmt.Println("Table 4 predictors on the default 4-unit, 2-way ring:")
-	for _, p := range experiments.Table4Predictors() {
-		pred, err := p.Make()
+	for _, p := range experiments.Table4Specs() {
+		pred, err := engine.Build(p.Spec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,8 +45,8 @@ func main() {
 
 	fmt.Println("\nunit sweep (PATH predictor): window size vs prediction accuracy")
 	for _, units := range []int{1, 2, 4, 8, 16} {
-		var path = experiments.Table4Predictors()[3]
-		pred, err := path.Make()
+		path := experiments.Table4Specs()[3] // PATH
+		pred, err := engine.Build(path.Spec)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+
+	"multiscalar/internal/core"
+)
+
+// BuildExit constructs the spec's exit predictor component.
+func (s *Spec) BuildExit() (core.ExitPredictor, error) {
+	if s.exit == nil {
+		return nil, fmt.Errorf("engine: spec %q has no exit predictor", s)
+	}
+	return s.exit.build()
+}
+
+// build constructs the exit predictor an ExitSpec describes.
+func (e *ExitSpec) build() (core.ExitPredictor, error) {
+	var p core.ExitPredictor
+	var err error
+	switch e.Scheme {
+	case SchemePath:
+		p, err = core.NewPathExit(e.DOLC, e.Automaton, core.PathExitOptions{
+			SkipSingleExit:        !e.NoSSE,
+			SkipSingleExitHistory: e.SSH,
+			TrainLatency:          e.Lat,
+			Seed:                  e.Seed,
+		})
+	case SchemeGlobal:
+		p, err = core.NewGlobalExit(e.Depth, e.Current, e.Index, e.Automaton)
+	case SchemePer:
+		p, err = core.NewPerExit(e.Depth, e.HRT, e.TaskBits, e.Index, e.Automaton)
+	case SchemeIdealPath:
+		p = core.NewIdealPath(e.Depth, e.Automaton)
+	case SchemeIdealGlobal:
+		p = core.NewIdealGlobal(e.Depth, e.Automaton)
+	case SchemeIdealPer:
+		p = core.NewIdealPer(e.Depth, e.Automaton)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if e.DLat > 0 {
+		p = core.NewDelayedUpdate(p, e.DLat)
+	}
+	return p, nil
+}
+
+// BuildTarget constructs the spec's target buffer component.
+func (s *Spec) BuildTarget() (core.TargetBuffer, error) {
+	if s.buf == nil {
+		return nil, fmt.Errorf("engine: spec %q has no target buffer", s)
+	}
+	return s.buf.build()
+}
+
+// build constructs the target buffer a TargetSpec describes.
+func (t *TargetSpec) build() (core.TargetBuffer, error) {
+	if t.Ideal {
+		return core.NewIdealCTTB(t.Depth), nil
+	}
+	return core.NewCTTB(t.DOLC)
+}
+
+// BuildTask constructs a full task predictor from the spec. A
+// ClassTarget spec builds as a CTTB-only predictor; ClassPerfect returns
+// (nil, nil), the timing model's always-correct predictor; a bare
+// ClassExit spec is an error — wrap it in composed: to say explicitly
+// which RAS and buffer (if any) ride along.
+func (s *Spec) BuildTask() (core.TaskPredictor, error) {
+	switch s.class {
+	case ClassPerfect:
+		return nil, nil
+	case ClassTarget:
+		buf, err := s.buf.build()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCTTBOnly(buf), nil
+	case ClassTask:
+		exit, err := s.exit.build()
+		if err != nil {
+			return nil, err
+		}
+		var ras *core.RAS
+		if !s.noRAS {
+			ras = core.NewRAS(s.rasDepth)
+		}
+		var buf core.TargetBuffer
+		if s.buf != nil {
+			if buf, err = s.buf.build(); err != nil {
+				return nil, err
+			}
+		}
+		return core.NewHeaderPredictor(s.String(), exit, ras, buf), nil
+	default:
+		return nil, fmt.Errorf("engine: exit-only spec %q cannot build a task predictor (wrap it in composed:)", s)
+	}
+}
+
+// Build parses a spec string and constructs its task predictor — the
+// one-call path for CLIs and harnesses.
+func Build(spec string) (core.TaskPredictor, error) {
+	sp, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return sp.BuildTask()
+}
+
+// MustBuild is Build, panicking on error.
+func MustBuild(spec string) core.TaskPredictor {
+	p, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustBuildExit parses a spec string and constructs its exit predictor,
+// panicking on error.
+func MustBuildExit(spec string) core.ExitPredictor {
+	p, err := MustParse(spec).BuildExit()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustBuildTarget parses a spec string and constructs its target buffer,
+// panicking on error.
+func MustBuildTarget(spec string) core.TargetBuffer {
+	b, err := MustParse(spec).BuildTarget()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/fault"
+	"multiscalar/internal/sim/timing"
+	"multiscalar/internal/workload"
+)
+
+// Mode selects how a run evaluates its spec.
+type Mode uint8
+
+const (
+	// ModeAuto derives the mode from the spec's class: exit specs replay
+	// exit prediction, target specs replay indirect-target prediction,
+	// task specs replay full task prediction, and perfect runs the timing
+	// model.
+	ModeAuto Mode = iota
+	// ModeExit replays exit prediction over every trace step.
+	ModeExit
+	// ModeTarget replays target prediction over indirect exits.
+	ModeTarget
+	// ModeTask replays full task (next-address) prediction.
+	ModeTask
+	// ModeTiming runs the ring timing model instead of a trace replay.
+	ModeTiming
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeExit:
+		return "exit"
+	case ModeTarget:
+		return "target"
+	case ModeTask:
+		return "task"
+	case ModeTiming:
+		return "timing"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Run is one cell of an evaluation grid: one workload replayed under one
+// predictor spec. The zero values of Mode, Fault, MaxSteps and
+// TimingSteps mean auto-derived mode, no injection, the full trace, and
+// the timing model's default budget.
+type Run struct {
+	// Workload is the workload name (workload.ByName).
+	Workload string
+	// Spec is the predictor spec string (Parse).
+	Spec string
+	// Mode overrides the spec-derived evaluation mode (e.g. ModeTask to
+	// evaluate a bare cttb: spec as a CTTB-only task predictor).
+	Mode Mode
+	// Fault is a fault-injection spec (fault.ParseSpec; "" = off). Only
+	// task and timing runs can inject — the injector wraps a full task
+	// predictor.
+	Fault string
+	// MaxSteps truncates the trace (0 = full; replay modes only).
+	MaxSteps int
+	// TimingSteps bounds the timing run (ModeTiming only; 0 = the timing
+	// model's default).
+	TimingSteps int
+	// Label optionally names the run in formatted output; Result.Label
+	// falls back to the canonical spec string.
+	Label string
+}
+
+// Result is one run's outcome. Exactly one of Exit, Target, Task, Timing
+// is meaningful, matching the resolved mode; Err reports parse, build,
+// run, or invariant failures (recovered panics come back as
+// *fault.PanicError, never crash the scheduler).
+type Result struct {
+	// Run echoes the submitted run.
+	Run Run
+	// Spec is the parsed spec (nil when parsing failed).
+	Spec *Spec
+	// Err is nil on success.
+	Err error
+	// Exit is the exit-prediction result (ModeExit).
+	Exit core.ExitResult
+	// Target is the indirect-target result (ModeTarget).
+	Target core.TargetResult
+	// Task is the task-prediction result (ModeTask).
+	Task core.TaskResult
+	// Timing is the ring-model result (ModeTiming).
+	Timing timing.Result
+	// Injection is the fault injector's activity (faulted runs).
+	Injection fault.Stats
+	// Faulted reports that injection was enabled.
+	Faulted bool
+}
+
+// Label returns the run's display label: the explicit label when set,
+// else the canonical spec string.
+func (r *Result) Label() string {
+	if r.Run.Label != "" {
+		return r.Run.Label
+	}
+	if r.Spec != nil {
+		return r.Spec.String()
+	}
+	return r.Run.Spec
+}
+
+// Do executes one run synchronously. All failure modes — unparseable
+// specs, build errors, injection invariant violations, and panics inside
+// a predictor — come back in Result.Err.
+func Do(r Run) Result {
+	res := Result{Run: r}
+	res.Err = run(r, &res)
+	return res
+}
+
+// run is Do's body; the named return lets the deferred recover convert
+// predictor panics into structured errors.
+func run(r Run, res *Result) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &fault.PanicError{Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+
+	sp, err := Parse(r.Spec)
+	if err != nil {
+		return err
+	}
+	res.Spec = sp
+	fs, err := fault.ParseSpec(r.Fault)
+	if err != nil {
+		return err
+	}
+
+	mode := r.Mode
+	if mode == ModeAuto {
+		switch sp.Class() {
+		case ClassExit:
+			mode = ModeExit
+		case ClassTarget:
+			mode = ModeTarget
+		case ClassTask:
+			mode = ModeTask
+		case ClassPerfect:
+			mode = ModeTiming
+		}
+	}
+	if fs.Enabled() && mode != ModeTask && mode != ModeTiming {
+		return fmt.Errorf("engine: fault injection wraps a task predictor; %s runs cannot inject", mode)
+	}
+
+	if mode == ModeTiming {
+		w, err := workload.ByName(r.Workload)
+		if err != nil {
+			return err
+		}
+		g, err := w.Graph()
+		if err != nil {
+			return err
+		}
+		pred, err := sp.BuildTask()
+		if err != nil {
+			return err
+		}
+		var inj *fault.Injector
+		if fs.Enabled() && pred != nil {
+			if inj, err = fault.New(fs, pred); err != nil {
+				return err
+			}
+			pred, res.Faulted = inj, true
+		}
+		tres, err := timing.Run(g, pred, timing.Config{MaxSteps: r.TimingSteps})
+		if err != nil {
+			return err
+		}
+		res.Timing = tres
+		if inj != nil {
+			res.Injection = inj.Stats()
+		}
+		return nil
+	}
+
+	tr, err := workload.CachedTrace(r.Workload, r.MaxSteps)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case ModeExit:
+		p, err := sp.BuildExit()
+		if err != nil {
+			return err
+		}
+		res.Exit = core.EvaluateExit(tr, p)
+	case ModeTarget:
+		b, err := sp.BuildTarget()
+		if err != nil {
+			return err
+		}
+		res.Target = core.EvaluateIndirect(tr, b)
+	case ModeTask:
+		p, err := sp.BuildTask()
+		if err != nil {
+			return err
+		}
+		if p == nil {
+			return fmt.Errorf("engine: the perfect predictor is only meaningful in timing runs")
+		}
+		if !fs.Enabled() {
+			res.Task = core.EvaluateTask(tr, p)
+			return nil
+		}
+		// Faulted task replay: wrap in the injector and hold the run to
+		// the recovery invariants — the trace oracle must come through
+		// untouched and unshortened (panics are caught by the outer
+		// recover and surface as *fault.PanicError).
+		inj, err := fault.New(fs, p)
+		if err != nil {
+			return err
+		}
+		sum := fault.Checksum(tr)
+		res.Task = core.EvaluateTask(tr, inj)
+		res.Injection, res.Faulted = inj.Stats(), true
+		if want := tr.PredictionSteps(); res.Task.Steps != want {
+			return fmt.Errorf("engine: faulted replay scored %d steps, oracle has %d", res.Task.Steps, want)
+		}
+		if fault.Checksum(tr) != sum {
+			return fmt.Errorf("engine: trace contents changed during faulted replay")
+		}
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("engine: trace no longer validates after faulted replay: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Execute evaluates a grid of runs across a pool of workers and returns
+// one Result per run, in submission order.
+//
+// Determinism is the contract: every run is self-contained (per-run
+// predictors, seeded RNGs, read-only shared traces), each worker writes
+// only its own result slot, and the merge is by submission index — so
+// the results, and any output formatted from them, are byte-identical at
+// any worker count. workers <= 0 means GOMAXPROCS.
+//
+// The first workers to demand an undecoded trace serialize briefly on
+// the workload cache's once-guard; everything after that is parallel.
+func Execute(runs []Run, workers int) []Result {
+	results := make([]Result, len(runs))
+	if len(runs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	if workers <= 1 {
+		for i := range runs {
+			results[i] = Do(runs[i])
+		}
+		return results
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = Do(runs[i])
+			}
+		}()
+	}
+	for i := range runs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

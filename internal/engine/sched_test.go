@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// testGrid is a small but heterogeneous grid: several workloads, every
+// spec class, one faulted cell, and one deliberately broken cell.
+func testGrid() []Run {
+	var runs []Run
+	for _, w := range []string{"exprc", "minilisp", "boolmin"} {
+		runs = append(runs,
+			Run{Workload: w, Spec: stdSpec, MaxSteps: 8000},
+			Run{Workload: w, Spec: "path:d7-o5-l6-c6-f3:leh2", MaxSteps: 8000},
+			Run{Workload: w, Spec: "cttb:d7-o4-l4-c5-f3", MaxSteps: 8000},
+			Run{Workload: w, Spec: "perfect", TimingSteps: 5000},
+		)
+	}
+	runs = append(runs,
+		Run{Workload: "exprc", Spec: stdSpec, Fault: "all=0.01,seed=3", MaxSteps: 8000},
+		Run{Workload: "exprc", Spec: "not-a-spec", MaxSteps: 8000},
+	)
+	return runs
+}
+
+// TestExecuteDeterministic is the scheduler's core contract: the same
+// grid produces identical results at any worker count, in submission
+// order. scripts/check.sh runs the package under -race, which also makes
+// this a data-race probe over the shared workload cache.
+func TestExecuteDeterministic(t *testing.T) {
+	runs := testGrid()
+	sequential := Execute(runs, 1)
+	if len(sequential) != len(runs) {
+		t.Fatalf("got %d results for %d runs", len(sequential), len(runs))
+	}
+	for i, res := range sequential {
+		if res.Run != runs[i] {
+			t.Fatalf("result %d echoes run %+v, want %+v", i, res.Run, runs[i])
+		}
+	}
+	for _, workers := range []int{0, 2, 8, len(runs) + 7} {
+		parallel := Execute(runs, workers)
+		for i := range sequential {
+			// Errors are compared by message and parsed specs by their
+			// canonical string (two Parse calls yield distinct pointers);
+			// everything else structurally.
+			seq, par := sequential[i], parallel[i]
+			seqErr, parErr := "", ""
+			if seq.Err != nil {
+				seqErr = seq.Err.Error()
+			}
+			if par.Err != nil {
+				parErr = par.Err.Error()
+			}
+			if seqErr != parErr {
+				t.Fatalf("workers=%d run %d: error %q vs %q", workers, i, parErr, seqErr)
+			}
+			seqSpec, parSpec := "", ""
+			if seq.Spec != nil {
+				seqSpec = seq.Spec.String()
+			}
+			if par.Spec != nil {
+				parSpec = par.Spec.String()
+			}
+			if seqSpec != parSpec {
+				t.Fatalf("workers=%d run %d: spec %q vs %q", workers, i, parSpec, seqSpec)
+			}
+			seq.Err, par.Err = nil, nil
+			seq.Spec, par.Spec = nil, nil
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("workers=%d run %d (%s on %s): results diverge\nseq: %+v\npar: %+v",
+					workers, i, runs[i].Spec, runs[i].Workload, seq, par)
+			}
+		}
+	}
+}
+
+func TestExecuteErrorIsolation(t *testing.T) {
+	results := Execute(testGrid(), 4)
+	var bad, good int
+	for _, res := range results {
+		if res.Err != nil {
+			bad++
+		} else {
+			good++
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("%d failed runs, want exactly the broken-spec cell", bad)
+	}
+	if good != len(results)-1 {
+		t.Fatalf("only %d of %d runs succeeded", good, len(results)-1)
+	}
+}
+
+func TestExecuteEmpty(t *testing.T) {
+	if res := Execute(nil, 8); len(res) != 0 {
+		t.Fatalf("Execute(nil) returned %d results", len(res))
+	}
+}

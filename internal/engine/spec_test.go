@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/core"
+)
+
+// TestParseRoundTrip pins the grammar: every accepted spelling parses to
+// a spec whose String() is the canonical form, and the canonical form is
+// a fixed point of Parse ∘ String.
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"perfect", "perfect"},
+		{"  perfect \n", "perfect"},
+
+		// Exit predictors.
+		{"path:d7-o5-l6-c6-f3:leh2", "path:d7-o5-l6-c6-f3:leh2"},
+		{"path:d0-o0-l0-c14:leh2", "path:d0-o0-l0-c14:leh2"},
+		// An explicit -f1 is dropped canonically.
+		{"path:d0-o0-l0-c14-f1:leh2", "path:d0-o0-l0-c14:leh2"},
+		// Display names are accepted case-insensitively for automata.
+		{"path:d7-o5-l6-c6-f3:LEH-2bit", "path:d7-o5-l6-c6-f3:leh2"},
+		{"path:d7-o5-l6-c6-f3:Le", "path:d7-o5-l6-c6-f3:le"},
+		// Flags canonicalize to a fixed order regardless of input order.
+		{"path:d7-o5-l6-c6-f3:leh2:ssh:nosse", "path:d7-o5-l6-c6-f3:leh2:nosse:ssh"},
+		{"path:d7-o5-l6-c6-f3:leh2:lat4", "path:d7-o5-l6-c6-f3:leh2:lat4"},
+		{"path:d7-o5-l6-c6-f3:leh2:dlat8", "path:d7-o5-l6-c6-f3:leh2:dlat8"},
+		{"path:d2-o4-l5-c5:vc2rand:seed7", "path:d2-o4-l5-c5:vc2rand:seed7"},
+		{"global:d7-c14-i14:leh2", "global:d7-c14-i14:leh2"},
+		{"per:d7-h12-t14-i14:leh2", "per:d7-h12-t14-i14:leh2"},
+		{"ipath:d7:leh2", "ipath:d7:leh2"},
+		{"iglobal:d7:le", "iglobal:d7:le"},
+		{"iper:d7:vc3mru", "iper:d7:vc3mru"},
+
+		// Target buffers.
+		{"cttb:d7-o4-l4-c5-f3", "cttb:d7-o4-l4-c5-f3"},
+		{"icttb:d7", "icttb:d7"},
+
+		// Composed task predictors: an unstated RAS resolves to the
+		// default depth in the canonical form.
+		{"composed:path:d7-o5-l6-c6-f3:leh2:cttb:d7-o4-l4-c5-f3",
+			"composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3"},
+		{"composed:path:d7-o5-l6-c6-f3:leh2:ras8:cttb:d7-o4-l4-c5-f3",
+			"composed:path:d7-o5-l6-c6-f3:leh2:ras8:cttb:d7-o4-l4-c5-f3"},
+		{"composed:path:d7-o5-l6-c6-f3:leh2:noras:cttb:d7-o4-l4-c5-f3",
+			"composed:path:d7-o5-l6-c6-f3:leh2:noras:cttb:d7-o4-l4-c5-f3"},
+		{"composed:path:d7-o5-l6-c6-f3:leh2:ras8",
+			"composed:path:d7-o5-l6-c6-f3:leh2:ras8"},
+		{"composed:global:d7-c14-i14:leh2:icttb:d7",
+			"composed:global:d7-c14-i14:leh2:ras32:icttb:d7"},
+		{"composed:path:d7-o5-l6-c6-f3:leh2:nosse:ras32:cttb:d7-o4-l4-c5-f3",
+			"composed:path:d7-o5-l6-c6-f3:leh2:nosse:ras32:cttb:d7-o4-l4-c5-f3"},
+	}
+	for _, c := range cases {
+		sp, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := sp.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		// Canonical form is a fixed point.
+		again, err := Parse(c.want)
+		if err != nil {
+			t.Errorf("Parse(canonical %q): %v", c.want, err)
+			continue
+		}
+		if got := again.String(); got != c.want {
+			t.Errorf("canonical %q re-parses to %q", c.want, got)
+		}
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"bogus",
+		"path",                           // missing parameters
+		"path:d7-o5-l6-c6-f3",            // missing automaton
+		"path:d7-o5-l6-c6-f3:nope",       // unknown automaton
+		"path:d7-o5-l6-c6-f3:leh2:ras32", // ras is not an exit flag
+		"path:d2-o4-l5-c5-f0:leh2",       // zero folds
+		"path:o5-d7-l6-c6:leh2",          // fields out of order
+		"perfect:now",                    // perfect takes no parameters
+		"cttb:d7-o4-l4-c5-f3:leh2",       // buffers take no automaton
+		"icttb:d7:leh2",                  // ideal buffer likewise
+		"global:d7-c14-i14",              // missing automaton
+		"per:d7-h12-i14:leh2",            // missing field
+		"composed:cttb:d7-o4-l4-c5-f3",   // composed needs an exit predictor
+		"composed:path:d7-o5-l6-c6-f3:leh2:ras0:cttb:d7-o4-l4-c5-f3",        // RAS must be positive
+		"composed:path:d7-o5-l6-c6-f3:leh2:ras32:noras:cttb:d7-o4-l4-c5-f3", // contradictory
+		"composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3:junk",  // trailing
+	}
+	for _, s := range bad {
+		if sp, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted: %v", s, sp)
+		} else if strings.Contains(err.Error(), "engine: engine:") {
+			t.Errorf("Parse(%q) error stutters: %v", s, err)
+		}
+	}
+}
+
+func TestSpecAccessors(t *testing.T) {
+	std := MustParse("composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3")
+	if std.Class() != ClassTask || !std.HasExit() || !std.HasTarget() {
+		t.Fatalf("std spec misclassified: %v %v %v", std.Class(), std.HasExit(), std.HasTarget())
+	}
+	if d := std.RASDepth(); d != core.DefaultRASDepth {
+		t.Fatalf("RASDepth = %d", d)
+	}
+	if d := std.ExitDOLC(); d == nil || *d != core.MustDOLC(7, 5, 6, 6, 3) {
+		t.Fatalf("ExitDOLC = %v", d)
+	}
+	if d := std.CTTBDOLC(); d == nil || *d != core.MustDOLC(7, 4, 4, 5, 3) {
+		t.Fatalf("CTTBDOLC = %v", d)
+	}
+
+	noras := MustParse("composed:path:d7-o5-l6-c6-f3:leh2:noras:cttb:d7-o4-l4-c5-f3")
+	if noras.RASDepth() != 0 {
+		t.Fatalf("noras RASDepth = %d", noras.RASDepth())
+	}
+
+	exitOnly := MustParse("path:d7-o5-l6-c6-f3:leh2")
+	if exitOnly.Class() != ClassExit || exitOnly.HasTarget() || exitOnly.RASDepth() != 0 {
+		t.Fatalf("exit-only spec misclassified")
+	}
+
+	ideal := MustParse("iglobal:d7:leh2")
+	if ideal.ExitDOLC() != nil {
+		t.Fatalf("ideal GLOBAL has no DOLC, got %v", ideal.ExitDOLC())
+	}
+
+	icttb := MustParse("icttb:d7")
+	if icttb.Class() != ClassTarget || icttb.CTTBDOLC() != nil {
+		t.Fatalf("ideal CTTB misclassified")
+	}
+
+	perfect := MustParse("perfect")
+	if perfect.Class() != ClassPerfect || perfect.HasExit() || perfect.HasTarget() {
+		t.Fatalf("perfect misclassified")
+	}
+}
+
+func TestBuildClasses(t *testing.T) {
+	// A composed spec builds a task predictor named by its canonical form.
+	std := "composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3"
+	p, err := Build(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.Name() != std {
+		t.Fatalf("Build(%q).Name() = %q", std, p.Name())
+	}
+
+	// Perfect builds to nil (the timing model's oracle convention).
+	if p, err := Build("perfect"); err != nil || p != nil {
+		t.Fatalf("Build(perfect) = %v, %v", p, err)
+	}
+
+	// Exit-only specs cannot build a task predictor.
+	if _, err := Build("path:d7-o5-l6-c6-f3:leh2"); err == nil {
+		t.Fatal("Build accepted a bare exit spec as a task predictor")
+	}
+
+	// But they build exit predictors; buffers build target buffers.
+	for _, s := range []string{"path:d7-o5-l6-c6-f3:leh2", "global:d7-c14-i14:leh2",
+		"per:d7-h12-t14-i14:leh2", "ipath:d7:leh2", "iglobal:d7:le", "iper:d7:vc3mru",
+		"path:d7-o5-l6-c6-f3:leh2:dlat4"} {
+		if _, err := MustParse(s).BuildExit(); err != nil {
+			t.Errorf("BuildExit(%q): %v", s, err)
+		}
+	}
+	for _, s := range []string{"cttb:d7-o4-l4-c5-f3", "icttb:d7"} {
+		if _, err := MustParse(s).BuildTarget(); err != nil {
+			t.Errorf("BuildTarget(%q): %v", s, err)
+		}
+	}
+
+	// A target spec evaluated as a task predictor is CTTB-only.
+	only, err := MustParse("cttb:d7-o5-l6-c6-f3").BuildTask()
+	if err != nil || only == nil {
+		t.Fatalf("cttb BuildTask: %v, %v", only, err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/stats"
 	"multiscalar/internal/workload"
@@ -35,22 +36,24 @@ func AblationFolding(w io.Writer, cfg Config) error {
 	for _, p := range points {
 		cols = append(cols, fmt.Sprintf("%s %v", p.label, p.dolc))
 	}
+	var runs []engine.Run
+	for _, wl := range workload.All() {
+		for _, p := range points {
+			runs = append(runs, engine.Run{Workload: wl.Name, Spec: PathSpec(p.dolc), MaxSteps: cfg.MaxSteps})
+		}
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return err
+	}
 	tbl := stats.New("Ablation — XOR folding (depth-6 path)", cols...)
 	tbl.Note = "exit miss rate; folding a long intermediate index beats an unfolded short one"
+	i := 0
 	for _, wl := range workload.All() {
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return err
-		}
-		var preds []core.ExitPredictor
-		for _, p := range points {
-			preds = append(preds, core.MustPathExit(p.dolc, core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true}))
-		}
-		results := core.EvaluateExitAll(tr, preds)
 		cells := []string{wl.Name}
-		for _, r := range results {
-			cells = append(cells, stats.Pct(r.MissRate()))
+		for range points {
+			cells = append(cells, stats.Pct(results[i].Exit.MissRate()))
+			i++
 		}
 		tbl.AddRow(cells...)
 	}
@@ -61,25 +64,29 @@ func AblationFolding(w io.Writer, cfg Config) error {
 // with it, single-exit tasks neither read nor update the PHT, reducing
 // aliasing pressure on the fixed-size table.
 func AblationSingleExit(w io.Writer, cfg Config) error {
+	specs := []string{
+		PathSpec(Depth7Exit),            // optimization on (the grammar's default)
+		PathSpec(Depth7Exit) + ":nosse", // optimization off
+		PathSpec(Depth7Exit) + ":ssh",   // also keep single-exit tasks out of the history
+	}
+	var runs []engine.Run
+	for _, wl := range workload.All() {
+		for _, s := range specs {
+			runs = append(runs, engine.Run{Workload: wl.Name, Spec: s, MaxSteps: cfg.MaxSteps})
+		}
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return err
+	}
 	tbl := stats.New("Ablation — single-exit-task optimization (depth 7, 8 KB PHT)",
 		"workload", "with optimization", "without", "also skip history push")
 	tbl.Note = "exit miss rate"
-	for _, wl := range workload.All() {
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return err
-		}
-		preds := []core.ExitPredictor{
-			core.MustPathExit(Depth7Exit, core.LEH2, core.PathExitOptions{SkipSingleExit: true}),
-			core.MustPathExit(Depth7Exit, core.LEH2, core.PathExitOptions{}),
-			core.MustPathExit(Depth7Exit, core.LEH2, core.PathExitOptions{
-				SkipSingleExit: true, SkipSingleExitHistory: true}),
-		}
-		results := core.EvaluateExitAll(tr, preds)
+	for i, wl := range workload.All() {
 		tbl.AddRow(wl.Name,
-			stats.Pct(results[0].MissRate()),
-			stats.Pct(results[1].MissRate()),
-			stats.Pct(results[2].MissRate()))
+			stats.Pct(results[3*i].Exit.MissRate()),
+			stats.Pct(results[3*i+1].Exit.MissRate()),
+			stats.Pct(results[3*i+2].Exit.MissRate()))
 	}
 	return writeTables(w, tbl)
 }
@@ -92,28 +99,29 @@ func AblationRAS(w io.Writer, cfg Config) error {
 	for _, d := range depths {
 		cols = append(cols, fmt.Sprintf("ras=%d", d))
 	}
-	tbl := stats.New("Ablation — RAS depth (return-exit address miss rate)", cols...)
+	var runs []engine.Run
 	for _, wl := range workload.All() {
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return err
-		}
-		var preds []core.TaskPredictor
 		for _, d := range depths {
-			exit := core.MustPathExit(Depth7Exit, core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true})
-			preds = append(preds, core.NewHeaderPredictor(
-				fmt.Sprintf("ras%d", d), exit, core.NewRAS(d), core.MustCTTB(Depth7CTTBSmall)))
+			spec := fmt.Sprintf("composed:%s:ras%d:%s", PathSpec(Depth7Exit), d, CTTBSpec(Depth7CTTBSmall))
+			runs = append(runs, engine.Run{Workload: wl.Name, Spec: spec, MaxSteps: cfg.MaxSteps})
 		}
-		results := core.EvaluateTaskAll(tr, preds)
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return err
+	}
+	tbl := stats.New("Ablation — RAS depth (return-exit address miss rate)", cols...)
+	i := 0
+	for _, wl := range workload.All() {
 		cells := []string{wl.Name}
-		for _, r := range results {
-			km := r.ByKind[isa.KindReturn]
+		for range depths {
+			km := results[i].Task.ByKind[isa.KindReturn]
 			rate := 0.0
 			if km.Steps > 0 {
 				rate = float64(km.Misses) / float64(km.Steps)
 			}
 			cells = append(cells, stats.Pct(rate))
+			i++
 		}
 		tbl.AddRow(cells...)
 	}
@@ -126,33 +134,32 @@ func AblationRAS(w io.Writer, cfg Config) error {
 // tend to do better than the ideal implementations of the other two
 // schemes").
 func AblationRealHistories(w io.Writer, cfg Config) error {
+	specs := []string{
+		"global:d7-c14-i14:leh2",
+		"per:d7-h12-t14-i14:leh2",
+		PathSpec(Depth7Exit),
+		"iglobal:d7:leh2",
+		"iper:d7:leh2",
+	}
+	var runs []engine.Run
+	for _, wl := range workload.All() {
+		for _, s := range specs {
+			runs = append(runs, engine.Run{Workload: wl.Name, Spec: s, MaxSteps: cfg.MaxSteps})
+		}
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return err
+	}
 	tbl := stats.New("Ablation — real GLOBAL/PER vs real PATH (depth 7, 16K-entry tables)",
 		"workload", "GLOBAL-real", "PER-real", "PATH-real", "GLOBAL-ideal", "PER-ideal")
 	tbl.Note = "exit miss rate; the paper's claim holds when PATH-real beats the other schemes' ideals"
+	i := 0
 	for _, wl := range workload.All() {
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return err
-		}
-		globalReal, err := core.NewGlobalExit(7, 14, 14, core.LEH2)
-		if err != nil {
-			return err
-		}
-		perReal, err := core.NewPerExit(7, 12, 14, 14, core.LEH2)
-		if err != nil {
-			return err
-		}
-		preds := []core.ExitPredictor{
-			globalReal,
-			perReal,
-			core.MustPathExit(Depth7Exit, core.LEH2, core.PathExitOptions{SkipSingleExit: true}),
-			core.NewIdealGlobal(7, core.LEH2),
-			core.NewIdealPer(7, core.LEH2),
-		}
-		results := core.EvaluateExitAll(tr, preds)
 		cells := []string{wl.Name}
-		for _, r := range results {
-			cells = append(cells, stats.Pct(r.MissRate()))
+		for range specs {
+			cells = append(cells, stats.Pct(results[i].Exit.MissRate()))
+			i++
 		}
 		tbl.AddRow(cells...)
 	}

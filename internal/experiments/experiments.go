@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/sim/functional"
 	"multiscalar/internal/stats"
 	"multiscalar/internal/trace"
@@ -25,6 +26,10 @@ type Config struct {
 	// TimingSteps bounds the timing simulation of Table 4 (default
 	// 400000 dynamic tasks per run).
 	TimingSteps int
+	// Workers is the evaluation-grid worker pool size (0 = GOMAXPROCS).
+	// Output is byte-identical at any worker count; only wall-clock
+	// changes.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,13 +85,24 @@ func ByName(name string) (Runner, error) {
 	return Runner{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, names)
 }
 
-// getTrace fetches a workload trace honouring cfg.MaxSteps.
+// getTrace fetches a workload trace honouring cfg.MaxSteps, through the
+// process-level trace cache (each (workload, truncation) pair is decoded
+// once no matter how many experiments replay it).
 func getTrace(w *workload.Workload, cfg Config) (*trace.Trace, error) {
-	if cfg.MaxSteps > 0 {
-		return w.TraceN(cfg.MaxSteps)
+	return workload.CachedTrace(w.Name, cfg.MaxSteps)
+}
+
+// execute runs an evaluation grid through the engine's deterministic
+// scheduler and surfaces the first failed cell as an error.
+func execute(cfg Config, runs []engine.Run) ([]engine.Result, error) {
+	results := engine.Execute(runs, cfg.Workers)
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			return nil, fmt.Errorf("experiments: %s under %s: %w",
+				results[i].Run.Workload, results[i].Label(), err)
+		}
 	}
-	tr, _, err := w.Trace()
-	return tr, err
+	return results, nil
 }
 
 // ExitDOLC14 is the DOLC sweep used for the real exit predictor studies:
@@ -131,12 +147,53 @@ var Depth7CTTBSmall = core.MustDOLC(7, 4, 4, 5, 3)
 // index, 64 KB of storage).
 var Depth7CTTBLarge = core.MustDOLC(7, 5, 6, 6, 3)
 
-// standardPredictor builds the paper's composed task predictor: real
-// path-based exit prediction with the single-exit optimization, a RAS,
-// and a small CTTB for indirect exits.
-func standardPredictor(name string) *core.HeaderPredictor {
-	exit := core.MustPathExit(Depth7Exit, core.LEH2, core.PathExitOptions{SkipSingleExit: true})
-	return core.NewHeaderPredictor(name, exit, core.NewRAS(0), core.MustCTTB(Depth7CTTBSmall))
+// PathSpec renders the spec of the standard real path exit predictor
+// over d: LEH-2bit automata with the single-exit optimization.
+func PathSpec(d core.DOLC) string {
+	return "path:" + engine.FormatDOLC(d) + ":leh2"
+}
+
+// CTTBSpec renders the spec of a real CTTB over d.
+func CTTBSpec(d core.DOLC) string {
+	return "cttb:" + engine.FormatDOLC(d)
+}
+
+// StdSpec is the canonical spec of the paper's standard composed task
+// predictor: real path-based exit prediction with the single-exit
+// optimization, a default-depth RAS, and the small CTTB for indirect
+// exits.
+func StdSpec() string {
+	return fmt.Sprintf("composed:%s:ras%d:%s",
+		PathSpec(Depth7Exit), core.DefaultRASDepth, CTTBSpec(Depth7CTTBSmall))
+}
+
+// AllSpecs lists the distinct predictor spec families the experiment
+// grids use, for preflight validation and spec-grammar tests. Depth
+// sweeps are represented by their endpoints plus the flagship points.
+func AllSpecs() []string {
+	specs := []string{StdSpec()}
+	for _, d := range ExitDOLC14 {
+		specs = append(specs, PathSpec(d))
+	}
+	for _, d := range CTTBDOLC11 {
+		specs = append(specs, CTTBSpec(d))
+	}
+	specs = append(specs,
+		PathSpec(Depth7Exit)+":nosse",
+		PathSpec(Depth7Exit)+":ssh",
+		PathSpec(Depth7Exit)+":lat4",
+		PathSpec(Depth7Exit)+":dlat4",
+		"global:d7-c14-i14:leh2",
+		"per:d7-h12-t14-i14:leh2",
+		"ipath:d7:leh2",
+		"iglobal:d7:leh2",
+		"iper:d7:leh2",
+		"icttb:d7",
+	)
+	for _, t := range Table4Specs() {
+		specs = append(specs, t.Spec)
+	}
+	return specs
 }
 
 // workloadCol renders the canonical workload column header ("exprc(gcc)").

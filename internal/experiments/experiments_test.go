@@ -187,3 +187,34 @@ func TestFig11StatesIdealExceedsReal(t *testing.T) {
 }
 
 var _ io.Writer = (*strings.Builder)(nil)
+
+// TestWorkerCountInvariance is the paper-harness half of the scheduler's
+// determinism contract: a rendered experiment is byte-identical whether
+// its grid ran on one worker or eight. The sample covers the exit-replay,
+// task-replay, timing, and fault-injection paths; scripts/check.sh runs
+// this package under -race as well.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, name := range []string{"fig7", "table3", "table4", "fault-sweep"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			r, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(workers int) string {
+				cfg := quickCfg
+				cfg.Workers = workers
+				var b strings.Builder
+				if err := r.Run(&b, cfg); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return b.String()
+			}
+			seq := render(1)
+			if par := render(8); par != seq {
+				t.Fatalf("output differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", seq, par)
+			}
+		})
+	}
+}

@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"multiscalar/internal/core"
-	"multiscalar/internal/fault"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/stats"
 	"multiscalar/internal/workload"
 )
@@ -28,47 +27,51 @@ type FaultSweepRow struct {
 	Injected []int
 }
 
-// faultSpec builds the all-kinds spec for one sweep point.
-func faultSpec(rate float64) fault.Spec {
-	var s fault.Spec
-	for k := range s.Rate {
-		s.Rate[k] = rate
+// faultSpec renders the all-kinds injection spec for one sweep point
+// ("" at rate 0 keeps the baseline cell injection-free).
+func faultSpec(rate float64) string {
+	if rate == 0 {
+		return ""
 	}
-	s.Seed = FaultSweepSeed
-	return s
+	return fmt.Sprintf("all=%g,seed=%d", rate, FaultSweepSeed)
 }
 
 // FaultSweepData replays every workload's trace through the standard
-// composed predictor under each injection rate, verifying the recovery
-// invariants (no panic, no divergence from the trace oracle) as it goes.
+// composed predictor under each injection rate. The engine enforces the
+// recovery invariants per cell (no panic, no divergence from the trace
+// oracle); on top of that this asserts graceful degradation — a faulted
+// run may not score meaningfully *fewer* misses than its own fault-free
+// baseline, within 1% of steps of slack for lucky corruptions.
 // The complement to Figures 6–8: where those show how much accuracy the
 // predictor wins, this shows how gracefully it loses accuracy as its
 // state decays.
 func FaultSweepData(cfg Config) ([]FaultSweepRow, error) {
-	var out []FaultSweepRow
+	var runs []engine.Run
 	for _, wl := range workload.All() {
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		row := FaultSweepRow{Workload: wl.Name}
 		for _, rate := range FaultSweepRates {
-			rep, err := fault.CheckRecovery(tr,
-				func() core.TaskPredictor { return standardPredictor("exit+RAS+CTTB") },
-				faultSpec(rate))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fault sweep %s rate %g: %w", wl.Name, rate, err)
+			runs = append(runs, engine.Run{Workload: wl.Name, Spec: StdSpec(),
+				Fault: faultSpec(rate), MaxSteps: cfg.MaxSteps})
+		}
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
+	var out []FaultSweepRow
+	i := 0
+	for _, wl := range workload.All() {
+		row := FaultSweepRow{Workload: wl.Name}
+		base := results[i].Task // the rate-0 cell is the baseline
+		for _, rate := range FaultSweepRates {
+			res := results[i]
+			if res.Task.Misses+res.Task.Steps/100 < base.Misses {
+				return nil, fmt.Errorf(
+					"experiments: fault sweep %s rate %g: faulted run scored %d misses, below fault-free baseline %d",
+					wl.Name, rate, res.Task.Misses, base.Misses)
 			}
-			// No-panic and no-divergence hold at *any* rate; surface a
-			// violation as a hard experiment failure.
-			if rep.Panicked != nil {
-				return nil, fmt.Errorf("experiments: fault sweep %s rate %g: %w", wl.Name, rate, rep.Panicked)
-			}
-			if rep.Diverged != nil {
-				return nil, fmt.Errorf("experiments: fault sweep %s rate %g: %w", wl.Name, rate, rep.Diverged)
-			}
-			row.MissRate = append(row.MissRate, rep.FaultedMissRate())
-			row.Injected = append(row.Injected, rep.Injection.TotalInjected())
+			row.MissRate = append(row.MissRate, res.Task.MissRate())
+			row.Injected = append(row.Injected, res.Injection.TotalInjected())
+			i++
 		}
 		out = append(out, row)
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/stats"
 	"multiscalar/internal/tfg"
@@ -95,26 +96,23 @@ type Fig6Result struct {
 // the benchmarks had similar relative performance ... so we only present
 // numbers for gcc").
 func Figure6Data(cfg Config) ([]Fig6Result, error) {
-	wl, err := workload.ByName("exprc")
-	if err != nil {
-		return nil, err
-	}
-	tr, err := getTrace(wl, cfg)
-	if err != nil {
-		return nil, err
-	}
-	var preds []core.ExitPredictor
+	var runs []engine.Run
 	for _, kind := range core.AllAutomata {
 		for d := 0; d < Fig6Depths; d++ {
-			preds = append(preds, core.NewIdealPath(d, kind))
+			runs = append(runs, engine.Run{Workload: "exprc",
+				Spec:     fmt.Sprintf("ipath:d%d:%s", d, engine.AutomatonToken(kind)),
+				MaxSteps: cfg.MaxSteps})
 		}
 	}
-	results := core.EvaluateExitAll(tr, preds)
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Fig6Result, len(core.AllAutomata))
 	for i, kind := range core.AllAutomata {
 		r := Fig6Result{Automaton: kind.Name()}
 		for d := 0; d < Fig6Depths; d++ {
-			r.Miss = append(r.Miss, results[i*Fig6Depths+d].MissRate())
+			r.Miss = append(r.Miss, results[i*Fig6Depths+d].Exit.MissRate())
 		}
 		out[i] = r
 	}
@@ -157,25 +155,29 @@ type Fig7Series struct {
 // Figure7Data measures ideal (alias-free) GLOBAL, PER and PATH exit
 // prediction across history depths for every workload.
 func Figure7Data(cfg Config) ([]Fig7Series, error) {
-	var out []Fig7Series
+	var runs []engine.Run
 	for _, wl := range workload.All() {
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		var preds []core.ExitPredictor
 		for d := 0; d < Fig7Depths; d++ {
-			preds = append(preds,
-				core.NewIdealGlobal(d, core.LEH2),
-				core.NewIdealPer(d, core.LEH2),
-				core.NewIdealPath(d, core.LEH2))
+			for _, scheme := range []string{"iglobal", "iper", "ipath"} {
+				runs = append(runs, engine.Run{Workload: wl.Name,
+					Spec:     fmt.Sprintf("%s:d%d:leh2", scheme, d),
+					MaxSteps: cfg.MaxSteps})
+			}
 		}
-		results := core.EvaluateExitAll(tr, preds)
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Series
+	i := 0
+	for _, wl := range workload.All() {
 		s := Fig7Series{Workload: wl.Name}
 		for d := 0; d < Fig7Depths; d++ {
-			s.Global = append(s.Global, results[3*d].MissRate())
-			s.Per = append(s.Per, results[3*d+1].MissRate())
-			s.Path = append(s.Path, results[3*d+2].MissRate())
+			s.Global = append(s.Global, results[i].Exit.MissRate())
+			s.Per = append(s.Per, results[i+1].Exit.MissRate())
+			s.Path = append(s.Path, results[i+2].Exit.MissRate())
+			i += 3
 		}
 		out = append(out, s)
 	}
@@ -218,24 +220,22 @@ var Fig8Workloads = []string{"exprc", "minilisp", "calcsheet"}
 // over indirect exits across history depths. Depth 0 is the naive TTB
 // limit the paper shows to be very poor.
 func Figure8Data(cfg Config) (map[string][]float64, error) {
-	out := map[string][]float64{}
+	var runs []engine.Run
 	for _, name := range Fig8Workloads {
-		wl, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		var bufs []core.TargetBuffer
 		for d := 0; d < Fig7Depths; d++ {
-			bufs = append(bufs, core.NewIdealCTTB(d))
+			runs = append(runs, engine.Run{Workload: name,
+				Spec: fmt.Sprintf("icttb:d%d", d), MaxSteps: cfg.MaxSteps})
 		}
-		results := core.EvaluateIndirectAll(tr, bufs)
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]float64{}
+	for i, name := range Fig8Workloads {
 		series := make([]float64, Fig7Depths)
-		for d, r := range results {
-			series[d] = r.MissRate()
+		for d := 0; d < Fig7Depths; d++ {
+			series[d] = results[i*Fig7Depths+d].Target.MissRate()
 		}
 		out[name] = series
 	}
@@ -274,30 +274,40 @@ type Fig10Series struct {
 // Figure10Data compares real path-based exit predictors (8 KB PHT,
 // DOLC-indexed) against the ideal alias-free predictor at equal depths.
 func Figure10Data(cfg Config) ([]Fig10Series, error) {
+	runs := realVsIdealExitRuns(workload.Names(), cfg)
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig10Series
-	for _, wl := range workload.All() {
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		var preds []core.ExitPredictor
-		for _, d := range ExitDOLC14 {
-			preds = append(preds, core.MustPathExit(d, core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true}))
-		}
-		for i := range ExitDOLC14 {
-			preds = append(preds, core.NewIdealPath(i, core.LEH2))
-		}
-		results := core.EvaluateExitAll(tr, preds)
-		s := Fig10Series{Workload: wl.Name}
-		n := len(ExitDOLC14)
+	n := len(ExitDOLC14)
+	for wi, name := range workload.Names() {
+		s := Fig10Series{Workload: name}
+		base := wi * 2 * n
 		for i := 0; i < n; i++ {
-			s.Real = append(s.Real, results[i].MissRate())
-			s.Ideal = append(s.Ideal, results[n+i].MissRate())
+			s.Real = append(s.Real, results[base+i].Exit.MissRate())
+			s.Ideal = append(s.Ideal, results[base+n+i].Exit.MissRate())
 		}
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// realVsIdealExitRuns builds the Figure 10/11 grid: for each workload,
+// the real ExitDOLC14 sweep followed by the ideal PATH predictor at the
+// same depths.
+func realVsIdealExitRuns(names []string, cfg Config) []engine.Run {
+	var runs []engine.Run
+	for _, name := range names {
+		for _, d := range ExitDOLC14 {
+			runs = append(runs, engine.Run{Workload: name, Spec: PathSpec(d), MaxSteps: cfg.MaxSteps})
+		}
+		for i := range ExitDOLC14 {
+			runs = append(runs, engine.Run{Workload: name,
+				Spec: fmt.Sprintf("ipath:d%d:leh2", i), MaxSteps: cfg.MaxSteps})
+		}
+	}
+	return runs
 }
 
 // Figure10 renders Figure10Data.
@@ -340,30 +350,19 @@ type Fig11Series struct {
 // Figure11Data counts predictor states touched, ideal vs real, across
 // history depths.
 func Figure11Data(cfg Config) ([]Fig11Series, error) {
+	runs := realVsIdealExitRuns(Fig11Workloads, cfg)
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig11Series
-	for _, name := range Fig11Workloads {
-		wl, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		var preds []core.ExitPredictor
-		for _, d := range ExitDOLC14 {
-			preds = append(preds, core.MustPathExit(d, core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true}))
-		}
-		for i := range ExitDOLC14 {
-			preds = append(preds, core.NewIdealPath(i, core.LEH2))
-		}
-		results := core.EvaluateExitAll(tr, preds)
-		s := Fig11Series{Workload: wl.Name}
-		n := len(ExitDOLC14)
+	n := len(ExitDOLC14)
+	for wi, name := range Fig11Workloads {
+		s := Fig11Series{Workload: name}
+		base := wi * 2 * n
 		for i := 0; i < n; i++ {
-			s.Real = append(s.Real, results[i].States)
-			s.Ideal = append(s.Ideal, results[n+i].States)
+			s.Real = append(s.Real, results[base+i].Exit.States)
+			s.Ideal = append(s.Ideal, results[base+n+i].Exit.States)
 		}
 		out = append(out, s)
 	}
@@ -405,29 +404,28 @@ type Fig12Series struct {
 // Figure12Data compares real CTTBs (8 KB, 11-bit DOLC index) with the
 // ideal infinite CTTB at equal depths, over indirect exits.
 func Figure12Data(cfg Config) ([]Fig12Series, error) {
-	var out []Fig12Series
+	var runs []engine.Run
 	for _, name := range Fig8Workloads {
-		wl, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		var bufs []core.TargetBuffer
 		for _, d := range CTTBDOLC11 {
-			bufs = append(bufs, core.MustCTTB(d))
+			runs = append(runs, engine.Run{Workload: name, Spec: CTTBSpec(d), MaxSteps: cfg.MaxSteps})
 		}
 		for i := range CTTBDOLC11 {
-			bufs = append(bufs, core.NewIdealCTTB(i))
+			runs = append(runs, engine.Run{Workload: name,
+				Spec: fmt.Sprintf("icttb:d%d", i), MaxSteps: cfg.MaxSteps})
 		}
-		results := core.EvaluateIndirectAll(tr, bufs)
-		s := Fig12Series{Workload: wl.Name}
-		n := len(CTTBDOLC11)
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Series
+	n := len(CTTBDOLC11)
+	for wi, name := range Fig8Workloads {
+		s := Fig12Series{Workload: name}
+		base := wi * 2 * n
 		for i := 0; i < n; i++ {
-			s.Real = append(s.Real, results[i].MissRate())
-			s.Ideal = append(s.Ideal, results[n+i].MissRate())
+			s.Real = append(s.Real, results[base+i].Target.MissRate())
+			s.Ideal = append(s.Ideal, results[base+n+i].Target.MissRate())
 		}
 		out = append(out, s)
 	}

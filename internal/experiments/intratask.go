@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
-	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/sim/functional"
 	"multiscalar/internal/stats"
@@ -29,28 +30,31 @@ func AblationUpdateDelay(w io.Writer, cfg Config) error {
 	for _, d := range delays {
 		cols = append(cols, "full-lag "+stats.I(d))
 	}
+	specs := []string{PathSpec(Depth7Exit)}
+	for _, d := range delays {
+		specs = append(specs, fmt.Sprintf("%s:lat%d", PathSpec(Depth7Exit), d))
+	}
+	for _, d := range delays {
+		specs = append(specs, fmt.Sprintf("%s:dlat%d", PathSpec(Depth7Exit), d))
+	}
+	var runs []engine.Run
+	for _, wl := range workload.All() {
+		for _, s := range specs {
+			runs = append(runs, engine.Run{Workload: wl.Name, Spec: s, MaxSteps: cfg.MaxSteps})
+		}
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return err
+	}
 	tbl := stats.New("Ablation — update latency (real PATH, depth 7)", cols...)
 	tbl.Note = "exit miss rate; the paper idealizes immediate update (§3.1 Update Timing)"
+	i := 0
 	for _, wl := range workload.All() {
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return err
-		}
-		preds := []core.ExitPredictor{core.MustPathExit(Depth7Exit, core.LEH2,
-			core.PathExitOptions{SkipSingleExit: true})}
-		for _, d := range delays {
-			preds = append(preds, core.MustPathExit(Depth7Exit, core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true, TrainLatency: d}))
-		}
-		for _, d := range delays {
-			inner := core.MustPathExit(Depth7Exit, core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true})
-			preds = append(preds, core.NewDelayedUpdate(inner, d))
-		}
-		results := core.EvaluateExitAll(tr, preds)
 		cells := []string{wl.Name}
-		for _, r := range results {
-			cells = append(cells, stats.Pct(r.MissRate()))
+		for range specs {
+			cells = append(cells, stats.Pct(results[i].Exit.MissRate()))
+			i++
 		}
 		tbl.AddRow(cells...)
 	}

@@ -7,10 +7,22 @@ import (
 	"strings"
 )
 
+// journalKey names one experiment completion in the journal: the runner
+// name plus the canonical execution config. Keying on the resolved
+// config rather than flag spellings means a resume survives flag
+// reordering, and a journal written at one truncation cannot satisfy a
+// resume at another. Workers is deliberately excluded — output is
+// byte-identical at any worker count, so a completion at -workers=1 is
+// a completion at -workers=8.
+func journalKey(name string, cfg Config) string {
+	cfg = cfg.withDefaults()
+	return fmt.Sprintf("%s@steps=%d,timing=%d", name, cfg.MaxSteps, cfg.TimingSteps)
+}
+
 // Journal is mbench's resume journal: an append-only file recording which
 // experiments completed successfully, so a killed multi-hour run restarts
 // where it left off instead of from zero. Each completion is one line
-// ("done <name>") appended and synced immediately — a crash can lose at
+// ("done <key>") appended and synced immediately — a crash can lose at
 // most the experiment that was running.
 type Journal struct {
 	path string

@@ -5,23 +5,21 @@ import (
 	"io"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/lint"
 	"multiscalar/internal/workload"
 )
 
 // Preflight runs the static analyzer over every built-in workload under
-// the standard predictor configuration, and validates every DOLC point
-// of the published sweeps, before any experiment executes. A workload or
-// configuration that fails the paper's structural assumptions would
-// silently corrupt every downstream table; Preflight turns that into a
-// hard stop. Error diagnostics are written to w and returned as an
-// error; warnings and infos are suppressed (mlint prints them).
+// the standard predictor spec, and validates every predictor spec and
+// DOLC point the experiment grids use, before any experiment executes. A
+// workload or configuration that fails the paper's structural
+// assumptions would silently corrupt every downstream table; Preflight
+// turns that into a hard stop. Error diagnostics are written to w and
+// returned as an error; warnings and infos are suppressed (mlint prints
+// them).
 func Preflight(w io.Writer) error {
-	cfg := &lint.PredictorConfig{
-		ExitDOLC: &Depth7Exit,
-		CTTB:     &Depth7CTTBSmall,
-		RASDepth: core.DefaultRASDepth,
-	}
+	cfg := &lint.PredictorConfig{PredSpec: StdSpec()}
 	for _, wl := range workload.All() {
 		g, err := wl.Graph()
 		if err != nil {
@@ -34,6 +32,11 @@ func Preflight(w io.Writer) error {
 				return err
 			}
 			return fmt.Errorf("experiments: preflight: %s has %d lint errors", wl.Name, rep.Count(lint.Error))
+		}
+	}
+	for _, s := range AllSpecs() {
+		if _, err := engine.Parse(s); err != nil {
+			return fmt.Errorf("experiments: preflight: grid spec %q: %w", s, err)
 		}
 	}
 	for _, sweep := range [][]core.DOLC{ExitDOLC14, CTTBDOLC11} {

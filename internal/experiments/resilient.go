@@ -125,7 +125,7 @@ func RunResilient(w io.Writer, cfg Config, runners []Runner, opts RunOptions) []
 			outcomes = append(outcomes, Outcome{Name: r.Name, Err: ErrInterrupted})
 			continue
 		}
-		if opts.Journal != nil && opts.Journal.IsDone(r.Name) {
+		if opts.Journal != nil && opts.Journal.IsDone(journalKey(r.Name, cfg)) {
 			fmt.Fprintf(w, "[%s already done per journal %s, skipping]\n\n", r.Name, opts.Journal.Path())
 			outcomes = append(outcomes, Outcome{Name: r.Name, Skipped: true})
 			continue
@@ -155,7 +155,7 @@ func RunResilient(w io.Writer, cfg Config, runners []Runner, opts RunOptions) []
 			if err == nil {
 				fmt.Fprintf(w, "[%s done in %v]\n\n", r.Name, out.Duration.Round(time.Millisecond))
 				if opts.Journal != nil {
-					if jerr := opts.Journal.MarkDone(r.Name); jerr != nil {
+					if jerr := opts.Journal.MarkDone(journalKey(r.Name, cfg)); jerr != nil {
 						out.Err = jerr
 					}
 				}

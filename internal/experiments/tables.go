@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"multiscalar/internal/core"
-	"multiscalar/internal/sim/timing"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/stats"
 	"multiscalar/internal/workload"
 )
@@ -47,19 +48,23 @@ type Table3Row struct {
 // Table3Data compares header-less CTTB-only task prediction against the
 // standard composed predictor, both at history depth 7 (§5.4 / Table 3).
 func Table3Data(cfg Config) ([]Table3Row, error) {
-	var out []Table3Row
+	var runs []engine.Run
 	for _, wl := range workload.All() {
-		tr, err := getTrace(wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		cttbOnly := core.NewCTTBOnly(core.MustCTTB(Depth7CTTBLarge))
-		header := standardPredictor("exit+RAS+CTTB")
-		results := core.EvaluateTaskAll(tr, []core.TaskPredictor{cttbOnly, header})
+		runs = append(runs,
+			engine.Run{Workload: wl.Name, Spec: CTTBSpec(Depth7CTTBLarge),
+				Mode: engine.ModeTask, MaxSteps: cfg.MaxSteps},
+			engine.Run{Workload: wl.Name, Spec: StdSpec(), MaxSteps: cfg.MaxSteps})
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Table3Row
+	for i, wl := range workload.All() {
 		out = append(out, Table3Row{
 			Workload: wl.Name,
-			CTTBOnly: results[0].MissRate(),
-			Header:   results[1].MissRate(),
+			CTTBOnly: results[2*i].Task.MissRate(),
+			Header:   results[2*i+1].Task.MissRate(),
 		})
 	}
 	return out, nil
@@ -84,46 +89,24 @@ func Table3(w io.Writer, cfg Config) error {
 	return writeTables(w, tbl)
 }
 
-// Table4Predictor is one of the five predictor configurations of Table 4.
-// Make returns nil (and no error) for the Perfect row — the timing
-// simulator treats a nil predictor as always-correct. Construction errors
-// are returned, not panicked, so one broken configuration cannot abort a
-// whole experiment batch.
-type Table4Predictor struct {
+// Table4Spec is one of the five predictor configurations of Table 4:
+// a display name and the engine spec that builds it. "perfect" builds to
+// a nil predictor — the timing simulator treats nil as always-correct.
+type Table4Spec struct {
 	Name string
-	Make func() (core.TaskPredictor, error)
+	Spec string
 }
 
-// Table4Predictors builds the five predictor configurations of Table 4.
-func Table4Predictors() []Table4Predictor {
-	mk := func(exit core.ExitPredictor, name string) core.TaskPredictor {
-		return core.NewHeaderPredictor(name, exit, core.NewRAS(0), core.MustCTTB(Depth7CTTBSmall))
-	}
-	return []Table4Predictor{
-		{"Simple", func() (core.TaskPredictor, error) {
-			// Task-address-indexed PHT: a depth-0 DOLC.
-			return mk(core.MustPathExit(core.MustDOLC(0, 0, 0, 14, 1), core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true}), "Simple"), nil
-		}},
-		{"GLOBAL", func() (core.TaskPredictor, error) {
-			exit, err := core.NewGlobalExit(7, 14, 14, core.LEH2)
-			if err != nil {
-				return nil, err
-			}
-			return mk(exit, "GLOBAL"), nil
-		}},
-		{"PER", func() (core.TaskPredictor, error) {
-			exit, err := core.NewPerExit(7, 12, 14, 14, core.LEH2)
-			if err != nil {
-				return nil, err
-			}
-			return mk(exit, "PER"), nil
-		}},
-		{"PATH", func() (core.TaskPredictor, error) {
-			return mk(core.MustPathExit(Depth7Exit, core.LEH2,
-				core.PathExitOptions{SkipSingleExit: true}), "PATH"), nil
-		}},
-		{"Perfect", func() (core.TaskPredictor, error) { return nil, nil }},
+// Table4Specs lists the five predictor configurations of Table 4.
+func Table4Specs() []Table4Spec {
+	tail := fmt.Sprintf(":ras%d:%s", core.DefaultRASDepth, CTTBSpec(Depth7CTTBSmall))
+	return []Table4Spec{
+		// Simple is a task-address-indexed PHT: a depth-0 DOLC.
+		{"Simple", "composed:" + PathSpec(core.MustDOLC(0, 0, 0, 14, 1)) + tail},
+		{"GLOBAL", "composed:global:d7-c14-i14:leh2" + tail},
+		{"PER", "composed:per:d7-h12-t14-i14:leh2" + tail},
+		{"PATH", "composed:" + PathSpec(Depth7Exit) + tail},
+		{"Perfect", "perfect"},
 	}
 }
 
@@ -137,26 +120,27 @@ type Table4Row struct {
 // Table4Data runs the timing simulator for each workload × predictor.
 func Table4Data(cfg Config) ([]Table4Row, error) {
 	cfg = cfg.withDefaults()
-	var out []Table4Row
-	preds := Table4Predictors()
+	preds := Table4Specs()
+	var runs []engine.Run
 	for _, wl := range workload.All() {
-		g, err := wl.Graph()
-		if err != nil {
-			return nil, err
+		for _, p := range preds {
+			runs = append(runs, engine.Run{Workload: wl.Name, Spec: p.Spec, Label: p.Name,
+				Mode: engine.ModeTiming, TimingSteps: cfg.TimingSteps})
 		}
+	}
+	results, err := execute(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Table4Row
+	i := 0
+	for _, wl := range workload.All() {
 		row := Table4Row{Workload: wl.Name,
 			IPC: map[string]float64{}, MissRate: map[string]float64{}}
 		for _, p := range preds {
-			pred, err := p.Make()
-			if err != nil {
-				return nil, err
-			}
-			res, err := timing.Run(g, pred, timing.Config{MaxSteps: cfg.TimingSteps})
-			if err != nil {
-				return nil, err
-			}
-			row.IPC[p.Name] = res.IPC()
-			row.MissRate[p.Name] = res.TaskMissRate()
+			row.IPC[p.Name] = results[i].Timing.IPC()
+			row.MissRate[p.Name] = results[i].Timing.TaskMissRate()
+			i++
 		}
 		out = append(out, row)
 	}
@@ -169,7 +153,7 @@ func Table4(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	preds := Table4Predictors()
+	preds := Table4Specs()
 	cols := []string{"workload"}
 	for _, p := range preds {
 		cols = append(cols, p.Name)

@@ -110,9 +110,11 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("panic: %v", e.Value)
 }
 
-// traceChecksum fingerprints the oracle so the harness can prove the
-// faulted replay never wrote through to shared trace state.
-func traceChecksum(tr *trace.Trace) uint64 {
+// Checksum fingerprints a trace's prediction-relevant contents. The
+// harness (and the engine's faulted runs) compare checksums before and
+// after a replay to prove the injector never wrote through to shared
+// trace state.
+func Checksum(tr *trace.Trace) uint64 {
 	h := fnv.New64a()
 	var buf [9]byte
 	for _, s := range tr.Steps {
@@ -155,7 +157,7 @@ func replayFaulted(tr *trace.Trace, inj *Injector, rep *Report) {
 func CheckRecovery(tr *trace.Trace, mk func() core.TaskPredictor, spec Spec) (Report, error) {
 	rep := Report{Spec: spec, Steps: tr.PredictionSteps()}
 
-	sum := traceChecksum(tr)
+	sum := Checksum(tr)
 	base := core.EvaluateTask(tr, mk())
 	rep.BaselineMisses = base.Misses
 
@@ -167,7 +169,7 @@ func CheckRecovery(tr *trace.Trace, mk func() core.TaskPredictor, spec Spec) (Re
 	replayFaulted(tr, inj, &rep)
 	rep.Injection = inj.Stats()
 
-	if rep.Diverged == nil && traceChecksum(tr) != sum {
+	if rep.Diverged == nil && Checksum(tr) != sum {
 		rep.Diverged = fmt.Errorf("trace contents changed during faulted replay")
 	}
 	if rep.Diverged == nil {

@@ -1,4 +1,4 @@
-package fault
+package fault_test
 
 import (
 	"errors"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/fault"
 	"multiscalar/internal/tfg"
 )
 
@@ -19,8 +20,8 @@ func TestRecoveryInvariants(t *testing.T) {
 	for _, wname := range []string{"exprc", "compressb", "boolmin"} {
 		tr := testTrace(t, wname, 6000)
 		for _, s := range rates {
-			spec := MustSpec(s)
-			rep, err := CheckRecovery(tr, fullPredictor, spec)
+			spec := fault.MustSpec(s)
+			rep, err := fault.CheckRecovery(tr, fullPredictor, spec)
 			if err != nil {
 				t.Fatalf("%s %s: %v", wname, s, err)
 			}
@@ -35,8 +36,8 @@ func TestRecoveryInvariants(t *testing.T) {
 }
 
 func TestReportCheckViolations(t *testing.T) {
-	base := Report{Steps: 5000, BaselineMisses: 500, FaultedMisses: 600, Spec: MustSpec("all=0.1")}
-	base.Injection.Kind[KindCounter] = KindStats{Rolled: 400, Injected: 400}
+	base := fault.Report{Steps: 5000, BaselineMisses: 500, FaultedMisses: 600, Spec: fault.MustSpec("all=0.1")}
+	base.Injection.Kind[fault.KindCounter] = fault.KindStats{Rolled: 400, Injected: 400}
 	if err := base.Check(); err != nil {
 		t.Fatalf("healthy report rejected: %v", err)
 	}
@@ -54,7 +55,7 @@ func TestReportCheckViolations(t *testing.T) {
 	}
 
 	r = base
-	r.Injection = Stats{}
+	r.Injection = fault.Stats{}
 	if err := r.Check(); err == nil || !strings.Contains(err.Error(), "injected nothing") {
 		t.Fatalf("silent injection not reported: %v", err)
 	}
@@ -67,14 +68,14 @@ func TestReportCheckViolations(t *testing.T) {
 }
 
 func TestReportMissRates(t *testing.T) {
-	r := Report{Steps: 200, BaselineMisses: 20, FaultedMisses: 50}
+	r := fault.Report{Steps: 200, BaselineMisses: 20, FaultedMisses: 50}
 	if got := r.BaselineMissRate(); got != 0.1 {
 		t.Fatalf("BaselineMissRate = %g", got)
 	}
 	if got := r.FaultedMissRate(); got != 0.25 {
 		t.Fatalf("FaultedMissRate = %g", got)
 	}
-	var zero Report
+	var zero fault.Report
 	if zero.BaselineMissRate() != 0 || zero.FaultedMissRate() != 0 {
 		t.Fatal("zero-step report has non-zero rates")
 	}
@@ -112,14 +113,14 @@ func TestCheckRecoveryContainsPanics(t *testing.T) {
 		}
 		return &panicky{at: 50}
 	}
-	rep, err := CheckRecovery(tr, mk, MustSpec("upd=0.5"))
+	rep, err := fault.CheckRecovery(tr, mk, fault.MustSpec("upd=0.5"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Panicked == nil {
 		t.Fatal("mid-replay panic was not captured")
 	}
-	var pe *PanicError
+	var pe *fault.PanicError
 	if !errors.As(rep.Panicked, &pe) {
 		t.Fatalf("Panicked is %T, want *PanicError", rep.Panicked)
 	}
@@ -129,7 +130,7 @@ func TestCheckRecoveryContainsPanics(t *testing.T) {
 }
 
 func TestPanicErrorFormat(t *testing.T) {
-	e := &PanicError{Value: "boom"}
+	e := &fault.PanicError{Value: "boom"}
 	if got := e.Error(); got != "panic: boom" {
 		t.Fatalf("Error() = %q", got)
 	}

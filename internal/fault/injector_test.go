@@ -1,10 +1,12 @@
-package fault
+package fault_test
 
 import (
 	"strings"
 	"testing"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
+	"multiscalar/internal/fault"
 	"multiscalar/internal/trace"
 	"multiscalar/internal/workload"
 )
@@ -24,20 +26,21 @@ func testTrace(t testing.TB, name string, steps int) *trace.Trace {
 	return tr
 }
 
-// fullPredictor builds the composed predictor every fault kind can reach:
+// fullSpec is the composed predictor every fault kind can reach:
 // path-based exit prediction, a RAS, and a CTTB.
+const fullSpec = "composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3"
+
 func fullPredictor() core.TaskPredictor {
-	exit := core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2, core.PathExitOptions{SkipSingleExit: true})
-	return core.NewHeaderPredictor("std", exit, core.NewRAS(0), core.MustCTTB(core.MustDOLC(7, 4, 4, 5, 3)))
+	return engine.MustBuild(fullSpec)
 }
 
 func TestNewRejectsBadInput(t *testing.T) {
-	if _, err := New(Spec{}, nil); err == nil {
+	if _, err := fault.New(fault.Spec{}, nil); err == nil {
 		t.Fatal("New accepted a nil inner predictor")
 	}
-	bad := Spec{}
-	bad.Rate[KindCounter] = 2
-	if _, err := New(bad, fullPredictor()); err == nil {
+	bad := fault.Spec{}
+	bad.Rate[fault.KindCounter] = 2
+	if _, err := fault.New(bad, fullPredictor()); err == nil {
 		t.Fatal("New accepted an out-of-range rate")
 	}
 }
@@ -45,7 +48,7 @@ func TestNewRejectsBadInput(t *testing.T) {
 func TestDisabledInjectorIsTransparent(t *testing.T) {
 	tr := testTrace(t, "exprc", 4000)
 	base := core.EvaluateTask(tr, fullPredictor())
-	inj := MustNew(Spec{}, fullPredictor())
+	inj := fault.MustNew(fault.Spec{}, fullPredictor())
 	got := core.EvaluateTask(tr, inj)
 	if got.Misses != base.Misses || got.Steps != base.Steps {
 		t.Fatalf("disabled injector changed the result: %+v vs %+v", got, base)
@@ -56,29 +59,29 @@ func TestDisabledInjectorIsTransparent(t *testing.T) {
 }
 
 func TestInjectorName(t *testing.T) {
-	inj := MustNew(MustSpec("ctr=0.5,seed=3"), fullPredictor())
+	inj := fault.MustNew(fault.MustSpec("ctr=0.5,seed=3"), fullPredictor())
 	name := inj.Name()
-	if !strings.Contains(name, "ctr=0.5") || !strings.Contains(name, "std") {
+	if !strings.Contains(name, "ctr=0.5") || !strings.Contains(name, fullSpec) {
 		t.Fatalf("Name() = %q", name)
 	}
 }
 
 func TestInjectorDeterminismAndReset(t *testing.T) {
 	tr := testTrace(t, "exprc", 4000)
-	spec := MustSpec("all=0.05,seed=99")
+	spec := fault.MustSpec("all=0.05,seed=99")
 
 	// TaskResult holds a map, so compare the scalar (steps, misses) pair.
-	run := func(inj *Injector) ([2]int, Stats) {
+	run := func(inj *fault.Injector) ([2]int, fault.Stats) {
 		res := core.EvaluateTask(tr, inj)
 		return [2]int{res.Steps, res.Misses}, inj.Stats()
 	}
 
-	injA := MustNew(spec, fullPredictor())
+	injA := fault.MustNew(spec, fullPredictor())
 	resA, statsA := run(injA)
 
 	// A fresh injector with the same seed reproduces the exact fault
 	// sequence and result.
-	resB, statsB := run(MustNew(spec, fullPredictor()))
+	resB, statsB := run(fault.MustNew(spec, fullPredictor()))
 	if resA != resB || statsA != statsB {
 		t.Fatalf("same seed, different runs: %+v/%v vs %+v/%v", resA, statsA, resB, statsB)
 	}
@@ -95,7 +98,7 @@ func TestInjectorDeterminismAndReset(t *testing.T) {
 	// high the stats are overwhelmingly unlikely to collide exactly).
 	other := spec
 	other.Seed = 1234
-	_, statsD := run(MustNew(other, fullPredictor()))
+	_, statsD := run(fault.MustNew(other, fullPredictor()))
 	if statsA == statsD {
 		t.Fatalf("different seeds produced identical stats: %v", statsA)
 	}
@@ -103,11 +106,11 @@ func TestInjectorDeterminismAndReset(t *testing.T) {
 
 func TestUpdateDropsAreCounted(t *testing.T) {
 	tr := testTrace(t, "exprc", 4000)
-	inj := MustNew(MustSpec("upd=1"), fullPredictor())
+	inj := fault.MustNew(fault.MustSpec("upd=1"), fullPredictor())
 	res := core.EvaluateTask(tr, inj)
 	st := inj.Stats()
-	if st.Kind[KindUpdate].Injected != res.Steps {
-		t.Fatalf("upd=1 dropped %d updates over %d steps", st.Kind[KindUpdate].Injected, res.Steps)
+	if st.Kind[fault.KindUpdate].Injected != res.Steps {
+		t.Fatalf("upd=1 dropped %d updates over %d steps", st.Kind[fault.KindUpdate].Injected, res.Steps)
 	}
 
 	// With every update lost the predictor never trains; it must miss at
@@ -125,10 +128,10 @@ func TestEveryKindInjects(t *testing.T) {
 	// and CTTB untrained and empty, leaving ras/ttb nothing to corrupt
 	// (upd itself is covered by TestUpdateDropsAreCounted).
 	tr := testTrace(t, "exprc", 4000)
-	inj := MustNew(MustSpec("ctr=1,hist=1,ras=1,ttb=1"), fullPredictor())
+	inj := fault.MustNew(fault.MustSpec("ctr=1,hist=1,ras=1,ttb=1"), fullPredictor())
 	core.EvaluateTask(tr, inj)
 	st := inj.Stats()
-	for _, k := range []Kind{KindCounter, KindHistory, KindRAS, KindTTB} {
+	for _, k := range []fault.Kind{fault.KindCounter, fault.KindHistory, fault.KindRAS, fault.KindTTB} {
 		if st.Kind[k].Rolled == 0 {
 			t.Errorf("%s: never rolled", k)
 		}
@@ -139,11 +142,11 @@ func TestEveryKindInjects(t *testing.T) {
 }
 
 func TestStatsString(t *testing.T) {
-	var st Stats
+	var st fault.Stats
 	if got := st.String(); got != "none" {
 		t.Fatalf("zero stats String() = %q", got)
 	}
-	st.Kind[KindCounter] = KindStats{Rolled: 5, Injected: 4}
+	st.Kind[fault.KindCounter] = fault.KindStats{Rolled: 5, Injected: 4}
 	if got := st.String(); got != "ctr 4/5" {
 		t.Fatalf("String() = %q", got)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/isa"
 )
 
@@ -79,11 +80,11 @@ func runCfgDOLC(c *Context) []Diagnostic {
 		return nil
 	}
 	var out []Diagnostic
-	if c.Config.ExitDOLC != nil {
-		out = append(out, checkDOLC("exit predictor", *c.Config.ExitDOLC)...)
+	if d := c.Config.exitDOLC(); d != nil {
+		out = append(out, checkDOLC("exit predictor", *d)...)
 	}
-	if c.Config.CTTB != nil {
-		out = append(out, checkDOLC("CTTB", *c.Config.CTTB)...)
+	if d := c.Config.cttbDOLC(); d != nil {
+		out = append(out, checkDOLC("CTTB", *d)...)
 	}
 	return out
 }
@@ -126,8 +127,8 @@ func runCfgTables(c *Context) []Diagnostic {
 		return nil
 	}
 	var out []Diagnostic
-	out = append(out, checkTable("exit predictor", c.Config.ExitEntries, c.Config.ExitDOLC)...)
-	out = append(out, checkTable("CTTB", c.Config.CTTBEntries, c.Config.CTTB)...)
+	out = append(out, checkTable("exit predictor", c.Config.ExitEntries, c.Config.exitDOLC())...)
+	out = append(out, checkTable("CTTB", c.Config.CTTBEntries, c.Config.cttbDOLC())...)
 	return out
 }
 
@@ -165,8 +166,8 @@ func runCfgAlias(c *Context) []Diagnostic {
 		}
 		out = append(out, dg)
 	}
-	report("exit predictor", "multi-exit tasks", multi, c.Config.ExitDOLC)
-	report("CTTB", "indirect-exit sites", indirect, c.Config.CTTB)
+	report("exit predictor", "multi-exit tasks", multi, c.Config.exitDOLC())
+	report("CTTB", "indirect-exit sites", indirect, c.Config.cttbDOLC())
 	return out
 }
 
@@ -176,6 +177,11 @@ func runCfgAlias(c *Context) []Diagnostic {
 // circular RAS sheds the oldest frames by design).
 func runCfgRAS(c *Context) []Diagnostic {
 	if c.Config == nil || c.Graph == nil || c.Graph.EntryTask() == nil {
+		return nil
+	}
+	if s := c.Config.spec(); s != nil && s.Class() != engine.ClassTask {
+		// Exit-only, target-only, and perfect specs predict no return
+		// addresses; RAS sizing is moot.
 		return nil
 	}
 	depth := c.Config.rasDepth()

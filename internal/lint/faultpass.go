@@ -47,19 +47,25 @@ func runCfgFault(c *Context) []Diagnostic {
 	warn := func(format string, args ...any) {
 		out = append(out, Diagnostic{Check: CheckFaultSpec, Sev: Warn, Msg: fmt.Sprintf(format, args...)})
 	}
-	hasExit := c.Config.ExitDOLC != nil
-	hasCTTB := c.Config.CTTB != nil
-	if spec.Rate[fault.KindCounter] > 0 && !hasExit {
-		warn("ctr faults at rate %g but no exit predictor DOLC is configured; counter injections will find no PHT", spec.Rate[fault.KindCounter])
-	}
-	if spec.Rate[fault.KindHistory] > 0 && !hasExit && !hasCTTB {
-		warn("hist faults at rate %g but neither exit predictor nor CTTB is configured; no history register to corrupt", spec.Rate[fault.KindHistory])
-	}
-	if spec.Rate[fault.KindTTB] > 0 && !hasCTTB {
-		warn("ttb faults at rate %g but no CTTB is configured; entry clobbers will find no buffer", spec.Rate[fault.KindTTB])
-	}
-	if spec.Rate[fault.KindRAS] > 0 && c.Config.rasDepth() <= 0 {
-		warn("ras faults at rate %g but the RAS has no capacity", spec.Rate[fault.KindRAS])
+	// Structure-compatibility warnings derive from the explicit DOLC
+	// fields; when a predictor spec string is configured, cfg-pred-spec
+	// owns that comparison (it sees schemes the DOLC fields cannot
+	// express, e.g. global/per exit predictors).
+	if c.Config.PredSpec == "" {
+		hasExit := c.Config.ExitDOLC != nil
+		hasCTTB := c.Config.CTTB != nil
+		if spec.Rate[fault.KindCounter] > 0 && !hasExit {
+			warn("ctr faults at rate %g but no exit predictor DOLC is configured; counter injections will find no PHT", spec.Rate[fault.KindCounter])
+		}
+		if spec.Rate[fault.KindHistory] > 0 && !hasExit && !hasCTTB {
+			warn("hist faults at rate %g but neither exit predictor nor CTTB is configured; no history register to corrupt", spec.Rate[fault.KindHistory])
+		}
+		if spec.Rate[fault.KindTTB] > 0 && !hasCTTB {
+			warn("ttb faults at rate %g but no CTTB is configured; entry clobbers will find no buffer", spec.Rate[fault.KindTTB])
+		}
+		if spec.Rate[fault.KindRAS] > 0 && c.Config.rasDepth() <= 0 {
+			warn("ras faults at rate %g but the RAS has no capacity", spec.Rate[fault.KindRAS])
+		}
 	}
 	for _, k := range fault.Kinds() {
 		if r := spec.Rate[k]; r > 0.5 {

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/program"
 	"multiscalar/internal/tfg"
@@ -110,6 +111,12 @@ func (d Diagnostic) String() string {
 // structure configured"; zero entry counts mean "derived from the DOLC
 // index width".
 type PredictorConfig struct {
+	// PredSpec is the engine predictor spec string the run will build
+	// ("" = none). When set, the cfg-pred-spec pass validates it, and the
+	// other config-layer passes derive the exit DOLC, CTTB DOLC, and RAS
+	// depth from the parsed spec wherever the explicit fields below are
+	// unset.
+	PredSpec string
 	// ExitDOLC is the path-based exit predictor index function.
 	ExitDOLC *core.DOLC
 	// ExitEntries optionally declares the exit-PHT entry count to check
@@ -120,7 +127,8 @@ type PredictorConfig struct {
 	// CTTBEntries optionally declares the CTTB entry count.
 	CTTBEntries int
 	// RASDepth is the return address stack capacity (0 = the default
-	// depth, core.DefaultRASDepth).
+	// depth, core.DefaultRASDepth, or the spec's depth when PredSpec is
+	// set).
 	RASDepth int
 	// FaultSpec is the raw fault-injection spec string the run will use
 	// ("" = no injection). The cfg-fault-spec pass validates it against
@@ -128,12 +136,54 @@ type PredictorConfig struct {
 	FaultSpec string
 }
 
-// rasDepth resolves the effective RAS capacity.
-func (c *PredictorConfig) rasDepth() int {
-	if c.RASDepth == 0 {
-		return core.DefaultRASDepth
+// spec returns the parsed predictor spec, or nil when PredSpec is unset
+// or malformed (cfg-pred-spec owns reporting the parse error).
+func (c *PredictorConfig) spec() *engine.Spec {
+	if c.PredSpec == "" {
+		return nil
 	}
-	return c.RASDepth
+	s, err := engine.Parse(c.PredSpec)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+// exitDOLC resolves the exit predictor index function: the explicit
+// field wins, else the spec's path-based exit DOLC (nil for non-path
+// schemes, which carry no DOLC).
+func (c *PredictorConfig) exitDOLC() *core.DOLC {
+	if c.ExitDOLC != nil {
+		return c.ExitDOLC
+	}
+	if s := c.spec(); s != nil {
+		return s.ExitDOLC()
+	}
+	return nil
+}
+
+// cttbDOLC resolves the CTTB index function analogously.
+func (c *PredictorConfig) cttbDOLC() *core.DOLC {
+	if c.CTTB != nil {
+		return c.CTTB
+	}
+	if s := c.spec(); s != nil {
+		return s.CTTBDOLC()
+	}
+	return nil
+}
+
+// rasDepth resolves the effective RAS capacity: the explicit field when
+// set, else the spec's resolved depth (0 = no RAS in the spec), else
+// the default.
+func (c *PredictorConfig) rasDepth() int {
+	if c.RASDepth != 0 {
+		return c.RASDepth
+	}
+	if s := c.spec(); s != nil {
+		return s.RASDepth()
+	}
+	return core.DefaultRASDepth
 }
 
 // Context is the shared state passes analyze. Any field other than Prog
@@ -195,6 +245,7 @@ func AllPasses() []Pass {
 	out = append(out, tfgPasses()...)
 	out = append(out, progPasses()...)
 	out = append(out, configPasses()...)
+	out = append(out, predSpecPasses()...)
 	out = append(out, faultPasses()...)
 	return out
 }

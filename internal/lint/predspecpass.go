@@ -1,0 +1,75 @@
+// Predictor-spec configuration pass: validates engine predictor spec
+// strings before a run builds hardware from them, and cross-checks the
+// fault-injection spec against the structures the predictor spec
+// actually instantiates.
+package lint
+
+import (
+	"fmt"
+
+	"multiscalar/internal/engine"
+	"multiscalar/internal/fault"
+)
+
+// CheckPredSpec is the check ID of the predictor-spec configuration pass.
+const CheckPredSpec = "cfg-pred-spec"
+
+func predSpecPasses() []Pass {
+	return []Pass{{
+		Name: "cfg-pred-spec",
+		Doc:  "predictor spec string parses, and every enabled fault kind targets a structure the spec builds",
+		Run:  runCfgPredSpec,
+	}}
+}
+
+// runCfgPredSpec validates the raw predictor spec. A spec that does not
+// parse is an error (msim/mbench would refuse it anyway — fail at lint
+// time instead); a parseable spec reports its canonical form so callers
+// can see how the grammar resolved defaults. When a fault spec is also
+// configured, each enabled fault kind is checked against the structures
+// the predictor spec instantiates — an injection aimed at a structure
+// that does not exist silently does nothing, which is almost always a
+// misconfigured experiment.
+func runCfgPredSpec(c *Context) []Diagnostic {
+	if c.Config == nil || c.Config.PredSpec == "" {
+		return nil
+	}
+	sp, err := engine.Parse(c.Config.PredSpec)
+	if err != nil {
+		return []Diagnostic{{
+			Check: CheckPredSpec, Sev: Error,
+			Msg: fmt.Sprintf("predictor spec %q: %v", c.Config.PredSpec, err),
+		}}
+	}
+	out := []Diagnostic{{
+		Check: CheckPredSpec, Sev: Info,
+		Msg: fmt.Sprintf("predictor spec parsed: %s (%s class)", sp, sp.Class()),
+	}}
+	if c.Config.FaultSpec == "" {
+		return out
+	}
+	fs, err := fault.ParseSpec(c.Config.FaultSpec)
+	if err != nil || !fs.Enabled() {
+		return out // cfg-fault-spec reports parse errors and no-op specs
+	}
+	warn := func(format string, args ...any) {
+		out = append(out, Diagnostic{Check: CheckPredSpec, Sev: Warn, Msg: fmt.Sprintf(format, args...)})
+	}
+	if sp.Class() != engine.ClassTask {
+		warn("fault injection wraps a task predictor but spec %s is %s-class; the run will refuse to inject", sp, sp.Class())
+		return out
+	}
+	if fs.Rate[fault.KindCounter] > 0 && !sp.HasExit() {
+		warn("ctr faults at rate %g but spec %s builds no exit predictor; counter injections will find no PHT", fs.Rate[fault.KindCounter], sp)
+	}
+	if fs.Rate[fault.KindHistory] > 0 && !sp.HasExit() && !sp.HasTarget() {
+		warn("hist faults at rate %g but spec %s builds neither exit predictor nor CTTB; no history register to corrupt", fs.Rate[fault.KindHistory], sp)
+	}
+	if fs.Rate[fault.KindTTB] > 0 && !sp.HasTarget() {
+		warn("ttb faults at rate %g but spec %s builds no CTTB; entry clobbers will find no buffer", fs.Rate[fault.KindTTB], sp)
+	}
+	if fs.Rate[fault.KindRAS] > 0 && sp.RASDepth() <= 0 {
+		warn("ras faults at rate %g but spec %s builds no RAS", fs.Rate[fault.KindRAS], sp)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/core"
+)
+
+const stdSpec = "composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3"
+
+// predSpecDiags runs only the cfg-pred-spec pass over a bare config
+// context.
+func predSpecDiags(cfg *PredictorConfig) []Diagnostic {
+	return runCfgPredSpec(&Context{Config: cfg})
+}
+
+func TestCfgPredSpecSkipsWhenUnconfigured(t *testing.T) {
+	if got := runCfgPredSpec(&Context{}); got != nil {
+		t.Fatalf("nil config produced %v", got)
+	}
+	if got := predSpecDiags(&PredictorConfig{}); got != nil {
+		t.Fatalf("empty spec produced %v", got)
+	}
+}
+
+func TestCfgPredSpecParseError(t *testing.T) {
+	diags := predSpecDiags(&PredictorConfig{PredSpec: "warp9"})
+	if len(diags) != 1 || diags[0].Check != CheckPredSpec || diags[0].Sev != Error {
+		t.Fatalf("unparseable spec: %v, want one %s error", diags, CheckPredSpec)
+	}
+}
+
+func TestCfgPredSpecReportsCanonicalForm(t *testing.T) {
+	// An unstated RAS resolves to the default depth; the info line shows
+	// the resolved canonical spelling, not the input.
+	diags := predSpecDiags(&PredictorConfig{
+		PredSpec: "composed:path:d7-o5-l6-c6-f3:leh2:cttb:d7-o4-l4-c5-f3",
+	})
+	if len(diags) != 1 || diags[0].Sev != Info {
+		t.Fatalf("clean spec: %v, want a single info", diags)
+	}
+	if !strings.Contains(diags[0].Msg, stdSpec) || !strings.Contains(diags[0].Msg, "task class") {
+		t.Fatalf("info does not show canonical form and class: %q", diags[0].Msg)
+	}
+}
+
+func TestCfgPredSpecFaultOnNonTaskClass(t *testing.T) {
+	diags := predSpecDiags(&PredictorConfig{
+		PredSpec:  "path:d7-o5-l6-c6-f3:leh2",
+		FaultSpec: "all=0.01,seed=1",
+	})
+	var warned bool
+	for _, d := range diags {
+		if d.Sev == Warn && strings.Contains(d.Msg, "refuse to inject") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("exit-class spec with faults not flagged: %v", diags)
+	}
+}
+
+func TestCfgPredSpecFaultStructureMismatch(t *testing.T) {
+	// A composed predictor with no CTTB and no RAS: ttb and ras faults
+	// have nothing to hit, ctr faults do.
+	diags := predSpecDiags(&PredictorConfig{
+		PredSpec:  "composed:path:d7-o5-l6-c6-f3:leh2:noras",
+		FaultSpec: "ctr=0.01,ttb=0.01,ras=0.01",
+	})
+	warns := map[string]bool{}
+	for _, d := range diags {
+		if d.Check != CheckPredSpec {
+			t.Fatalf("foreign check ID %q", d.Check)
+		}
+		if d.Sev == Warn {
+			switch {
+			case strings.Contains(d.Msg, "ttb faults"):
+				warns["ttb"] = true
+			case strings.Contains(d.Msg, "ras faults"):
+				warns["ras"] = true
+			case strings.Contains(d.Msg, "ctr faults"):
+				warns["ctr"] = true
+			}
+		}
+	}
+	if !warns["ttb"] || !warns["ras"] || warns["ctr"] {
+		t.Fatalf("wrong structure-mismatch warnings: %v", diags)
+	}
+}
+
+func TestCfgPredSpecCleanFaultedConfig(t *testing.T) {
+	diags := predSpecDiags(&PredictorConfig{PredSpec: stdSpec, FaultSpec: "all=1e-3,seed=7"})
+	if len(diags) != 1 || diags[0].Sev != Info {
+		t.Fatalf("fully matched spec pair: %v, want only the info line", diags)
+	}
+}
+
+// TestPredSpecDrivesConfigPasses checks that the DOLC-based configuration
+// passes resolve their inputs from PredSpec when the explicit fields are
+// unset — the spec is the single source of structural truth.
+func TestPredSpecDrivesConfigPasses(t *testing.T) {
+	cfg := &PredictorConfig{PredSpec: stdSpec}
+	if d := cfg.exitDOLC(); d == nil || *d != core.MustDOLC(7, 5, 6, 6, 3) {
+		t.Fatalf("exitDOLC not derived from spec: %v", d)
+	}
+	if d := cfg.cttbDOLC(); d == nil || *d != core.MustDOLC(7, 4, 4, 5, 3) {
+		t.Fatalf("cttbDOLC not derived from spec: %v", d)
+	}
+	if depth := cfg.rasDepth(); depth != 32 {
+		t.Fatalf("rasDepth not derived from spec: %d", depth)
+	}
+	// Explicit fields still win over the spec.
+	exit := core.MustDOLC(2, 4, 5, 5, 1)
+	over := &PredictorConfig{PredSpec: stdSpec, ExitDOLC: &exit, RASDepth: 4}
+	if d := over.exitDOLC(); d == nil || *d != exit {
+		t.Fatalf("explicit ExitDOLC overridden: %v", d)
+	}
+	if over.rasDepth() != 4 {
+		t.Fatalf("explicit RASDepth overridden: %d", over.rasDepth())
+	}
+
+	// An exit-only spec silences the RAS-depth pass entirely (no returns
+	// are predicted, so no depth advice applies).
+	d := runCfgRAS(&Context{Config: &PredictorConfig{PredSpec: "path:d7-o5-l6-c6-f3:leh2"}})
+	if d != nil {
+		t.Fatalf("cfg-ras-depth fired for an exit-only spec: %v", d)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"multiscalar/internal/asm"
-	"multiscalar/internal/core"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/taskform"
 	"multiscalar/internal/tfg"
@@ -181,23 +180,10 @@ func TestTaskBoundariesRespectHeaderLimit(t *testing.T) {
 	}
 }
 
-func TestPredictorEndToEnd(t *testing.T) {
-	g := buildTestGraph(t)
-	tr, _, err := Run(g, Config{})
-	if err != nil {
-		t.Fatalf("run: %v", err)
-	}
-	exit := core.MustPathExit(core.MustDOLC(3, 4, 5, 5, 1), core.LEH2, core.PathExitOptions{SkipSingleExit: true})
-	pred := core.NewHeaderPredictor("e2e", exit, core.NewRAS(0), core.MustCTTB(core.MustDOLC(3, 4, 4, 3, 1)))
-	res := core.EvaluateTask(tr, pred)
-	if res.Steps != tr.PredictionSteps() {
-		t.Fatalf("scored %d steps, want %d", res.Steps, tr.PredictionSteps())
-	}
-	// The loop is regular; a path predictor should learn it well.
-	if res.MissRate() > 0.5 {
-		t.Errorf("miss rate %.2f implausibly high for a regular loop", res.MissRate())
-	}
-}
+// The trace → predictor end-to-end path (functional run feeding
+// core.EvaluateTask through an engine-built predictor) is covered in
+// internal/engine's run tests, which can import this package's
+// dependents without a cycle.
 
 func TestMaxStepsBound(t *testing.T) {
 	g := buildTestGraph(t)

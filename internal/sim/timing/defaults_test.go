@@ -1,0 +1,10 @@
+package timing
+
+import "testing"
+
+func TestDefaultsApplied(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Units != 4 || c.IssueWidth != 2 || c.RestartPenalty == 0 || c.BimodalBits == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}

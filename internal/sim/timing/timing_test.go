@@ -1,10 +1,12 @@
-package timing
+package timing_test
 
 import (
 	"testing"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
 	"multiscalar/internal/isa"
+	"multiscalar/internal/sim/timing"
 	"multiscalar/internal/tfg"
 	"multiscalar/internal/workload"
 )
@@ -23,10 +25,7 @@ func graphFor(t *testing.T, name string) *tfg.Graph {
 }
 
 func pathPredictor() core.TaskPredictor {
-	exit := core.MustPathExit(core.MustDOLC(7, 5, 6, 6, 3), core.LEH2,
-		core.PathExitOptions{SkipSingleExit: true})
-	return core.NewHeaderPredictor("PATH", exit, core.NewRAS(0),
-		core.MustCTTB(core.MustDOLC(7, 4, 4, 5, 3)))
+	return engine.MustBuild("composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3")
 }
 
 // antiPredictor predicts a deliberately wrong target for every task.
@@ -41,16 +40,16 @@ func (antiPredictor) Reset()                         {}
 
 func TestPerfectBeatsRealBeatsAnti(t *testing.T) {
 	g := graphFor(t, "compressb")
-	cfg := Config{MaxSteps: 60000}
-	perfect, err := Run(g, nil, cfg)
+	cfg := timing.Config{MaxSteps: 60000}
+	perfect, err := timing.Run(g, nil, cfg)
 	if err != nil {
 		t.Fatalf("perfect: %v", err)
 	}
-	real, err := Run(g, pathPredictor(), cfg)
+	real, err := timing.Run(g, pathPredictor(), cfg)
 	if err != nil {
 		t.Fatalf("real: %v", err)
 	}
-	anti, err := Run(g, antiPredictor{}, cfg)
+	anti, err := timing.Run(g, antiPredictor{}, cfg)
 	if err != nil {
 		t.Fatalf("anti: %v", err)
 	}
@@ -68,7 +67,7 @@ func TestPerfectBeatsRealBeatsAnti(t *testing.T) {
 
 func TestIPCWithinArchitecturalBounds(t *testing.T) {
 	g := graphFor(t, "boolmin")
-	res, err := Run(g, nil, Config{MaxSteps: 60000})
+	res, err := timing.Run(g, nil, timing.Config{MaxSteps: 60000})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -83,11 +82,11 @@ func TestIPCWithinArchitecturalBounds(t *testing.T) {
 
 func TestMoreUnitsDoNotHurt(t *testing.T) {
 	g := graphFor(t, "calcsheet")
-	one, err := Run(g, nil, Config{Units: 1, MaxSteps: 40000})
+	one, err := timing.Run(g, nil, timing.Config{Units: 1, MaxSteps: 40000})
 	if err != nil {
 		t.Fatalf("1 unit: %v", err)
 	}
-	eight, err := Run(g, nil, Config{Units: 8, MaxSteps: 40000})
+	eight, err := timing.Run(g, nil, timing.Config{Units: 8, MaxSteps: 40000})
 	if err != nil {
 		t.Fatalf("8 units: %v", err)
 	}
@@ -98,11 +97,11 @@ func TestMoreUnitsDoNotHurt(t *testing.T) {
 
 func TestTimingIsDeterministic(t *testing.T) {
 	g := graphFor(t, "minilisp")
-	a, err := Run(g, pathPredictor(), Config{MaxSteps: 30000})
+	a, err := timing.Run(g, pathPredictor(), timing.Config{MaxSteps: 30000})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	b, err := Run(g, pathPredictor(), Config{MaxSteps: 30000})
+	b, err := timing.Run(g, pathPredictor(), timing.Config{MaxSteps: 30000})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -113,22 +112,15 @@ func TestTimingIsDeterministic(t *testing.T) {
 
 func TestHigherRestartPenaltyLowersIPC(t *testing.T) {
 	g := graphFor(t, "exprc")
-	lo, err := Run(g, pathPredictor(), Config{MaxSteps: 40000, RestartPenalty: 2})
+	lo, err := timing.Run(g, pathPredictor(), timing.Config{MaxSteps: 40000, RestartPenalty: 2})
 	if err != nil {
 		t.Fatalf("lo: %v", err)
 	}
-	hi, err := Run(g, pathPredictor(), Config{MaxSteps: 40000, RestartPenalty: 30})
+	hi, err := timing.Run(g, pathPredictor(), timing.Config{MaxSteps: 40000, RestartPenalty: 30})
 	if err != nil {
 		t.Fatalf("hi: %v", err)
 	}
 	if hi.IPC() >= lo.IPC() {
 		t.Fatalf("restart penalty has no effect: %.3f vs %.3f", hi.IPC(), lo.IPC())
-	}
-}
-
-func TestDefaultsApplied(t *testing.T) {
-	c := Config{}.withDefaults()
-	if c.Units != 4 || c.IssueWidth != 2 || c.RestartPenalty == 0 || c.BimodalBits == 0 {
-		t.Fatalf("defaults not applied: %+v", c)
 	}
 }

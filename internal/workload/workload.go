@@ -156,8 +156,9 @@ func (w *Workload) Trace() (*trace.Trace, functional.Stats, error) {
 	return w.trace, w.stats, w.traceErr
 }
 
-// TraceN runs the workload for at most maxSteps dynamic tasks (not
-// cached; used by quick tests).
+// TraceN runs the workload for at most maxSteps dynamic tasks. Unlike
+// Trace, each call re-executes the functional simulator; callers that
+// replay the same truncation repeatedly should use CachedTrace.
 func (w *Workload) TraceN(maxSteps int) (*trace.Trace, error) {
 	g, err := w.Graph()
 	if err != nil {
@@ -165,6 +166,45 @@ func (w *Workload) TraceN(maxSteps int) (*trace.Trace, error) {
 	}
 	tr, _, err := functional.Run(g, functional.Config{MaxSteps: maxSteps})
 	return tr, err
+}
+
+// traceCacheKey identifies one memoized truncated trace.
+type traceCacheKey struct {
+	name     string
+	maxSteps int
+}
+
+// traceCacheEntry generates its trace exactly once, even under
+// concurrent demand from many evaluation workers.
+type traceCacheEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+var traceCache sync.Map // traceCacheKey -> *traceCacheEntry
+
+// CachedTrace returns the named workload's dynamic task trace truncated
+// to maxSteps tasks (0 = the full trace), memoized process-wide so each
+// (workload, truncation) pair is simulated once no matter how many
+// experiments or concurrent workers replay it. The returned trace is
+// shared: replays must treat it as read-only (predictor evaluation does;
+// the fault harness proves it with checksums).
+func CachedTrace(name string, maxSteps int) (*trace.Trace, error) {
+	w, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if maxSteps <= 0 {
+		tr, _, err := w.Trace()
+		return tr, err
+	}
+	e, _ := traceCache.LoadOrStore(traceCacheKey{name: w.Name, maxSteps: maxSteps}, &traceCacheEntry{})
+	entry := e.(*traceCacheEntry)
+	entry.once.Do(func() {
+		entry.tr, entry.err = w.TraceN(maxSteps)
+	})
+	return entry.tr, entry.err
 }
 
 // readWord fetches a named scalar from machine memory (a helper for

@@ -3,8 +3,11 @@ package workload
 import (
 	"testing"
 
+	"sync"
+
 	"multiscalar/internal/isa"
 	"multiscalar/internal/tfg"
+	"multiscalar/internal/trace"
 )
 
 func TestRegistry(t *testing.T) {
@@ -150,5 +153,60 @@ func TestExitKindCoverage(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestCachedTraceMemoizes checks the process-level trace cache: repeated
+// and concurrent demands for the same (workload, truncation) pair share
+// one simulated trace, while distinct truncations stay distinct.
+func TestCachedTraceMemoizes(t *testing.T) {
+	a, err := CachedTrace("compressb", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedTrace("compressb", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same truncation simulated twice")
+	}
+	if a.Len() != 5000 {
+		t.Fatalf("trace length %d, want 5000", a.Len())
+	}
+	c, err := CachedTrace("compressb", 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("distinct truncations share a trace")
+	}
+
+	// Concurrent first-touch of a fresh key must also converge on one
+	// trace (the entry's once-guard; -race patrols the rest).
+	var wg sync.WaitGroup
+	got := make([]*trace.Trace, 8)
+	for i := range got {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := CachedTrace("boolmin", 4321)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = tr
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("goroutine %d got a different trace", i)
+		}
+	}
+
+	if _, err := CachedTrace("nope", 100); err == nil {
+		t.Fatal("unknown workload accepted")
 	}
 }
