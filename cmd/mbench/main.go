@@ -17,6 +17,20 @@
 //	mbench -exp all -fresh          # ignore (and restart) the journal
 //	mbench -list                    # list experiment names
 //
+// Observability (internal/obs) is opt-in and off the results path —
+// experiment output is byte-identical with it on or off:
+//
+//	mbench -exp fig7 -http localhost:6060       # pprof + expvar + /metricz
+//	mbench -exp all -metrics-out metrics.json   # JSON metrics snapshot on exit
+//	mbench -exp all -trace-out trace.json       # Chrome trace-event file
+//	                                            # (open in Perfetto / chrome://tracing)
+//
+// Multi-experiment batches additionally report live progress (done/total
+// + ETA) on stderr. The -metrics-out and -trace-out files are flushed
+// exactly once on every exit path; a SIGINT mid-batch flushes whatever
+// was recorded by then (the trace file is a shorter but valid JSON
+// array).
+//
 // A multi-experiment run appends each completed experiment to the resume
 // journal (default mbench.journal). If the process is killed, rerunning
 // the same command skips the completed experiments; a fully successful
@@ -33,6 +47,7 @@ import (
 	"time"
 
 	"multiscalar/internal/experiments"
+	"multiscalar/internal/obs"
 )
 
 func main() {
@@ -44,16 +59,36 @@ func main() {
 	journalPath := flag.String("journal", "mbench.journal", "resume journal path for multi-experiment runs ('' disables)")
 	fresh := flag.Bool("fresh", false, "ignore an existing resume journal and start over")
 	list := flag.Bool("list", false, "list experiments and exit")
+	httpAddr := flag.String("http", "", "serve pprof/expvar//metricz on this address (e.g. localhost:6060; '' = off)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit ('' = off)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file here on exit ('' = off)")
 	flag.Parse()
 
+	outputs, err := obs.CLISetup("mbench", *httpAddr, *metricsOut, *traceOut, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbench:", err)
+		os.Exit(1)
+	}
+
+	code := 0
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-24s %s\n", r.Name, r.Brief)
 		}
-		return
+	} else {
+		code = run(*exp, *steps, *timing, *workers, *timeout, *journalPath, *fresh)
 	}
 
-	os.Exit(run(*exp, *steps, *timing, *workers, *timeout, *journalPath, *fresh))
+	// The single authoritative flush: -list, error returns, interrupts,
+	// and normal completion all pass through here, and Outputs.Flush is
+	// idempotent in case an exit path inside run already flushed.
+	if err := outputs.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "mbench:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
 }
 
 func run(exp string, steps, timing, workers int, timeout time.Duration, journalPath string, fresh bool) int {
@@ -79,6 +114,11 @@ func run(exp string, steps, timing, workers int, timeout time.Duration, journalP
 	}
 
 	opts := experiments.RunOptions{Timeout: timeout}
+	if len(runners) > 1 {
+		// Live batch progress (done/total + ETA) on stderr: a side
+		// channel, so stdout stays byte-identical with or without it.
+		opts.Progress = obs.NewProgress(os.Stderr, "mbench", len(runners))
+	}
 
 	// The resume journal only makes sense across a batch; a single
 	// experiment always reruns.
@@ -103,7 +143,10 @@ func run(exp string, steps, timing, workers int, timeout time.Duration, journalP
 
 	// SIGINT/SIGTERM close the interrupt channel: the in-flight
 	// experiment's partial tables are flushed, the summary still prints,
-	// and the journal keeps what completed.
+	// and the journal keeps what completed. RunResilient returns on the
+	// same channel, so control falls through to main's exactly-once
+	// Flush — the -metrics-out snapshot and -trace-out buffer (a
+	// truncated-but-valid JSON array) survive an interrupt too.
 	intr := make(chan struct{})
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

@@ -14,6 +14,12 @@
 //	msim -w calcsheet -pred perfect -timing           # oracle timing bound
 //	msim -w exprc -steps 200000                       # truncate the run
 //	msim -w exprc -fault all=1e-3,seed=7              # seeded fault injection
+//	msim -w exprc -http localhost:6060                # pprof + expvar + /metricz
+//	msim -w exprc -metrics-out m.json -trace-out t.json
+//
+// The observability flags (internal/obs) are opt-in and record off the
+// results path: printed statistics are identical with them on or off.
+// The trace file is Chrome trace-event JSON (open in Perfetto).
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"multiscalar/internal/engine"
 	"multiscalar/internal/isa"
 	"multiscalar/internal/lint"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/workload"
 )
 
@@ -39,12 +46,28 @@ func main() {
 	steps := flag.Int("steps", 0, "dynamic task budget (0 = run to halt)")
 	doTiming := flag.Bool("timing", false, "also run the ring timing model")
 	faultStr := flag.String("fault", "", "fault injection spec (e.g. all=1e-3 or ctr=1e-3,ras=1e-2,seed=7; '' = off)")
+	httpAddr := flag.String("http", "", "serve pprof/expvar//metricz on this address (e.g. localhost:6060; '' = off)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics snapshot to this file on exit ('' = off)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file here on exit ('' = off)")
 	flag.Parse()
 
-	if err := run(*wname, *pred, *faultStr, *steps, *doTiming); err != nil {
+	outputs, err := obs.CLISetup("msim", *httpAddr, *metricsOut, *traceOut, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "msim:", err)
 		os.Exit(1)
 	}
+
+	code := 0
+	if err := run(*wname, *pred, *faultStr, *steps, *doTiming); err != nil {
+		fmt.Fprintln(os.Stderr, "msim:", err)
+		code = 1
+	}
+	// Exactly-once flush on success and error paths alike.
+	if err := outputs.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "msim:", err)
+		code = 1
+	}
+	os.Exit(code)
 }
 
 func run(wname, predStr, faultStr string, steps int, doTiming bool) error {

@@ -42,6 +42,7 @@ func EvaluateExit(tr *trace.Trace, p ExitPredictor) ExitResult {
 		p.UpdateExit(t, int(s.Exit))
 	}
 	res.States = p.States()
+	recordExitResult(res)
 	return res
 }
 
@@ -104,6 +105,7 @@ func EvaluateIndirect(tr *trace.Trace, b TargetBuffer) TargetResult {
 		b.Advance(s.Task)
 	}
 	res.States = b.States()
+	recordTargetResult(res)
 	return res
 }
 
@@ -184,6 +186,7 @@ func EvaluateTask(tr *trace.Trace, p TaskPredictor) TaskResult {
 		res.ByKind[kind] = km
 		p.Update(t, Outcome{Exit: int(s.Exit), Target: s.Target})
 	}
+	recordTaskResult(res)
 	return res
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "multiscalar/internal/isa"
+import (
+	"multiscalar/internal/isa"
+	"multiscalar/internal/obs"
+)
 
 // DefaultRASDepth is the default return address stack depth. The paper
 // cites a "reasonably deep RAS [as] nearly perfect in predicting return
@@ -39,12 +42,20 @@ func (s *RAS) Push(addr isa.Addr) {
 		s.top = 0
 	}
 	s.ring[s.top] = addr
+	overflowed := false
 	if s.size < s.depth {
 		s.size++
 	} else {
 		s.overflow++
+		overflowed = true
 	}
 	s.pushes++
+	if obs.On() {
+		obsRASPushes.Inc()
+		if overflowed {
+			obsRASOverflows.Inc()
+		}
+	}
 }
 
 // Top returns the predicted return address without popping: the value a
@@ -60,8 +71,14 @@ func (s *RAS) Top() (addr isa.Addr, ok bool) {
 // Pop consumes the top entry (on an actual RETURN exit).
 func (s *RAS) Pop() (addr isa.Addr, ok bool) {
 	s.pops++
+	if obs.On() {
+		obsRASPops.Inc()
+	}
 	if s.size == 0 {
 		s.underflow++
+		if obs.On() {
+			obsRASUnderflows.Inc()
+		}
 		return 0, false
 	}
 	addr = s.ring[s.top]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multiscalar/internal/isa"
+	"multiscalar/internal/obs"
 )
 
 // TargetBuffer is the interface shared by the task target buffer variants
@@ -133,7 +134,13 @@ func (b *CTTB) Reset() {
 func (b *CTTB) Lookup(current isa.Addr) (isa.Addr, bool) {
 	e := &b.entries[b.dolc.Index(&b.hist, current)]
 	if !e.valid {
+		if obs.On() {
+			obsCTTBMisses.Inc()
+		}
 		return 0, false
+	}
+	if obs.On() {
+		obsCTTBHits.Inc()
 	}
 	return e.target, true
 }
@@ -143,6 +150,12 @@ func (b *CTTB) Train(current isa.Addr, actual isa.Addr) {
 	e := &b.entries[b.dolc.Index(&b.hist, current)]
 	if !e.valid {
 		b.touched++
+	} else if e.target != actual && obs.On() {
+		// A valid entry trained toward a different target: either true
+		// destructive aliasing (another context folded to this index) or
+		// an unstable target — both are the conflicts the paper's DOLC
+		// folding study is about.
+		obsCTTBAliases.Inc()
 	}
 	e.train(actual)
 }

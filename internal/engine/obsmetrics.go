@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"time"
+
+	"multiscalar/internal/obs"
+)
+
+// Engine-layer metrics. Registered unconditionally at init (cheap), but
+// only written behind obs.On() guards — the scheduler's hot path pays a
+// single atomic load when observability is off. None of these feed back
+// into results: the byte-invariance test in internal/experiments holds
+// rendered output identical with observability on or off.
+var (
+	obsRunsTotal  = obs.Default().Counter("engine.run.total")
+	obsRunErrors  = obs.Default().Counter("engine.run.errors")
+	obsRunSeconds = obs.Default().Histogram("engine.run.seconds", nil)
+	obsQueueWait  = obs.Default().Histogram("engine.run.queue_wait_seconds", nil)
+	obsBusyNanos  = obs.Default().Counter("engine.worker.busy_nanos")
+	obsGrids      = obs.Default().Counter("engine.grid.total")
+	obsGridRuns   = obs.Default().Counter("engine.grid.runs")
+	obsGridSecs   = obs.Default().Histogram("engine.grid.seconds", nil)
+	obsGridWorkers = obs.Default().Gauge("engine.grid.workers")
+)
+
+// doObserved wraps Do with per-run metrics and span tracing. worker is
+// the zero-based worker lane; submitted is the queue-submit time (zero
+// when the run never waited in a queue, i.e. the sequential path).
+func doObserved(r Run, worker int, submitted time.Time) Result {
+	if !obs.On() {
+		return Do(r)
+	}
+	start := time.Now()
+	res := Do(r)
+	dur := time.Since(start)
+
+	obsRunsTotal.Inc()
+	if res.Err != nil {
+		obsRunErrors.Inc()
+	}
+	obsRunSeconds.Observe(dur.Seconds())
+	obsBusyNanos.Add(dur.Nanoseconds())
+	var queueWait time.Duration
+	if !submitted.IsZero() {
+		queueWait = start.Sub(submitted)
+		obsQueueWait.Observe(queueWait.Seconds())
+	}
+
+	if tr := obs.ActiveTracer(); tr != nil {
+		mode := r.Mode
+		if mode == ModeAuto && res.Spec != nil {
+			switch res.Spec.Class() {
+			case ClassExit:
+				mode = ModeExit
+			case ClassTarget:
+				mode = ModeTarget
+			case ClassTask:
+				mode = ModeTask
+			case ClassPerfect:
+				mode = ModeTiming
+			}
+		}
+		args := map[string]any{
+			"workload": r.Workload,
+			"spec":     r.Spec,
+			"mode":     mode.String(),
+			"worker":   worker,
+		}
+		if queueWait > 0 {
+			args["queue_wait_us"] = queueWait.Microseconds()
+		}
+		if res.Err != nil {
+			args["error"] = res.Err.Error()
+		}
+		// Lane 0 is reserved for experiment phases; workers start at 1.
+		tr.Complete("run "+r.Workload, "engine", worker+1, start, dur, args)
+	}
+	return res
+}

@@ -3,6 +3,9 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"multiscalar/internal/obs"
 )
 
 // Execute evaluates a grid of runs across a pool of workers and returns
@@ -12,7 +15,9 @@ import (
 // predictors, seeded RNGs, read-only shared traces), each worker writes
 // only its own result slot, and the merge is by submission index — so
 // the results, and any output formatted from them, are byte-identical at
-// any worker count. workers <= 0 means GOMAXPROCS.
+// any worker count. workers <= 0 means GOMAXPROCS. Observability (span
+// tracing, per-run timing, queue-wait histograms) records alongside but
+// never feeds back into results.
 //
 // The first workers to demand an undecoded trace serialize briefly on
 // the workload cache's once-guard; everything after that is parallel.
@@ -27,28 +32,57 @@ func Execute(runs []Run, workers int) []Result {
 	if workers > len(runs) {
 		workers = len(runs)
 	}
-	if workers <= 1 {
-		for i := range runs {
-			results[i] = Do(runs[i])
-		}
-		return results
+
+	observing := obs.On()
+	var gridStart time.Time
+	if observing {
+		gridStart = time.Now()
+		obsGrids.Inc()
+		obsGridRuns.Add(int64(len(runs)))
+		obsGridWorkers.Set(int64(workers))
 	}
 
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				results[i] = Do(runs[i])
+	if workers <= 1 {
+		for i := range runs {
+			results[i] = doObserved(runs[i], 0, time.Time{})
+		}
+	} else {
+		// The index channel is buffered to the whole grid so the producer
+		// enqueues every run without serializing against worker pickup;
+		// submit timestamps feed the queue-wait histogram and run spans.
+		idx := make(chan int, len(runs))
+		var submitted []time.Time
+		if observing {
+			submitted = make([]time.Time, len(runs))
+			now := time.Now()
+			for i := range submitted {
+				submitted[i] = now
 			}
-		}()
+		}
+		for i := range runs {
+			idx <- i
+		}
+		close(idx)
+
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(worker int) {
+				defer wg.Done()
+				for i := range idx {
+					at := time.Time{}
+					if submitted != nil {
+						at = submitted[i]
+					}
+					results[i] = doObserved(runs[i], worker, at)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	for i := range runs {
-		idx <- i
+
+	if observing {
+		obsGridSecs.Observe(time.Since(gridStart).Seconds())
 	}
-	close(idx)
-	wg.Wait()
 	return results
 }

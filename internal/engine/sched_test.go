@@ -3,6 +3,8 @@ package engine
 import (
 	"reflect"
 	"testing"
+
+	"multiscalar/internal/obs"
 )
 
 // testGrid is a small but heterogeneous grid: several workloads, every
@@ -97,5 +99,64 @@ func TestExecuteErrorIsolation(t *testing.T) {
 func TestExecuteEmpty(t *testing.T) {
 	if res := Execute(nil, 8); len(res) != 0 {
 		t.Fatalf("Execute(nil) returned %d results", len(res))
+	}
+}
+
+// TestExecuteObserved checks the scheduler's observability hooks: with
+// collection on and a tracer attached, a parallel grid emits one run
+// span per cell (carrying workload/spec/worker args) and advances the
+// engine counters — while the results stay exactly what an unobserved
+// run produces.
+func TestExecuteObserved(t *testing.T) {
+	runs := testGrid()
+	baseline := Execute(runs, 4)
+
+	tr := obs.NewTracer()
+	obs.SetEnabled(true)
+	obs.SetTracer(tr)
+	defer func() {
+		obs.SetEnabled(false)
+		obs.SetTracer(nil)
+	}()
+
+	before := obsRunsTotal.Value()
+	observed := Execute(runs, 4)
+	if got := obsRunsTotal.Value() - before; got != int64(len(runs)) {
+		t.Errorf("engine.run.total advanced by %d, want %d", got, len(runs))
+	}
+	if got := tr.Len(); got != len(runs) {
+		t.Errorf("tracer has %d spans, want %d", got, len(runs))
+	}
+	for _, ev := range tr.Events() {
+		if ev.Cat != "engine" || ev.Ph != "X" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		if ev.Args["workload"] == "" || ev.Args["spec"] == "" {
+			t.Fatalf("span missing workload/spec args: %+v", ev)
+		}
+		if ev.TID < 1 || ev.TID > 4 {
+			t.Fatalf("span on lane %d, want a worker lane 1..4", ev.TID)
+		}
+	}
+	if obsQueueWait.Count() == 0 {
+		t.Error("queue-wait histogram empty after a parallel observed grid")
+	}
+
+	for i := range baseline {
+		bs, os_ := "", ""
+		if baseline[i].Err != nil {
+			bs = baseline[i].Err.Error()
+		}
+		if observed[i].Err != nil {
+			os_ = observed[i].Err.Error()
+		}
+		if bs != os_ {
+			t.Fatalf("run %d: error drift under observation: %q vs %q", i, os_, bs)
+		}
+		b, o := baseline[i], observed[i]
+		b.Err, o.Err, b.Spec, o.Spec = nil, nil, nil, nil
+		if !reflect.DeepEqual(b, o) {
+			t.Fatalf("run %d: results drift under observation\nbase: %+v\nobs:  %+v", i, b, o)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"multiscalar/internal/fault"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/stats"
 )
 
@@ -66,6 +67,12 @@ type RunOptions struct {
 	// in-flight experiment's partial output is flushed with a marker,
 	// and remaining experiments are recorded as ErrInterrupted.
 	Interrupt <-chan struct{}
+	// Progress, when non-nil, receives one Step per finished experiment
+	// (and one Skip per journal skip) — the live completed/total + ETA
+	// reporter mbench wires to stderr for multi-experiment batches. It
+	// writes to its own side channel, never to w, so batch output stays
+	// byte-identical with or without it.
+	Progress *obs.Progress
 }
 
 // syncBuffer is a mutex-guarded buffer an in-flight experiment writes to,
@@ -128,6 +135,7 @@ func RunResilient(w io.Writer, cfg Config, runners []Runner, opts RunOptions) []
 		if opts.Journal != nil && opts.Journal.IsDone(journalKey(r.Name, cfg)) {
 			fmt.Fprintf(w, "[%s already done per journal %s, skipping]\n\n", r.Name, opts.Journal.Path())
 			outcomes = append(outcomes, Outcome{Name: r.Name, Skipped: true})
+			opts.Progress.Skip(r.Name)
 			continue
 		}
 
@@ -179,6 +187,19 @@ func RunResilient(w io.Writer, cfg Config, runners []Runner, opts RunOptions) []
 		if timer != nil {
 			timer.Stop()
 		}
+		// Observability: one experiment-phase span on lane 0 (engine run
+		// spans occupy the worker lanes) and one progress step. Both are
+		// side channels; w saw only the experiment's own output above.
+		if obs.On() {
+			if tr := obs.ActiveTracer(); tr != nil {
+				args := map[string]any{"experiment": r.Name}
+				if out.Err != nil {
+					args["error"] = firstLine(out.Err.Error())
+				}
+				tr.Complete("experiment "+r.Name, "experiment", 0, start, out.Duration, args)
+			}
+		}
+		opts.Progress.Step(r.Name, out.Duration)
 		outcomes = append(outcomes, out)
 	}
 	return outcomes

@@ -4,7 +4,16 @@ import (
 	"fmt"
 
 	"multiscalar/internal/core"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/tfg"
+)
+
+// Injector activity metrics, aggregated across every injector in the
+// process (the per-run Stats stay the source of truth for results;
+// these only feed the observability snapshot).
+var (
+	obsRolled   = obs.Default().Counter("fault.inject.rolled")
+	obsInjected = obs.Default().Counter("fault.inject.injected")
 )
 
 // The injector reaches predictor components through the accessors the
@@ -159,6 +168,9 @@ func (i *Injector) roll(k Kind) bool {
 		return false
 	}
 	i.stats.Kind[k].Rolled++
+	if obs.On() {
+		obsRolled.Inc()
+	}
 	return true
 }
 
@@ -166,6 +178,9 @@ func (i *Injector) roll(k Kind) bool {
 func (i *Injector) inject(k Kind, ok bool) {
 	if ok {
 		i.stats.Kind[k].Injected++
+		if obs.On() {
+			obsInjected.Inc()
+		}
 	}
 }
 

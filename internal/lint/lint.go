@@ -14,9 +14,10 @@
 // gate on them; warnings and infos inform without blocking.
 //
 // Check IDs are stable strings of the form "<layer>-<concern>" with
-// layers tfg (task flow graph), prog (program/ASM), and cfg (predictor
-// configuration). The TFG structural IDs are defined in internal/tfg,
-// which shares them with tfg.(*Graph).Validate — one source of truth.
+// layers tfg (task flow graph), prog (program/ASM), cfg (predictor
+// configuration), and obs (observability metrics registry). The TFG
+// structural IDs are defined in internal/tfg, which shares them with
+// tfg.(*Graph).Validate — one source of truth.
 package lint
 
 import (
@@ -239,7 +240,8 @@ type Pass struct {
 }
 
 // AllPasses returns every registered pass, TFG layer first, then the
-// program layer, then the configuration layer.
+// program layer, then the configuration layer, then the observability
+// layer.
 func AllPasses() []Pass {
 	var out []Pass
 	out = append(out, tfgPasses()...)
@@ -247,6 +249,7 @@ func AllPasses() []Pass {
 	out = append(out, configPasses()...)
 	out = append(out, predSpecPasses()...)
 	out = append(out, faultPasses()...)
+	out = append(out, obsPasses()...)
 	return out
 }
 

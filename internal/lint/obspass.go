@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"multiscalar/internal/obs"
+)
+
+// The obs layer's pass audits the observability metrics registry: every
+// metric linked into the binary registers against obs.Default() at
+// package init, so by the time a lint run executes, the registry knows
+// the complete metric population. The pass re-validates each name
+// against the layer.subsystem.name convention with the registry's own
+// ValidateName, and surfaces the registry's recorded registration
+// issues (duplicate registrations, malformed histogram buckets) as
+// error diagnostics — CI gates on a clean registry the same way it
+// gates on a clean TFG.
+
+// obsPasses returns the obs-layer passes over the default registry.
+func obsPasses() []Pass {
+	return obsPassesFor(obs.Default())
+}
+
+// obsPassesFor builds the obs-layer passes over an explicit registry
+// (the default in production; a fixture in tests).
+func obsPassesFor(reg *obs.Registry) []Pass {
+	return []Pass{{
+		Name: "obs-metric-name",
+		Doc:  "metric names follow layer.subsystem.name and register exactly once",
+		Run: func(c *Context) []Diagnostic {
+			var out []Diagnostic
+			for _, name := range reg.Names() {
+				if err := obs.ValidateName(name); err != nil {
+					out = append(out, Diagnostic{
+						Check: "obs-metric-name", Sev: Error, Msg: err.Error(),
+					})
+				}
+			}
+			for _, issue := range reg.Issues() {
+				out = append(out, Diagnostic{
+					Check: "obs-metric-name", Sev: Error, Msg: issue,
+				})
+			}
+			return out
+		},
+	}}
+}

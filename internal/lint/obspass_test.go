@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/obs"
+)
+
+// runObsPass executes the obs-metric-name pass over reg with an empty
+// context (the pass inspects only the registry).
+func runObsPass(t *testing.T, reg *obs.Registry) *Report {
+	t.Helper()
+	return RunPasses(&Context{}, obsPassesFor(reg))
+}
+
+func TestObsPassCleanRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("core.ras.pushes")
+	reg.Gauge("engine.grid.workers")
+	reg.Histogram("engine.run.seconds", nil)
+	if rep := runObsPass(t, reg); rep.HasErrors() {
+		t.Fatalf("clean registry produced errors:\n%v", rep.Diags)
+	}
+}
+
+func TestObsPassFlagsBadNames(t *testing.T) {
+	cases := []string{
+		"justonesegment",
+		"two.segments",
+		"four.whole.dotted.segments",
+		"Upper.case.name",
+		"core.ras.push-es", // dash, not underscore
+		"core..pushes",
+		"1core.ras.pushes", // segment must start with a letter
+	}
+	for _, name := range cases {
+		reg := obs.NewRegistry()
+		reg.Counter(name)
+		rep := runObsPass(t, reg)
+		if !rep.HasErrors() {
+			t.Errorf("name %q: pass found no error", name)
+			continue
+		}
+		if got := rep.Diags[0].Check; got != "obs-metric-name" {
+			t.Errorf("name %q: check = %q", name, got)
+		}
+	}
+}
+
+func TestObsPassFlagsDuplicateRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("core.ras.pushes")
+	reg.Counter("core.ras.pushes") // same name, same type
+	rep := runObsPass(t, reg)
+	if !rep.HasErrors() {
+		t.Fatal("duplicate registration not flagged")
+	}
+	found := false
+	for _, d := range rep.Diags {
+		if strings.Contains(d.Msg, "registered more than once") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no duplicate-registration diagnostic in %v", rep.Diags)
+	}
+}
+
+func TestObsPassFlagsCrossTypeCollision(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("engine.run.total")
+	reg.Gauge("engine.run.total") // same name, different metric type
+	if rep := runObsPass(t, reg); !rep.HasErrors() {
+		t.Fatal("cross-type name collision not flagged")
+	}
+}
+
+// TestDefaultRegistryIsClean is the production gate: the metrics
+// actually registered by the linked-in instrumentation (engine, core,
+// workload, fault) must all follow the convention. This is the same
+// check `mlint -w all` applies in scripts/check.sh.
+func TestDefaultRegistryIsClean(t *testing.T) {
+	rep := RunPasses(&Context{}, obsPasses())
+	if rep.HasErrors() {
+		t.Fatalf("default registry has naming issues:\n%v", rep.Diags)
+	}
+	if len(obs.Default().Names()) == 0 {
+		t.Fatal("default registry is empty — instrumentation not linked?")
+	}
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// CLISetup wires the standard observability flags of a CLI (mbench,
+// msim): it enables collection when any flag is set, installs a tracer
+// when a trace file was requested, starts the HTTP introspection
+// endpoint when an address was given (announced on errw), and returns
+// the Outputs whose Flush every exit path must call — Flush is
+// idempotent, so normal completion, -list, error returns, and SIGINT
+// can all call it safely.
+func CLISetup(name, httpAddr, metricsOut, traceOut string, errw io.Writer) (*Outputs, error) {
+	out := &Outputs{MetricsPath: metricsOut, TracePath: traceOut}
+	if httpAddr == "" && metricsOut == "" && traceOut == "" {
+		return out, nil
+	}
+	SetEnabled(true)
+	if traceOut != "" {
+		t := NewTracer()
+		SetTracer(t)
+		out.Tracer = t
+	}
+	if httpAddr != "" {
+		addr, err := Serve(httpAddr, Default())
+		if err != nil {
+			return out, err
+		}
+		fmt.Fprintf(errw, "%s: observability endpoint at http://%s/ (pprof, expvar, /metricz)\n", name, addr)
+	}
+	return out, nil
+}

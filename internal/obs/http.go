@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar publication of the default registry
+// (expvar.Publish panics on duplicate names).
+var publishOnce sync.Once
+
+// Handler returns the introspection mux over reg:
+//
+//	/debug/pprof/...   net/http/pprof (profile, heap, goroutine, trace, ...)
+//	/debug/vars        expvar (memstats, cmdline, obs_metrics)
+//	/metricz           deterministic text snapshot of the registry
+//	/metricz?format=json  the same snapshot as JSON
+//	/                  a one-page index of the above
+func Handler(reg *Registry) http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("obs_metrics", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "multiscalar observability\n\n"+
+			"  /metricz               metrics snapshot (text)\n"+
+			"  /metricz?format=json   metrics snapshot (JSON)\n"+
+			"  /debug/pprof/          live profiling\n"+
+			"  /debug/vars            expvar\n")
+	})
+	return mux
+}
+
+// Serve starts the introspection endpoint on addr (e.g. "localhost:6060";
+// ":0" picks a free port) serving Handler(reg), and returns the bound
+// address. The server runs until the process exits — introspection is a
+// debugging side channel, not a managed service.
+func Serve(addr string, reg *Registry) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixtureRegistry builds a registry with deterministic contents for the
+// /metricz golden test.
+func fixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("core.ras.pushes").Add(120)
+	r.Counter("core.ras.underflows").Add(3)
+	r.Counter("core.cttb.hits").Add(900)
+	r.Counter("engine.run.total").Add(42)
+	r.Gauge("engine.grid.workers").Set(4)
+	h := r.Histogram("engine.run.seconds", []float64{0.001, 0.01, 0.1, 1})
+	h.Observe(0.0005)
+	h.Observe(0.004)
+	h.Observe(0.004)
+	h.Observe(0.05)
+	h.Observe(2.5)
+	return r
+}
+
+// TestMetriczGolden pins the /metricz snapshot rendering — ordering and
+// format — against testdata/metricz.golden. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/obs -run Metricz.
+func TestMetriczGolden(t *testing.T) {
+	srv := httptest.NewServer(Handler(fixtureRegistry()))
+	defer srv.Close()
+
+	get := func(url string) string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", url, resp.Status)
+		}
+		return string(b)
+	}
+
+	got := get(srv.URL + "/metricz")
+	golden := filepath.Join("testdata", "metricz.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("/metricz drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The JSON form parses and carries the same deterministic ordering.
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get(srv.URL+"/metricz?format=json")), &snap); err != nil {
+		t.Fatalf("metricz JSON: %v", err)
+	}
+	for i := 1; i < len(snap.Counters); i++ {
+		if snap.Counters[i-1].Name >= snap.Counters[i].Name {
+			t.Fatalf("counters out of order: %q >= %q", snap.Counters[i-1].Name, snap.Counters[i].Name)
+		}
+	}
+}
+
+// TestServePprofEndpoint boots the real listener on a free port and
+// checks the pprof index and a live profile answer — the
+// "pprof-servable endpoint" acceptance criterion.
+func TestServePprofEndpoint(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0", fixtureRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	for _, path := range []string{"/", "/metricz", "/debug/pprof/", "/debug/vars", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		if path == "/debug/pprof/" && !strings.Contains(string(body), "goroutine") {
+			t.Fatalf("pprof index looks wrong:\n%s", body)
+		}
+	}
+}
+
+func TestEnabledFlag(t *testing.T) {
+	defer SetEnabled(false)
+	SetEnabled(false)
+	if On() {
+		t.Fatal("On() after SetEnabled(false)")
+	}
+	SetEnabled(true)
+	if !On() {
+		t.Fatal("!On() after SetEnabled(true)")
+	}
+}
+
+func TestOutputsFlushExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	reg := fixtureRegistry()
+	tr := NewTracer()
+	tr.Complete("run", "engine", 1, time.Now(), time.Millisecond, nil)
+
+	o := &Outputs{
+		MetricsPath: filepath.Join(dir, "m.json"),
+		TracePath:   filepath.Join(dir, "t.json"),
+		Registry:    reg,
+		Tracer:      tr,
+	}
+	if !o.Active() {
+		t.Fatal("outputs with paths should be active")
+	}
+
+	// Concurrent flushes (the SIGINT handler racing the normal exit
+	// path) still write each file exactly once.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := o.Flush(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var snap Snapshot
+	mb, err := os.ReadFile(o.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	tb, err := os.ReadFile(o.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []json.RawMessage
+	if err := json.Unmarshal(tb, &events); err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("trace has %d events, want 1", len(events))
+	}
+
+	// Nil and empty outputs are inert.
+	var nilO *Outputs
+	if nilO.Active() || nilO.Flush() != nil {
+		t.Fatal("nil Outputs should be inactive and flush clean")
+	}
+	if (&Outputs{}).Active() {
+		t.Fatal("empty Outputs should be inactive")
+	}
+}

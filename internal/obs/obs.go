@@ -1,0 +1,53 @@
+// Package obs is the repository's deterministic observability layer: a
+// metrics registry (atomic counters, gauges, and fixed-bucket latency
+// histograms with deterministically ordered snapshots), span/event
+// tracing in the Chrome trace-event format (loadable in Perfetto or
+// chrome://tracing), a live stderr progress reporter, and an opt-in HTTP
+// introspection endpoint (net/http/pprof + expvar + /metricz).
+//
+// The layer has zero dependencies outside the standard library and one
+// hard contract, enforced by test: instrumentation lives entirely off
+// the results path. Rendered experiment output is byte-identical with
+// observability on or off and at any worker count — counters only
+// accumulate, spans only record wall-clock, and everything renders to
+// side channels (stderr, -metrics-out, -trace-out, the HTTP endpoint),
+// never into experiment tables.
+//
+// Hot paths guard their instrumentation with On(), a single atomic
+// load, so a build without -http/-metrics-out/-trace-out pays almost
+// nothing. Metric registration itself is unconditional (package-level
+// vars register against Default() at init), which is what lets the
+// obs-metric-name lint pass audit every metric linked into a binary.
+package obs
+
+import "sync/atomic"
+
+// enabled is the process-wide observability switch. Off by default:
+// registration still happens, but hot-path increments and span capture
+// are skipped.
+var enabled atomic.Bool
+
+// SetEnabled switches observability collection on or off process-wide.
+// Safe for concurrent use; typically called once at CLI startup when an
+// observability flag is present.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// On reports whether observability collection is enabled. It is a
+// single atomic load — cheap enough to guard per-prediction counters.
+func On() bool { return enabled.Load() }
+
+// activeTracer is the process-wide span tracer (nil = no tracing).
+var activeTracer atomic.Pointer[Tracer]
+
+// SetTracer installs t as the process-wide tracer (nil uninstalls).
+func SetTracer(t *Tracer) { activeTracer.Store(t) }
+
+// ActiveTracer returns the installed tracer, or nil. Callers must also
+// check On(); the convention is
+//
+//	if obs.On() {
+//		if tr := obs.ActiveTracer(); tr != nil { ... }
+//	}
+func ActiveTracer() *Tracer {
+	return activeTracer.Load()
+}

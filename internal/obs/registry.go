@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric names follow layer.subsystem.name: exactly three dot-separated
+// segments of lowercase letters, digits, and underscores, starting with
+// a letter ("core.ras.pushes", "engine.run.seconds"). The convention is
+// validated at registration and audited by the obs-metric-name lint
+// pass.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$`)
+
+// ValidateName checks a metric name against the layer.subsystem.name
+// convention. The registry applies it at registration time and records
+// (rather than panics on) violations, so the lint layer can gate on
+// them; it is exported so internal/lint reuses exactly this validation.
+func ValidateName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("obs: metric name %q does not follow layer.subsystem.name (lowercase [a-z0-9_] segments)", name)
+	}
+	return nil
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programming error; the registry does
+// not police them, monotonicity is by convention).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets are the histogram bucket upper bounds (seconds)
+// used by the built-in latency histograms: 100µs to ~100s in roughly
+// half-decade steps, wide enough for a per-run queue wait and a full
+// timing simulation alike.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are upper
+// bounds in seconds, ascending, with an implicit +Inf overflow bucket;
+// observations are lock-free (one atomic add per bucket plus count and
+// a nanosecond-granular sum).
+type Histogram struct {
+	name   string
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(seconds * 1e9))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / 1e9 }
+
+// Bounds returns the configured bucket upper bounds (not including the
+// implicit +Inf bucket).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCount returns the observation count of bucket i, where bucket
+// len(Bounds()) is the +Inf overflow bucket.
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
+
+// Registry holds a process's metrics. Registration is lenient by
+// design: an invalid name or a duplicate registration is recorded as an
+// issue (surfaced by Issues and gated by the obs-metric-name lint pass)
+// instead of panicking, so a naming bug cannot take down a multi-hour
+// batch run.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	issues []string
+}
+
+// NewRegistry returns an empty registry. Most code uses Default();
+// fresh registries exist for tests and embedding.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that package-level metric
+// vars register against and /metricz snapshots.
+func Default() *Registry { return defaultRegistry }
+
+// note records a registration issue.
+func (r *Registry) note(format string, args ...any) {
+	r.issues = append(r.issues, fmt.Sprintf(format, args...))
+}
+
+// checkNew validates a registration: the name convention, and that no
+// metric of any type already claimed the name.
+func (r *Registry) checkNew(name string) {
+	if err := ValidateName(name); err != nil {
+		r.note("%v", err)
+	}
+	_, c := r.counts[name]
+	_, g := r.gauges[name]
+	_, h := r.hists[name]
+	if c || g || h {
+		r.note("obs: metric %q registered more than once", name)
+	}
+}
+
+// Counter registers and returns the named counter. Each metric should
+// be registered exactly once (a package-level var); a second call
+// returns the same counter but records a duplicate-registration issue.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counts[name]; ok {
+		r.note("obs: metric %q registered more than once", name)
+		return c
+	}
+	r.checkNew(name)
+	c := &Counter{name: name}
+	r.counts[name] = c
+	return c
+}
+
+// Gauge registers and returns the named gauge (same contract as
+// Counter).
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		r.note("obs: metric %q registered more than once", name)
+		return g
+	}
+	r.checkNew(name)
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram registers and returns the named fixed-bucket histogram.
+// bounds are ascending upper bounds in seconds (nil = the default
+// latency buckets); same registration contract as Counter.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		r.note("obs: metric %q registered more than once", name)
+		return h
+	}
+	r.checkNew(name)
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			r.note("obs: histogram %q buckets not strictly ascending at %v", name, bounds[i])
+		}
+	}
+	h := &Histogram{name: name, bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	r.hists[name] = h
+	return h
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counts)+len(r.gauges)+len(r.hists))
+	for n := range r.counts {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
+		out = append(out, n)
+	}
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Issues returns the registration problems recorded so far (invalid
+// names, duplicate registrations, malformed buckets), sorted. The
+// obs-metric-name lint pass turns these into error diagnostics.
+func (r *Registry) Issues() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.issues...)
+	sort.Strings(out)
+	return out
+}
+
+// BucketValue is one histogram bucket in a snapshot. Le is the upper
+// bound rendered as a string ("0.001", "+Inf") so the JSON stays valid
+// where float +Inf would not.
+type BucketValue struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, with every section
+// sorted by metric name — the deterministic-ordering contract that the
+// /metricz golden test pins.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// formatBound renders a bucket upper bound compactly and stably.
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Snapshot copies the registry's current values. Concurrent writers may
+// race individual increments (each value is a single atomic load) but
+// the result is always a well-formed snapshot in deterministic order.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   []CounterValue{},
+		Gauges:     []GaugeValue{},
+		Histograms: []HistogramValue{},
+	}
+	for n, c := range r.counts {
+		s.Counters = append(s.Counters, CounterValue{Name: n, Value: c.Value()})
+	}
+	for n, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: n, Value: g.Value()})
+	}
+	for n, h := range r.hists {
+		hv := HistogramValue{Name: n, Count: h.Count(), Sum: h.Sum()}
+		for i, b := range h.bounds {
+			hv.Buckets = append(hv.Buckets, BucketValue{Le: formatBound(b), Count: h.counts[i].Load()})
+		}
+		hv.Buckets = append(hv.Buckets, BucketValue{Le: "+Inf", Count: h.counts[len(h.bounds)].Load()})
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON. Section order and
+// within-section name order are deterministic, so two snapshots of the
+// same state are byte-identical.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as aligned human-readable lines, one
+// metric per line, in the same deterministic order as the JSON form.
+// Histograms render their count, sum, and non-empty buckets.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter   %-40s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge     %-40s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "histogram %-40s count=%d sum=%.6fs\n", h.Name, h.Count, h.Sum); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "          %-40s le=%s count=%d\n", "", b.Le, b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

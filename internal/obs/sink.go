@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Outputs manages a CLI run's -metrics-out and -trace-out files. Data
+// is buffered in the registry and tracer until Flush, which writes both
+// files and is idempotent — exactly one write no matter how many exit
+// paths call it (normal completion, -list, an error return, SIGINT).
+// Flushing mid-batch yields a shorter but complete metrics snapshot and
+// a truncated-but-valid trace-event JSON array.
+type Outputs struct {
+	// MetricsPath is the metrics snapshot destination ("" = none).
+	MetricsPath string
+	// TracePath is the Chrome trace-event destination ("" = none).
+	TracePath string
+	// Registry is snapshotted at flush time (nil = Default()).
+	Registry *Registry
+	// Tracer supplies the trace events (nil = no trace file even if
+	// TracePath is set).
+	Tracer *Tracer
+
+	once sync.Once
+	err  error
+}
+
+// Active reports whether any output is configured.
+func (o *Outputs) Active() bool {
+	return o != nil && (o.MetricsPath != "" || o.TracePath != "")
+}
+
+// Flush writes the configured outputs exactly once and returns the
+// first error (subsequent calls return the same result).
+func (o *Outputs) Flush() error {
+	if o == nil {
+		return nil
+	}
+	o.once.Do(func() { o.err = o.flush() })
+	return o.err
+}
+
+// writeFile creates path and runs write against it, closing exactly once.
+func writeFile(path string, write func(f *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: close %s: %w", path, err)
+	}
+	return nil
+}
+
+func (o *Outputs) flush() error {
+	if o.MetricsPath != "" {
+		reg := o.Registry
+		if reg == nil {
+			reg = Default()
+		}
+		if err := writeFile(o.MetricsPath, func(f *os.File) error {
+			return reg.Snapshot().WriteJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if o.TracePath != "" && o.Tracer != nil {
+		if err := writeFile(o.TracePath, func(f *os.File) error {
+			return o.Tracer.WriteJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,13 +13,25 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"multiscalar/internal/msl"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/program"
 	"multiscalar/internal/sim/functional"
 	"multiscalar/internal/taskform"
 	"multiscalar/internal/tfg"
 	"multiscalar/internal/trace"
+)
+
+// Trace-cache metrics: how often the process-level memoization absorbs a
+// replay (hits) versus pays a functional simulation (misses, with the
+// decode/simulation time in the histogram). Off the results path — the
+// cached traces themselves are identical either way.
+var (
+	obsCacheHits   = obs.Default().Counter("workload.trace_cache.hits")
+	obsCacheMisses = obs.Default().Counter("workload.trace_cache.misses")
+	obsDecodeSecs  = obs.Default().Histogram("workload.trace_cache.decode_seconds", nil)
 )
 
 // Workload is one benchmark program.
@@ -129,31 +141,36 @@ func (w *Workload) Graph() (*tfg.Graph, error) {
 // Trace returns the workload's full dynamic task trace (computed once and
 // cached; all predictor studies replay this shared trace).
 func (w *Workload) Trace() (*trace.Trace, functional.Stats, error) {
-	w.traceOnce.Do(func() {
-		g, err := w.Graph()
-		if err != nil {
-			w.traceErr = err
-			return
-		}
-		m := functional.NewMachine(g, functional.Config{})
-		tr, err := m.Run(functional.Config{})
-		if err != nil {
-			w.traceErr = fmt.Errorf("workload %s: %w", w.Name, err)
-			return
-		}
-		if !m.Stats().Halted {
-			w.traceErr = fmt.Errorf("workload %s: did not halt", w.Name)
-			return
-		}
-		if w.Check != nil {
-			if err := w.Check(m, g.Prog); err != nil {
-				w.traceErr = fmt.Errorf("workload %s: self-check failed: %w", w.Name, err)
-				return
-			}
-		}
-		w.trace, w.stats = tr, m.Stats()
-	})
+	w.traceOnce.Do(w.fullTrace)
 	return w.trace, w.stats, w.traceErr
+}
+
+// fullTrace is the body of the full-trace memoization: it simulates the
+// workload to halt, self-checks it, and fills the trace fields. Must be
+// called under traceOnce.
+func (w *Workload) fullTrace() {
+	g, err := w.Graph()
+	if err != nil {
+		w.traceErr = err
+		return
+	}
+	m := functional.NewMachine(g, functional.Config{})
+	tr, err := m.Run(functional.Config{})
+	if err != nil {
+		w.traceErr = fmt.Errorf("workload %s: %w", w.Name, err)
+		return
+	}
+	if !m.Stats().Halted {
+		w.traceErr = fmt.Errorf("workload %s: did not halt", w.Name)
+		return
+	}
+	if w.Check != nil {
+		if err := w.Check(m, g.Prog); err != nil {
+			w.traceErr = fmt.Errorf("workload %s: self-check failed: %w", w.Name, err)
+			return
+		}
+	}
+	w.trace, w.stats = tr, m.Stats()
 }
 
 // TraceN runs the workload for at most maxSteps dynamic tasks. Unlike
@@ -196,14 +213,36 @@ func CachedTrace(name string, maxSteps int) (*trace.Trace, error) {
 		return nil, err
 	}
 	if maxSteps <= 0 {
-		tr, _, err := w.Trace()
-		return tr, err
+		generated := false
+		w.traceOnce.Do(func() {
+			generated = true
+			start := time.Now()
+			w.fullTrace()
+			if obs.On() {
+				obsCacheMisses.Inc()
+				obsDecodeSecs.Observe(time.Since(start).Seconds())
+			}
+		})
+		if !generated && obs.On() {
+			obsCacheHits.Inc()
+		}
+		return w.trace, w.traceErr
 	}
 	e, _ := traceCache.LoadOrStore(traceCacheKey{name: w.Name, maxSteps: maxSteps}, &traceCacheEntry{})
 	entry := e.(*traceCacheEntry)
+	generated := false
 	entry.once.Do(func() {
+		generated = true
+		start := time.Now()
 		entry.tr, entry.err = w.TraceN(maxSteps)
+		if obs.On() {
+			obsCacheMisses.Inc()
+			obsDecodeSecs.Observe(time.Since(start).Seconds())
+		}
 	})
+	if !generated && obs.On() {
+		obsCacheHits.Inc()
+	}
 	return entry.tr, entry.err
 }
 

@@ -30,6 +30,14 @@ go run ./cmd/mlint -w exprc -pred composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d
 echo "==> mbench parallel smoke (-workers 4, truncated traces)"
 go run ./cmd/mbench -exp all -steps 6000 -timing 4000 -workers 4 -journal '' >/dev/null
 
+echo "==> obs smoke (-metrics-out / -trace-out produce valid JSON)"
+OBS_TMP="${TMPDIR:-/tmp}"
+go run ./cmd/mbench -exp fig7 -steps 6000 -journal '' \
+	-metrics-out "$OBS_TMP/mbench-metrics.json" \
+	-trace-out "$OBS_TMP/mbench-trace.json" >/dev/null
+go run ./scripts/checkjson "$OBS_TMP/mbench-metrics.json" "$OBS_TMP/mbench-trace.json" >/dev/null
+rm -f "$OBS_TMP/mbench-metrics.json" "$OBS_TMP/mbench-trace.json"
+
 echo "==> benchmark smoke (one iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x . >/dev/null
 

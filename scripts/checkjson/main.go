@@ -1,0 +1,105 @@
+// Command checkjson validates observability output files for the CI
+// smoke in scripts/check.sh: each argument must parse as JSON, a
+// -metrics-out snapshot must be an object with counters/gauges/
+// histograms sections, and a -trace-out file must be a JSON array of
+// trace events each carrying the fields Perfetto requires.
+//
+// Usage:
+//
+//	go run ./scripts/checkjson metrics.json trace.json
+//
+// File roles are sniffed from the parsed shape (object = metrics
+// snapshot, array = trace). Exit status 0 iff every file validates.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkjson file.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "checkjson: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("checkjson: %s ok\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	switch doc := v.(type) {
+	case map[string]any:
+		return checkMetrics(doc)
+	case []any:
+		return checkTrace(doc)
+	default:
+		return fmt.Errorf("top-level JSON is %T, want an object (metrics) or array (trace)", v)
+	}
+}
+
+// checkMetrics validates a -metrics-out snapshot: the three sections
+// exist and every metric entry names itself.
+func checkMetrics(doc map[string]any) error {
+	for _, section := range []string{"counters", "gauges", "histograms"} {
+		raw, ok := doc[section]
+		if !ok {
+			return fmt.Errorf("metrics snapshot missing %q section", section)
+		}
+		list, ok := raw.([]any)
+		if !ok {
+			return fmt.Errorf("metrics section %q is %T, want array", section, raw)
+		}
+		prev := ""
+		for i, entry := range list {
+			m, ok := entry.(map[string]any)
+			if !ok {
+				return fmt.Errorf("%s[%d] is %T, want object", section, i, entry)
+			}
+			name, _ := m["name"].(string)
+			if name == "" {
+				return fmt.Errorf("%s[%d] has no name", section, i)
+			}
+			if name <= prev {
+				return fmt.Errorf("%s not sorted: %q after %q", section, name, prev)
+			}
+			prev = name
+		}
+	}
+	return nil
+}
+
+// checkTrace validates a -trace-out file: every event is an object with
+// the name/ph/ts/pid/tid fields trace viewers require.
+func checkTrace(events []any) error {
+	for i, entry := range events {
+		ev, ok := entry.(map[string]any)
+		if !ok {
+			return fmt.Errorf("event %d is %T, want object", i, entry)
+		}
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				return fmt.Errorf("event %d missing %q", i, field)
+			}
+		}
+	}
+	return nil
+}
