@@ -152,6 +152,155 @@ func BenchmarkHeaderPredictorStep(b *testing.B) {
 	}
 }
 
+// ---- replay loops (the sweep substrate's hot path) -----------------------
+//
+// BenchmarkEvaluate{Exit,Indirect,Task} isolate the replay loop itself:
+// the predictor is a minimal probe, so ns/op measures the per-step loop
+// machinery (map lookups, exit decoding, ByKind accounting) that the
+// resolved fast path eliminates. The ...Unresolved twins run the
+// reference path over the same trace, so the fast-path speedup is the
+// ratio of each pair. The Composed/Path variants replay a real paper
+// predictor for end-to-end numbers. All of these feed the benchdiff
+// regression gate (scripts/benchdiff, BENCH_baseline.json).
+
+const benchReplaySteps = 120000
+
+// benchResolvedTrace returns the shared truncated trace and its resolved
+// sidecar (workload.CachedTrace memoizes both process-wide).
+func benchResolvedTrace(b *testing.B, name string) (*trace.Trace, *trace.Resolved) {
+	b.Helper()
+	tr, err := workload.CachedTrace(name, benchReplaySteps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := tr.Resolved()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, rt
+}
+
+// reportPerStep converts whole-replay ns/op into ns/step.
+func reportPerStep(b *testing.B, tr *trace.Trace) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(tr.PredictionSteps())), "ns/step")
+}
+
+func BenchmarkEvaluateExit(b *testing.B) {
+	tr, rt := benchResolvedTrace(b, "exprc")
+	p := &probeExit{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateExitResolved(rt, p)
+	}
+	reportPerStep(b, tr)
+}
+
+func BenchmarkEvaluateExitUnresolved(b *testing.B) {
+	tr, _ := benchResolvedTrace(b, "exprc")
+	p := &probeExit{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateExitUnresolved(tr, p)
+	}
+	reportPerStep(b, tr)
+}
+
+func BenchmarkEvaluateExitPath(b *testing.B) {
+	tr, rt := benchResolvedTrace(b, "exprc")
+	p := engine.MustBuildExit("path:d7-o5-l6-c6-f3:leh2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateExitResolved(rt, p)
+	}
+	reportPerStep(b, tr)
+}
+
+func BenchmarkEvaluateExitPathUnresolved(b *testing.B) {
+	tr, _ := benchResolvedTrace(b, "exprc")
+	p := engine.MustBuildExit("path:d7-o5-l6-c6-f3:leh2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateExitUnresolved(tr, p)
+	}
+	reportPerStep(b, tr)
+}
+
+func BenchmarkEvaluateIndirect(b *testing.B) {
+	tr, rt := benchResolvedTrace(b, "minilisp")
+	buf := &probeBuf{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateIndirectResolved(rt, buf)
+	}
+	reportPerStep(b, tr)
+}
+
+func BenchmarkEvaluateIndirectUnresolved(b *testing.B) {
+	tr, _ := benchResolvedTrace(b, "minilisp")
+	buf := &probeBuf{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateIndirectUnresolved(tr, buf)
+	}
+	reportPerStep(b, tr)
+}
+
+func BenchmarkEvaluateTask(b *testing.B) {
+	tr, rt := benchResolvedTrace(b, "exprc")
+	p := &probeTask{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateTaskResolved(rt, p)
+	}
+	reportPerStep(b, tr)
+}
+
+func BenchmarkEvaluateTaskUnresolved(b *testing.B) {
+	tr, _ := benchResolvedTrace(b, "exprc")
+	p := &probeTask{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateTaskUnresolved(tr, p)
+	}
+	reportPerStep(b, tr)
+}
+
+func BenchmarkEvaluateTaskComposed(b *testing.B) {
+	tr, rt := benchResolvedTrace(b, "minilisp")
+	p := engine.MustBuild("composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateTaskResolved(rt, p)
+	}
+	reportPerStep(b, tr)
+}
+
+func BenchmarkEvaluateTaskComposedUnresolved(b *testing.B) {
+	tr, _ := benchResolvedTrace(b, "minilisp")
+	p := engine.MustBuild("composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.EvaluateTaskUnresolved(tr, p)
+	}
+	reportPerStep(b, tr)
+}
+
+// BenchmarkTraceResolve measures the one-time sidecar construction cost
+// that the fast path amortizes over every replay of a trace.
+func BenchmarkTraceResolve(b *testing.B) {
+	tr, _ := benchResolvedTrace(b, "exprc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rebind the steps to a fresh Trace so each iteration resolves
+		// (Resolved memoizes per trace).
+		fresh := &trace.Trace{Graph: tr.Graph, Steps: tr.Steps}
+		if _, err := fresh.Resolved(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerStep(b, tr)
+}
+
 // ---- substrate -----------------------------------------------------------
 
 // BenchmarkFunctionalInterp measures raw interpreter throughput

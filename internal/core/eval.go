@@ -26,7 +26,50 @@ func (r ExitResult) MissRate() float64 {
 
 // EvaluateExit replays a trace through an exit predictor, scoring every
 // prediction step. The predictor is Reset first.
+//
+// Replay runs over the trace's resolved sidecar (trace.Resolved) when the
+// trace resolves cleanly — allocation-free, no per-step map lookups. A
+// trace that fails resolution (e.g. deliberately corrupted in fault
+// studies) replays through the unresolved reference path, preserving its
+// exact historical behavior. Both paths produce identical results; the
+// equivalence is enforced by tests over every workload.
 func EvaluateExit(tr *trace.Trace, p ExitPredictor) ExitResult {
+	if rt, err := tr.Resolved(); err == nil {
+		return EvaluateExitResolved(rt, p)
+	}
+	return EvaluateExitUnresolved(tr, p)
+}
+
+// EvaluateExitResolved is EvaluateExit's fast path over a pre-resolved
+// trace: per-step task pointers come from the sidecar, so the loop does
+// no map lookups and allocates nothing.
+func EvaluateExitResolved(rt *trace.Resolved, p ExitPredictor) ExitResult {
+	p.Reset()
+	res := ExitResult{Name: p.Name()}
+	steps, misses := 0, 0
+	for i := range rt.Steps {
+		s := &rt.Steps[i]
+		if s.Exit == trace.HaltExit {
+			continue
+		}
+		pred := p.PredictExit(s.Task)
+		steps++
+		if pred != int(s.Exit) {
+			misses++
+		}
+		p.UpdateExit(s.Task, int(s.Exit))
+	}
+	res.Steps, res.Misses = steps, misses
+	res.States = p.States()
+	recordExitResult(res)
+	return res
+}
+
+// EvaluateExitUnresolved is the reference replay, resolving each step's
+// task through the TFG map as it goes. It is retained as the fallback
+// for traces that fail resolution and as the differential-testing oracle
+// for the resolved fast path.
+func EvaluateExitUnresolved(tr *trace.Trace, p ExitPredictor) ExitResult {
 	p.Reset()
 	res := ExitResult{Name: p.Name()}
 	for _, s := range tr.Steps {
@@ -88,7 +131,43 @@ func (r TargetResult) MissRate() float64 {
 // §5.3 / §6.4.1 methodology: the buffer serves indirect exits; other exit
 // types are handled by the header and RAS and do not compete for buffer
 // space). The buffer's path history still advances on every step.
+//
+// Like EvaluateExit, replay uses the resolved fast path when the trace
+// resolves cleanly and the unresolved reference path otherwise.
 func EvaluateIndirect(tr *trace.Trace, b TargetBuffer) TargetResult {
+	if rt, err := tr.Resolved(); err == nil {
+		return EvaluateIndirectResolved(rt, b)
+	}
+	return EvaluateIndirectUnresolved(tr, b)
+}
+
+// EvaluateIndirectResolved is EvaluateIndirect's fast path: the
+// indirect-exit test is a pre-decoded flag rather than a map lookup plus
+// exit-table chase.
+func EvaluateIndirectResolved(rt *trace.Resolved, b TargetBuffer) TargetResult {
+	b.Reset()
+	res := TargetResult{Name: b.Name()}
+	steps, misses := 0, 0
+	for i := range rt.Steps {
+		s := &rt.Steps[i]
+		if s.Indirect {
+			steps++
+			if got, ok := b.Lookup(s.Addr); !ok || got != s.Target {
+				misses++
+			}
+			b.Train(s.Addr, s.Target)
+		}
+		b.Advance(s.Addr)
+	}
+	res.Steps, res.Misses = steps, misses
+	res.States = b.States()
+	recordTargetResult(res)
+	return res
+}
+
+// EvaluateIndirectUnresolved is the reference replay for EvaluateIndirect
+// (fallback and differential-testing oracle).
+func EvaluateIndirectUnresolved(tr *trace.Trace, b TargetBuffer) TargetResult {
 	b.Reset()
 	res := TargetResult{Name: b.Name()}
 	for _, s := range tr.Steps {
@@ -163,7 +242,58 @@ func (r TaskResult) ExitMissRate() float64 {
 
 // EvaluateTask replays a trace through a full task predictor, scoring the
 // predicted next-task address on every prediction step.
+//
+// Like EvaluateExit, replay uses the resolved fast path when the trace
+// resolves cleanly and the unresolved reference path otherwise.
 func EvaluateTask(tr *trace.Trace, p TaskPredictor) TaskResult {
+	if rt, err := tr.Resolved(); err == nil {
+		return EvaluateTaskResolved(rt, p)
+	}
+	return EvaluateTaskUnresolved(tr, p)
+}
+
+// EvaluateTaskResolved is EvaluateTask's fast path: task pointers and
+// exit kinds come pre-decoded from the sidecar, and the per-kind
+// accounting accumulates into a fixed ControlKind-indexed array that is
+// converted to the result map only once, at the end — zero allocations
+// and zero map operations per step.
+func EvaluateTaskResolved(rt *trace.Resolved, p TaskPredictor) TaskResult {
+	p.Reset()
+	res := TaskResult{Name: p.Name()}
+	var byKind [isa.NumControlKinds]KindMisses
+	steps, exitMisses, misses := 0, 0, 0
+	for i := range rt.Steps {
+		s := &rt.Steps[i]
+		if s.Exit == trace.HaltExit {
+			continue
+		}
+		pred := p.Predict(s.Task)
+		steps++
+		km := &byKind[s.Kind]
+		km.Steps++
+		if pred.Exit >= 0 && pred.Exit != int(s.Exit) {
+			exitMisses++
+		}
+		if pred.Target != s.Target {
+			misses++
+			km.Misses++
+		}
+		p.Update(s.Task, Outcome{Exit: int(s.Exit), Target: s.Target})
+	}
+	res.Steps, res.ExitMisses, res.Misses = steps, exitMisses, misses
+	res.ByKind = make(map[isa.ControlKind]KindMisses)
+	for k := range byKind {
+		if byKind[k].Steps > 0 {
+			res.ByKind[isa.ControlKind(k)] = byKind[k]
+		}
+	}
+	recordTaskResult(res)
+	return res
+}
+
+// EvaluateTaskUnresolved is the reference replay for EvaluateTask
+// (fallback and differential-testing oracle).
+func EvaluateTaskUnresolved(tr *trace.Trace, p TaskPredictor) TaskResult {
 	p.Reset()
 	res := TaskResult{Name: p.Name(), ByKind: make(map[isa.ControlKind]KindMisses)}
 	for _, s := range tr.Steps {

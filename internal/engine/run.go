@@ -168,7 +168,14 @@ func run(r Run, res *Result) (err error) {
 			return err
 		}
 		var inj *fault.Injector
-		if fs.Enabled() && pred != nil {
+		if fs.Enabled() {
+			// The perfect predictor is the timing model's built-in oracle
+			// (pred == nil): there is no predictor state to corrupt, so a
+			// fault spec here would silently do nothing. Refuse it
+			// explicitly, like the replay modes do.
+			if pred == nil {
+				return fmt.Errorf("engine: fault injection wraps a task predictor; perfect timing runs have no predictor state to inject into")
+			}
 			if inj, err = fault.New(fs, pred); err != nil {
 				return err
 			}

@@ -122,3 +122,30 @@ func TestDoRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestDoTimingRejectsFaultedPerfect is the regression test for the
+// silent fault-spec drop: a timing run under the perfect predictor has no
+// predictor state to corrupt, and used to ignore a non-empty fault spec
+// without error (Result.Faulted stayed false). It must refuse, like the
+// replay modes do.
+func TestDoTimingRejectsFaultedPerfect(t *testing.T) {
+	res := Do(Run{Workload: "exprc", Spec: "perfect", Fault: "all=0.01,seed=3", TimingSteps: 2000})
+	if res.Err == nil {
+		t.Fatalf("faulted perfect timing run accepted: faulted=%v", res.Faulted)
+	}
+	if !strings.Contains(res.Err.Error(), "perfect timing") {
+		t.Errorf("error %q does not name the perfect-timing conflict", res.Err)
+	}
+	if res.Faulted {
+		t.Error("Faulted set on a rejected run")
+	}
+
+	// Control: a real predictor in timing mode still injects.
+	ok := Do(Run{Workload: "exprc", Spec: stdSpec, Mode: ModeTiming, Fault: "all=0.01,seed=3", TimingSteps: 2000})
+	if ok.Err != nil {
+		t.Fatal(ok.Err)
+	}
+	if !ok.Faulted {
+		t.Error("faulted timing run with a real predictor did not inject")
+	}
+}

@@ -54,12 +54,16 @@ func Execute(runs []Run, workers int) []Result {
 		var submitted []time.Time
 		if observing {
 			submitted = make([]time.Time, len(runs))
-			now := time.Now()
-			for i := range submitted {
-				submitted[i] = now
-			}
 		}
 		for i := range runs {
+			// Stamp each run as it is enqueued (not one timestamp for the
+			// whole batch) so the queue-wait histogram measures actual time
+			// in queue, not the enqueue loop's duration. The send into the
+			// buffered channel happens-after the stamp, and workers read
+			// submitted[i] only after receiving i.
+			if submitted != nil {
+				submitted[i] = time.Now()
+			}
 			idx <- i
 		}
 		close(idx)

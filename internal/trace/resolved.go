@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/tfg"
+)
+
+// ResolvedStep is one trace step with its per-step lookups already done:
+// the task pointer (Graph.TaskAt), the decoded exit kind, and the
+// indirect-exit flag. Replay loops over resolved steps touch no maps.
+type ResolvedStep struct {
+	// Task is the executed task, resolved from the step's start address.
+	Task *tfg.Task
+	// Addr is the task's start address (== Task.Start, kept inline so the
+	// replay loop never chases the pointer for it).
+	Addr isa.Addr
+	// Target is the start address of the next task (zero after a halt).
+	Target isa.Addr
+	// Exit is the exit index actually taken, or HaltExit.
+	Exit int8
+	// Kind is the taken exit's control kind (KindNone on a halt step).
+	Kind isa.ControlKind
+	// Indirect reports Kind.IsIndirect().
+	Indirect bool
+}
+
+// Resolved is a trace's fast-replay sidecar: every step pre-resolved
+// against the TFG so evaluation loops run allocation-free with no map
+// lookups. It is computed once per trace (see Trace.Resolved) and shared
+// read-only, exactly like the trace itself.
+type Resolved struct {
+	// Trace is the trace this sidecar was resolved from.
+	Trace *Trace
+	// Steps carries one resolved entry per trace step.
+	Steps []ResolvedStep
+}
+
+// Len returns the number of resolved steps.
+func (rt *Resolved) Len() int { return len(rt.Steps) }
+
+// resolve builds the sidecar, failing on any step the fast path could
+// not replay safely: unknown tasks, out-of-range exit indices, or exit
+// kinds outside the ControlKind enumeration. Callers fall back to the
+// unresolved reference replay on error, so a trace that fails resolution
+// behaves exactly as it did before the sidecar existed.
+func resolve(tr *Trace) (*Resolved, error) {
+	steps := make([]ResolvedStep, len(tr.Steps))
+	for i, s := range tr.Steps {
+		t := tr.Graph.TaskAt(s.Task)
+		if t == nil {
+			return nil, fmt.Errorf("trace: resolve step %d: no task @%d", i, s.Task)
+		}
+		rs := ResolvedStep{Task: t, Addr: s.Task, Target: s.Target, Exit: s.Exit}
+		if s.Exit != HaltExit {
+			if int(s.Exit) >= len(t.Exits) {
+				return nil, fmt.Errorf("trace: resolve step %d: task @%d exit %d of %d", i, s.Task, s.Exit, len(t.Exits))
+			}
+			rs.Kind = t.Exits[s.Exit].Kind
+			if rs.Kind >= isa.NumControlKinds {
+				return nil, fmt.Errorf("trace: resolve step %d: task @%d exit %d has kind %d", i, s.Task, s.Exit, rs.Kind)
+			}
+			rs.Indirect = rs.Kind.IsIndirect()
+		}
+		steps[i] = rs
+	}
+	return &Resolved{Trace: tr, Steps: steps}, nil
+}
+
+// Resolved returns the trace's fast-replay sidecar, computing it on
+// first use and memoizing it for the life of the trace (traces are
+// process-wide shared and read-only, so the sidecar is too). A trace
+// that fails resolution memoizes the error; callers should fall back to
+// the unresolved replay path.
+func (tr *Trace) Resolved() (*Resolved, error) {
+	tr.resolveOnce.Do(func() {
+		tr.resolved, tr.resolveErr = resolve(tr)
+	})
+	return tr.resolved, tr.resolveErr
+}

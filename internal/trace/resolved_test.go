@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"testing"
+
+	"multiscalar/internal/isa"
+)
+
+func TestResolvedMatchesSteps(t *testing.T) {
+	tr := pingPong(4)
+	rt, err := tr.Resolved()
+	if err != nil {
+		t.Fatalf("Resolved: %v", err)
+	}
+	if rt.Trace != tr || rt.Len() != tr.Len() {
+		t.Fatalf("sidecar binds %p len %d, want %p len %d", rt.Trace, rt.Len(), tr, tr.Len())
+	}
+	for i, s := range tr.Steps {
+		rs := rt.Steps[i]
+		if rs.Task != tr.Graph.TaskAt(s.Task) || rs.Addr != s.Task || rs.Target != s.Target || rs.Exit != s.Exit {
+			t.Fatalf("step %d: resolved %+v does not mirror %+v", i, rs, s)
+		}
+		if s.Exit == HaltExit {
+			if rs.Kind != isa.KindNone || rs.Indirect {
+				t.Fatalf("halt step %d: kind %v indirect %v", i, rs.Kind, rs.Indirect)
+			}
+			continue
+		}
+		want := rs.Task.Exits[s.Exit].Kind
+		if rs.Kind != want || rs.Indirect != want.IsIndirect() {
+			t.Fatalf("step %d: kind %v indirect %v, want %v/%v", i, rs.Kind, rs.Indirect, want, want.IsIndirect())
+		}
+	}
+}
+
+func TestResolvedMemoizes(t *testing.T) {
+	tr := pingPong(2)
+	a, err := tr.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("sidecar resolved twice for one trace")
+	}
+}
+
+func TestResolvedRejectsCorruptTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *Trace
+	}{
+		{"unknown task", &Trace{Graph: graph(), Steps: []Step{{Task: 99, Exit: 0, Target: 1}}}},
+		{"exit out of range", &Trace{Graph: graph(), Steps: []Step{{Task: 2, Exit: 3, Target: 1}}}},
+	}
+	for _, c := range cases {
+		if _, err := c.tr.Resolved(); err == nil {
+			t.Errorf("%s: resolved", c.name)
+		}
+	}
+}
+
+func TestHalted(t *testing.T) {
+	if !pingPong(2).Halted() {
+		t.Error("complete trace not Halted")
+	}
+	cut := &Trace{Graph: graph(), Steps: []Step{{Task: 1, Exit: 0, Target: 2}}}
+	if cut.Halted() {
+		t.Error("capped trace reports Halted")
+	}
+	if (&Trace{Graph: graph()}).Halted() {
+		t.Error("empty trace reports Halted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"multiscalar/internal/isa"
 	"multiscalar/internal/tfg"
@@ -34,14 +35,28 @@ type Step struct {
 }
 
 // Trace is a dynamic task trace bound to the TFG it was produced from.
+// Traces are shared read-only across concurrent replays; the resolved
+// fast-replay sidecar (Resolved) is memoized in place under the same
+// contract.
 type Trace struct {
 	Graph *tfg.Graph
 	Steps []Step
+
+	resolveOnce sync.Once
+	resolved    *Resolved
+	resolveErr  error
 }
 
 // Len returns the number of dynamic task steps, including the final halt
 // step.
 func (tr *Trace) Len() int { return len(tr.Steps) }
+
+// Halted reports whether the trace ends in a halt step, i.e. it records
+// a run to completion rather than one cut off by a step cap.
+func (tr *Trace) Halted() bool {
+	n := len(tr.Steps)
+	return n > 0 && tr.Steps[n-1].Exit == HaltExit
+}
 
 // PredictionSteps returns the number of steps that are prediction events
 // (all but a trailing halt step).

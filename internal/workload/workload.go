@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"multiscalar/internal/msl"
@@ -57,6 +58,10 @@ type Workload struct {
 	trace     *trace.Trace
 	stats     functional.Stats
 	traceErr  error
+	// full mirrors the successfully-memoized full trace for lock-free
+	// "is it already materialized?" checks outside traceOnce (truncation
+	// requests consult it to clamp and to share the Steps backing array).
+	full atomic.Pointer[trace.Trace]
 }
 
 var (
@@ -171,6 +176,7 @@ func (w *Workload) fullTrace() {
 		}
 	}
 	w.trace, w.stats = tr, m.Stats()
+	w.full.Store(tr)
 }
 
 // TraceN runs the workload for at most maxSteps dynamic tasks. Unlike
@@ -203,38 +209,75 @@ var traceCache sync.Map // traceCacheKey -> *traceCacheEntry
 
 // CachedTrace returns the named workload's dynamic task trace truncated
 // to maxSteps tasks (0 = the full trace), memoized process-wide so each
-// (workload, truncation) pair is simulated once no matter how many
-// experiments or concurrent workers replay it. The returned trace is
+// (workload, truncation) pair is simulated at most once no matter how
+// many experiments or concurrent workers replay it. The returned trace is
 // shared: replays must treat it as read-only (predictor evaluation does;
 // the fault harness proves it with checksums).
+//
+// A cap at or beyond the full run's length is the full trace: such
+// requests clamp to the full-trace memo (every oversized maxSteps returns
+// the same *trace.Trace) instead of simulating and storing a duplicate
+// copy per distinct cap. Genuine truncations requested after the full
+// trace has materialized share its Steps backing array — the functional
+// simulator is deterministic, so a capped run is exactly a prefix of the
+// full run — and cost no simulation at all.
 func CachedTrace(name string, maxSteps int) (*trace.Trace, error) {
 	w, err := ByName(name)
 	if err != nil {
 		return nil, err
 	}
 	if maxSteps <= 0 {
-		generated := false
-		w.traceOnce.Do(func() {
-			generated = true
-			start := time.Now()
-			w.fullTrace()
-			if obs.On() {
-				obsCacheMisses.Inc()
-				obsDecodeSecs.Observe(time.Since(start).Seconds())
-			}
-		})
-		if !generated && obs.On() {
+		return w.cachedFullTrace()
+	}
+	if full := w.full.Load(); full != nil && maxSteps >= full.Len() {
+		if obs.On() {
 			obsCacheHits.Inc()
 		}
-		return w.trace, w.traceErr
+		return full, nil
 	}
 	e, _ := traceCache.LoadOrStore(traceCacheKey{name: w.Name, maxSteps: maxSteps}, &traceCacheEntry{})
 	entry := e.(*traceCacheEntry)
 	generated := false
 	entry.once.Do(func() {
 		generated = true
+		if full := w.full.Load(); full != nil {
+			// maxSteps < full.Len() here (the clamp above handled the
+			// rest): serve the prefix off the full trace's backing array.
+			entry.tr = &trace.Trace{Graph: full.Graph, Steps: full.Steps[:maxSteps:maxSteps]}
+			if obs.On() {
+				obsCacheHits.Inc()
+			}
+			return
+		}
 		start := time.Now()
 		entry.tr, entry.err = w.TraceN(maxSteps)
+		if obs.On() {
+			obsCacheMisses.Inc()
+			obsDecodeSecs.Observe(time.Since(start).Seconds())
+		}
+		if entry.err == nil && entry.tr.Halted() {
+			// The cap never bit — the run completed, so this IS the full
+			// trace. Alias the full-trace memo (simulating it once if
+			// needed) so every oversized cap shares one trace.
+			if full, ferr := w.cachedFullTrace(); ferr == nil {
+				entry.tr = full
+			}
+		}
+	})
+	if !generated && obs.On() {
+		obsCacheHits.Inc()
+	}
+	return entry.tr, entry.err
+}
+
+// cachedFullTrace is CachedTrace's full-trace arm: the traceOnce memo
+// with cache-hit/miss accounting.
+func (w *Workload) cachedFullTrace() (*trace.Trace, error) {
+	generated := false
+	w.traceOnce.Do(func() {
+		generated = true
+		start := time.Now()
+		w.fullTrace()
 		if obs.On() {
 			obsCacheMisses.Inc()
 			obsDecodeSecs.Observe(time.Since(start).Seconds())
@@ -243,7 +286,7 @@ func CachedTrace(name string, maxSteps int) (*trace.Trace, error) {
 	if !generated && obs.On() {
 		obsCacheHits.Inc()
 	}
-	return entry.tr, entry.err
+	return w.trace, w.traceErr
 }
 
 // readWord fetches a named scalar from machine memory (a helper for

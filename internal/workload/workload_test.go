@@ -210,3 +210,70 @@ func TestCachedTraceMemoizes(t *testing.T) {
 		t.Fatal("unknown workload accepted")
 	}
 }
+
+// TestCachedTraceOversizedClampsToFull is the regression test for the
+// duplicate-trace bug: a cap at or beyond the full run's length used to
+// re-run the functional simulator and store a separate full-length copy
+// per distinct cap. Every such request must now return the one memoized
+// full trace.
+func TestCachedTraceOversizedClampsToFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload execution in -short mode")
+	}
+	// Ask with an oversized cap first: even when the full trace has not
+	// been materialized yet, the completed (halted) capped run must alias
+	// the full-trace memo rather than stay a private copy.
+	huge := 1 << 30
+	a, err := CachedTrace("exprc", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Halted() {
+		t.Fatal("oversized cap did not run to completion")
+	}
+	full, err := CachedTrace("exprc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != full {
+		t.Fatal("oversized cap stored a duplicate of the full trace")
+	}
+	// Distinct oversized caps — including exactly the full length — all
+	// land on the same *trace.Trace.
+	for _, n := range []int{full.Len(), full.Len() + 1, huge, huge + 7} {
+		tr, err := CachedTrace("exprc", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr != full {
+			t.Fatalf("cap %d returned a different trace than the full memo", n)
+		}
+	}
+}
+
+// TestCachedTraceTruncationSharesBacking: once the full trace exists, a
+// genuine truncation is served as a prefix of its Steps array (the
+// simulator is deterministic, so the capped run is exactly that prefix)
+// instead of re-simulating.
+func TestCachedTraceTruncationSharesBacking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload execution in -short mode")
+	}
+	full, err := CachedTrace("exprc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CachedTrace("exprc", 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1234 {
+		t.Fatalf("truncation length %d, want 1234", p.Len())
+	}
+	if &p.Steps[0] != &full.Steps[0] {
+		t.Fatal("truncation does not share the full trace's backing array")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("shared-prefix truncation does not validate: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package multiscalar_test
+
+// Differential tests for the resolved-trace fast replay path: every
+// Evaluate* result — counts, miss breakdowns, States, ByKind — must be
+// identical between the resolved fast path and the unresolved reference
+// path, on every workload, and the fast path must not allocate per step.
+
+import (
+	"reflect"
+	"testing"
+
+	"multiscalar/internal/core"
+	"multiscalar/internal/engine"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/tfg"
+	"multiscalar/internal/trace"
+	"multiscalar/internal/workload"
+)
+
+// equivSteps keeps the five-workload differential sweep in the seconds
+// range (the full traces are covered by the workload self-check tests;
+// the replay loops are step-position-independent).
+const equivSteps = 60000
+
+func equivTrace(tb testing.TB, name string) (*trace.Trace, *trace.Resolved) {
+	tb.Helper()
+	tr, err := workload.CachedTrace(name, equivSteps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rt, err := tr.Resolved()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr, rt
+}
+
+var equivExitSpecs = []string{
+	"path:d7-o5-l6-c6-f3:leh2",
+	"path:d2-o4-l5-c5:vc2rand:seed7",
+	"global:d7-c14-i14:leh2",
+	"per:d7-h12-t14-i14:leh2",
+	"ipath:d7:leh2",
+}
+
+var equivTargetSpecs = []string{
+	"cttb:d7-o4-l4-c5-f3",
+	"icttb:d7",
+}
+
+var equivTaskSpecs = []string{
+	"composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3",
+	"composed:ipath:d7:leh2:ras32:icttb:d7",
+	"composed:path:d7-o5-l6-c6-f3:leh2:noras",
+	"cttb:d7-o4-l4-c5-f3",
+}
+
+func TestReplayEquivalence(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			tr, rt := equivTrace(t, name)
+			for _, spec := range equivExitSpecs {
+				slow := core.EvaluateExitUnresolved(tr, engine.MustBuildExit(spec))
+				fast := core.EvaluateExitResolved(rt, engine.MustBuildExit(spec))
+				if !reflect.DeepEqual(slow, fast) {
+					t.Errorf("exit %s: unresolved %+v != resolved %+v", spec, slow, fast)
+				}
+			}
+			for _, spec := range equivTargetSpecs {
+				slow := core.EvaluateIndirectUnresolved(tr, engine.MustBuildTarget(spec))
+				fast := core.EvaluateIndirectResolved(rt, engine.MustBuildTarget(spec))
+				if !reflect.DeepEqual(slow, fast) {
+					t.Errorf("target %s: unresolved %+v != resolved %+v", spec, slow, fast)
+				}
+			}
+			for _, spec := range equivTaskSpecs {
+				slow := core.EvaluateTaskUnresolved(tr, engine.MustBuild(spec))
+				fast := core.EvaluateTaskResolved(rt, engine.MustBuild(spec))
+				if !reflect.DeepEqual(slow, fast) {
+					t.Errorf("task %s: unresolved %+v != resolved %+v", spec, slow, fast)
+				}
+			}
+			// The public entry points take the fast path on a resolvable
+			// trace and must agree with the reference too.
+			spec := equivTaskSpecs[0]
+			auto := core.EvaluateTask(tr, engine.MustBuild(spec))
+			slow := core.EvaluateTaskUnresolved(tr, engine.MustBuild(spec))
+			if !reflect.DeepEqual(auto, slow) {
+				t.Errorf("EvaluateTask %s: %+v != unresolved %+v", spec, auto, slow)
+			}
+		})
+	}
+}
+
+// TestReplayFallsBackOnCorruptTrace: a trace that fails resolution must
+// replay through the reference path with its historical behavior intact
+// (here: an out-of-range exit index that the exit replay tolerates).
+func TestReplayFallsBackOnCorruptTrace(t *testing.T) {
+	g := &tfg.Graph{Tasks: map[isa.Addr]*tfg.Task{
+		1: {Start: 1, Blocks: []isa.Addr{1}, Exits: []tfg.ExitSpec{{Kind: isa.KindBranch, Target: 1, HasTarget: true}}},
+	}}
+	g.Finalize()
+	tr := &trace.Trace{Graph: g, Steps: []trace.Step{
+		{Task: 1, Exit: 0, Target: 1},
+		{Task: 1, Exit: 3, Target: 1}, // out of range: resolution fails
+		{Task: 1, Exit: trace.HaltExit},
+	}}
+	if _, err := tr.Resolved(); err == nil {
+		t.Fatal("corrupt trace resolved")
+	}
+	res := core.EvaluateExit(tr, engine.MustBuildExit(equivExitSpecs[0]))
+	if res.Steps != 2 {
+		t.Fatalf("fallback replay scored %d steps, want 2", res.Steps)
+	}
+}
+
+// ---- allocation contract -------------------------------------------------
+
+// probeExit is a minimal ExitPredictor: the cheapest real interface
+// implementation possible, so replay-loop measurements and allocation
+// assertions see the loop itself rather than predictor internals.
+type probeExit struct{ n int }
+
+func (p *probeExit) Name() string                     { return "probe-exit" }
+func (p *probeExit) PredictExit(t *tfg.Task) int      { p.n++; return 0 }
+func (p *probeExit) UpdateExit(t *tfg.Task, exit int) {}
+func (p *probeExit) Reset()                           { p.n = 0 }
+func (p *probeExit) States() int                      { return p.n }
+
+// probeTask is the TaskPredictor analog of probeExit (a last-target
+// predictor, so comparisons still exercise both miss branches).
+type probeTask struct{ last isa.Addr }
+
+func (p *probeTask) Name() string { return "probe-task" }
+func (p *probeTask) Predict(t *tfg.Task) core.Prediction {
+	return core.Prediction{Exit: 0, Target: p.last}
+}
+func (p *probeTask) Update(t *tfg.Task, o core.Outcome) { p.last = o.Target }
+func (p *probeTask) Reset()                             { p.last = 0 }
+
+// probeBuf is the TargetBuffer analog: a one-entry last-target buffer.
+type probeBuf struct {
+	target isa.Addr
+	n      int
+}
+
+func (b *probeBuf) Name() string                         { return "probe-buf" }
+func (b *probeBuf) Lookup(cur isa.Addr) (isa.Addr, bool) { return b.target, b.target != 0 }
+func (b *probeBuf) Train(cur isa.Addr, actual isa.Addr)  { b.target = actual; b.n++ }
+func (b *probeBuf) Advance(cur isa.Addr)                 {}
+func (b *probeBuf) Reset()                               { b.target, b.n = 0, 0 }
+func (b *probeBuf) States() int                          { return b.n }
+
+// TestResolvedReplayAllocationFree pins the tentpole's allocation
+// contract: the resolved replay loops allocate nothing per step. Exit and
+// indirect replay allocate nothing at all; task replay allocates only the
+// end-of-run ByKind map (a small constant independent of trace length).
+func TestResolvedReplayAllocationFree(t *testing.T) {
+	_, rt := equivTrace(t, "exprc")
+
+	ep := &probeExit{}
+	core.EvaluateExitResolved(rt, ep) // warm any lazy state
+	if allocs := testing.AllocsPerRun(3, func() { core.EvaluateExitResolved(rt, ep) }); allocs != 0 {
+		t.Errorf("EvaluateExitResolved: %.1f allocs per %d-step replay, want 0", allocs, rt.Len())
+	}
+
+	bp := &probeBuf{}
+	core.EvaluateIndirectResolved(rt, bp)
+	if allocs := testing.AllocsPerRun(3, func() { core.EvaluateIndirectResolved(rt, bp) }); allocs != 0 {
+		t.Errorf("EvaluateIndirectResolved: %.1f allocs per %d-step replay, want 0", allocs, rt.Len())
+	}
+
+	tp := &probeTask{}
+	core.EvaluateTaskResolved(rt, tp)
+	if allocs := testing.AllocsPerRun(3, func() { core.EvaluateTaskResolved(rt, tp) }); allocs > 8 {
+		t.Errorf("EvaluateTaskResolved: %.1f allocs per %d-step replay, want <= 8 (the ByKind map)", allocs, rt.Len())
+	}
+}

@@ -41,4 +41,10 @@ rm -f "$OBS_TMP/mbench-metrics.json" "$OBS_TMP/mbench-trace.json"
 echo "==> benchmark smoke (one iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x . >/dev/null
 
+echo "==> benchdiff regression gate (replay micro-benchmarks vs BENCH_baseline.json)"
+# Short iterations and a generous time band: the gate is for order-of-
+# magnitude time regressions and any allocation growth (allocs/op is
+# deterministic and held tight regardless of machine).
+go run ./scripts/benchdiff -benchtime 2x -time-tol 4 >/dev/null
+
 echo "OK"
