@@ -7,6 +7,7 @@
 //
 //	mlint -w all                          # lint every built-in workload
 //	mlint -w exprc -json                  # machine-readable diagnostics
+//	mlint -w all -report                  # static predictability report (JSON)
 //	mlint prog.msl other.msl              # lint MSL sources
 //	mlint -asm prog.s                     # lint MSA assembly
 //	mlint -w exprc -dolc 7-5-6-6-3 -cttb 7-4-4-5-3 -ras 32
@@ -36,6 +37,7 @@ func main() {
 	wname := flag.String("w", "", "lint a built-in workload by name, or 'all': "+strings.Join(workload.Names(), ", "))
 	asAsm := flag.Bool("asm", false, "treat file arguments as MSA assembly instead of MSL")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	reportOut := flag.Bool("report", false, "emit the static predictability report (per-task dataflow facts) as JSON instead of diagnostics")
 	predStr := flag.String("pred", "", "predictor spec string (engine grammar); overrides -dolc/-cttb/-ras")
 	dolcStr := flag.String("dolc", "7-5-6-6-3", "exit predictor DOLC as D-O-L-C-F, or 'none'")
 	cttbStr := flag.String("cttb", "7-4-4-5-3", "CTTB DOLC as D-O-L-C-F, or 'none'")
@@ -47,7 +49,7 @@ func main() {
 	maxInstr := flag.Int("task-instr", 0, "task former instruction budget (0 = default)")
 	flag.Parse()
 
-	code, err := run(*wname, flag.Args(), *asAsm, *jsonOut, *predStr, *dolcStr, *cttbStr, *faultStr,
+	code, err := run(*wname, flag.Args(), *asAsm, *jsonOut, *reportOut, *predStr, *dolcStr, *cttbStr, *faultStr,
 		*rasDepth, *exitEntries, *cttbEntries, *minStr, *maxInstr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlint:", err)
@@ -150,7 +152,7 @@ func collectTargets(wname string, files []string, asAsm bool) ([]target, error) 
 	return out, nil
 }
 
-func run(wname string, files []string, asAsm, jsonOut bool, predStr, dolcStr, cttbStr, faultStr string,
+func run(wname string, files []string, asAsm, jsonOut, reportOut bool, predStr, dolcStr, cttbStr, faultStr string,
 	ras, exitEntries, cttbEntries int, minStr string, maxInstr int) (int, error) {
 	min, err := lint.ParseSeverity(minStr)
 	if err != nil {
@@ -163,6 +165,25 @@ func run(wname string, files []string, asAsm, jsonOut bool, predStr, dolcStr, ct
 	targets, err := collectTargets(wname, files, asAsm)
 	if err != nil {
 		return 0, err
+	}
+
+	if reportOut {
+		var rts []lint.ReportTarget
+		for _, t := range targets {
+			graph, perr := taskform.Partition(t.prog, taskform.Options{MaxInstr: maxInstr})
+			if perr != nil {
+				return 0, fmt.Errorf("%s: task former failed: %v (the report needs a TFG)", t.name, perr)
+			}
+			rt, err := lint.BuildReportTarget(t.name, lint.NewContext(t.prog, graph, cfg))
+			if err != nil {
+				return 0, err
+			}
+			rts = append(rts, rt)
+		}
+		if err := lint.WriteReport(os.Stdout, rts); err != nil {
+			return 0, err
+		}
+		return 0, nil
 	}
 
 	failed := false

@@ -1,0 +1,525 @@
+// The fixed-point analyses the static-predictability lint passes are
+// built on: call-depth intervals with recursion detection, bounded DOLC
+// path-history enumeration, and reachability in both directions.
+package dataflow
+
+import (
+	"sort"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+	"multiscalar/internal/tfg"
+)
+
+// ---------------------------------------------------------------------
+// Call-depth interval analysis.
+
+// DepthCap saturates the call-depth interval lattice: a Hi that reaches
+// the cap means "statically unbounded" (recursion, or nesting deeper
+// than any RAS we would configure). The lattice height is therefore
+// 2·DepthCap, which keeps the solver's visit count trivially inside the
+// iteration guard.
+const DepthCap = 64
+
+// DepthInterval is the call-depth fact: the interval [Lo, Hi] of
+// call-stack depths at which a task's entry is reachable. The zero
+// value (Set=false) is bottom: unreached.
+type DepthInterval struct {
+	Lo, Hi int
+	Set    bool
+}
+
+// Unbounded reports whether the depth saturated at DepthCap.
+func (d DepthInterval) Unbounded() bool { return d.Set && d.Hi >= DepthCap }
+
+func joinDepth(a, b DepthInterval) DepthInterval {
+	if !a.Set {
+		return b
+	}
+	if !b.Set {
+		return a
+	}
+	out := DepthInterval{Lo: a.Lo, Hi: a.Hi, Set: true}
+	if b.Lo < out.Lo {
+		out.Lo = b.Lo
+	}
+	if b.Hi > out.Hi {
+		out.Hi = b.Hi
+	}
+	return out
+}
+
+// CallDepthResult bundles the interval facts with the SCC-based
+// recursion classification.
+type CallDepthResult struct {
+	// Result holds the per-task depth intervals.
+	Result *Result[DepthInterval]
+	// Recursive lists the start addresses of tasks inside a recursive
+	// strongly-connected component — a cycle of view edges containing at
+	// least one call edge — ascending. Branch-only loops are not listed:
+	// iteration does not grow the call stack.
+	Recursive []isa.Addr
+	// MaxHi is the largest Hi over entry-reachable tasks (DepthCap when
+	// any reachable interval saturated).
+	MaxHi int
+}
+
+// RecursiveSet returns membership of Recursive as a map.
+func (r *CallDepthResult) RecursiveSet() map[isa.Addr]bool {
+	m := make(map[isa.Addr]bool, len(r.Recursive))
+	for _, a := range r.Recursive {
+		m[a] = true
+	}
+	return m
+}
+
+// CallDepth runs the interval analysis of call-stack depth from the
+// program entry. Branch and indirect edges preserve depth, call edges
+// deepen by one (saturating at DepthCap), and the return-point summary
+// edge continues at the caller's depth — the interprocedural treatment
+// that lets depth facts flow through balanced calls without tracking
+// the callee's interior. Recursion is classified structurally: a
+// strongly-connected component of view edges that contains a call edge
+// can grow the stack without bound.
+func CallDepth(v *View) (*CallDepthResult, error) {
+	var roots []int
+	if v.Graph != nil && v.Graph.Prog != nil {
+		if i, ok := v.Index[v.Graph.Prog.Entry]; ok {
+			roots = []int{i}
+		}
+	}
+	if roots == nil {
+		roots = []int{} // no entry task: nothing reachable, all bottom
+	}
+	res, err := Solve(v, Problem[DepthInterval]{
+		Name:     "call-depth",
+		Dir:      Forward,
+		Bottom:   func() DepthInterval { return DepthInterval{} },
+		Boundary: func(*tfg.Task) DepthInterval { return DepthInterval{Set: true} },
+		Transfer: func(e Edge, _ *tfg.Task, in DepthInterval) DepthInterval {
+			if !in.Set {
+				return in
+			}
+			if e.Kind == EdgeCall {
+				out := DepthInterval{Lo: in.Lo + 1, Hi: in.Hi + 1, Set: true}
+				if out.Lo > DepthCap {
+					out.Lo = DepthCap
+				}
+				if out.Hi > DepthCap {
+					out.Hi = DepthCap
+				}
+				return out
+			}
+			return in
+		},
+		Join:  joinDepth,
+		Equal: func(a, b DepthInterval) bool { return a == b },
+		Roots: roots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &CallDepthResult{Result: res}
+	for _, i := range recursiveSCCTasks(v) {
+		out.Recursive = append(out.Recursive, v.Tasks[i].Start)
+	}
+	for _, f := range res.Facts {
+		if f.Set && f.Hi > out.MaxHi {
+			out.MaxHi = f.Hi
+		}
+	}
+	return out, nil
+}
+
+// recursiveSCCTasks returns the view indices of tasks in a
+// strongly-connected component containing an internal call edge,
+// ascending. Iterative Tarjan keeps adversarial (fuzzed) graphs from
+// overflowing the goroutine stack.
+func recursiveSCCTasks(v *View) []int {
+	n := len(v.Tasks)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	next := 0
+	ncomp := 0
+
+	type frame struct{ node, edge int }
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{start, 0}}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.edge < len(v.Succs[f.node]) {
+				w := v.Succs[f.node][f.edge].To
+				f.edge++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			node := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[node] < low[parent] {
+					low[parent] = low[node]
+				}
+			}
+			if low[node] == index[node] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == node {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+
+	recursive := make([]bool, ncomp)
+	for i := range v.Succs {
+		for _, e := range v.Succs[i] {
+			if e.Kind == EdgeCall && comp[e.From] == comp[e.To] {
+				recursive[comp[e.From]] = true
+			}
+		}
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if recursive[comp[i]] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Reachability, both directions.
+
+// Reachable computes entry/label-root forward reachability over the
+// view's edges (the dataflow formulation of the orphan walk).
+func Reachable(v *View) (*Result[bool], error) {
+	return Solve(v, Problem[bool]{
+		Name:     "reachable",
+		Dir:      Forward,
+		Bottom:   func() bool { return false },
+		Boundary: func(*tfg.Task) bool { return true },
+		Transfer: func(_ Edge, _ *tfg.Task, in bool) bool { return in },
+		Join:     func(a, b bool) bool { return a || b },
+		Equal:    func(a, b bool) bool { return a == b },
+	})
+}
+
+// Coreachable computes backward reachability from the halting boundary:
+// tasks from which some path can still complete (reach a Halt or a
+// RETURN exit). A reachable-but-not-coreachable task can only diverge.
+func Coreachable(v *View) (*Result[bool], error) {
+	return Solve(v, Problem[bool]{
+		Name:     "coreachable",
+		Dir:      Backward,
+		Bottom:   func() bool { return false },
+		Boundary: func(*tfg.Task) bool { return true },
+		Transfer: func(_ Edge, _ *tfg.Task, in bool) bool { return in },
+		Join:     func(a, b bool) bool { return a || b },
+		Equal:    func(a, b bool) bool { return a == b },
+	})
+}
+
+// ---------------------------------------------------------------------
+// Dead exit slots.
+
+// DeadExit names one exit slot of a task that no entry-reachable path
+// can take.
+type DeadExit struct {
+	// Task is the owning task's start address.
+	Task isa.Addr
+	// Exit is the dead header slot.
+	Exit int
+	// Reason is "no-edge" (no instruction edge maps to the slot) or
+	// "unreachable-block" (every mapped edge sits in a basic block the
+	// task's entry cannot reach inside the region).
+	Reason string
+}
+
+// DeadExits finds header exit slots never taken on any entry-reachable
+// path: the forward solve prunes whole tasks that are unreachable (their
+// slots are the orphan pass's business, not this one's), and within each
+// live task an intra-region block walk from the task entry determines
+// which exit instructions can execute. cfg may be nil, in which case the
+// intra-region refinement is skipped and only unmapped slots report.
+func DeadExits(v *View, cfg *program.CFG) ([]DeadExit, error) {
+	reach, err := Reachable(v)
+	if err != nil {
+		return nil, err
+	}
+	var out []DeadExit
+	for i, t := range v.Tasks {
+		if !reach.Facts[i] || len(t.Exits) == 0 {
+			continue
+		}
+		live := make([]bool, len(t.Exits))
+		liveBlocks := regionReachableBlocks(t, cfg)
+		for _, e := range t.EdgeList() {
+			if e.Index < 0 || e.Index >= len(live) {
+				continue
+			}
+			if liveBlocks == nil || blockOfExit(t, cfg, e.Ref.At, liveBlocks) {
+				live[e.Index] = true
+			}
+		}
+		for slot, ok := range live {
+			if ok {
+				continue
+			}
+			reason := "no-edge"
+			if hasMappedEdge(t, slot) {
+				reason = "unreachable-block"
+			}
+			out = append(out, DeadExit{Task: t.Start, Exit: slot, Reason: reason})
+		}
+	}
+	return out, nil
+}
+
+func hasMappedEdge(t *tfg.Task, slot int) bool {
+	for _, idx := range t.ExitIndex {
+		if idx == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// regionReachableBlocks walks the task's region from its entry block
+// following intra-region block edges (and call continuations, which
+// resume inside the region after a balanced callee). Returns nil when
+// the CFG cannot resolve the region, disabling the refinement.
+func regionReachableBlocks(t *tfg.Task, cfg *program.CFG) map[isa.Addr]bool {
+	if cfg == nil || len(t.Blocks) == 0 {
+		return nil
+	}
+	inRegion := make(map[isa.Addr]bool, len(t.Blocks))
+	for _, b := range t.Blocks {
+		if cfg.Blocks[b] == nil {
+			return nil
+		}
+		inRegion[b] = true
+	}
+	if !inRegion[t.Start] {
+		return nil
+	}
+	seen := map[isa.Addr]bool{t.Start: true}
+	stack := []isa.Addr{t.Start}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := cfg.Blocks[a]
+		push := func(s isa.Addr) {
+			if inRegion[s] && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for _, s := range b.Succs {
+			push(s)
+		}
+		term := cfg.Prog.Code[b.End]
+		if term.Op == isa.Jal || term.Op == isa.Jalr {
+			push(term.Link)
+		}
+	}
+	return seen
+}
+
+// blockOfExit reports whether the block terminated by the exit
+// instruction at `at` is region-reachable. Unresolvable positions count
+// as live (never widen a "dead" claim on shaky ground).
+func blockOfExit(t *tfg.Task, cfg *program.CFG, at isa.Addr, liveBlocks map[isa.Addr]bool) bool {
+	for _, bs := range t.Blocks {
+		if b := cfg.Blocks[bs]; b != nil && b.End == at {
+			return liveBlocks[bs]
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Bounded DOLC path-history enumeration.
+
+// MaxHistLen bounds how many predecessor addresses a Hist retains —
+// matching the hardware path history register depth, which is all a
+// DOLC index function can observe.
+const MaxHistLen = 11
+
+// HistSetCap bounds the enumerated history set per task; beyond it the
+// fact saturates to Top ("too many paths to enumerate").
+const HistSetCap = 64
+
+// Hist is one statically-enumerated path history: the start addresses
+// of the most recent predecessors, newest first (A[0] is the immediate
+// predecessor, as PathHistory.At(1)).
+type Hist struct {
+	N int
+	A [MaxHistLen]isa.Addr
+}
+
+// Push returns the history extended with a newly-sequenced task.
+func (h Hist) Push(a isa.Addr) Hist {
+	var out Hist
+	out.A[0] = a
+	copy(out.A[1:], h.A[:])
+	out.N = h.N + 1
+	if out.N > MaxHistLen {
+		out.N = MaxHistLen
+	}
+	return out
+}
+
+// Prefix returns the history truncated to depth d (for comparing
+// histories under an index function that observes only d predecessors).
+func (h Hist) Prefix(d int) Hist {
+	if d > MaxHistLen {
+		d = MaxHistLen
+	}
+	if h.N <= d {
+		return h
+	}
+	var out Hist
+	out.N = d
+	copy(out.A[:d], h.A[:d])
+	return out
+}
+
+func histLess(a, b Hist) bool {
+	if a.N != b.N {
+		return a.N < b.N
+	}
+	for i := 0; i < a.N; i++ {
+		if a.A[i] != b.A[i] {
+			return a.A[i] < b.A[i]
+		}
+	}
+	return false
+}
+
+// HistSet is the history-enumeration fact: a sorted set of histories,
+// or Top once the set outgrew HistSetCap (or a call summary scrambled
+// the history beyond static knowledge).
+type HistSet struct {
+	Top bool
+	Hs  []Hist
+}
+
+// Bottom reports the unreached fact (no histories, not Top).
+func (s HistSet) Bottom() bool { return !s.Top && len(s.Hs) == 0 }
+
+func joinHists(a, b HistSet) HistSet {
+	if a.Top || b.Top {
+		return HistSet{Top: true}
+	}
+	if len(a.Hs) == 0 {
+		return b
+	}
+	if len(b.Hs) == 0 {
+		return a
+	}
+	merged := make([]Hist, 0, len(a.Hs)+len(b.Hs))
+	merged = append(merged, a.Hs...)
+	merged = append(merged, b.Hs...)
+	sort.Slice(merged, func(i, j int) bool { return histLess(merged[i], merged[j]) })
+	out := merged[:1]
+	for _, h := range merged[1:] {
+		if h != out[len(out)-1] {
+			out = append(out, h)
+		}
+	}
+	if len(out) > HistSetCap {
+		return HistSet{Top: true}
+	}
+	return HistSet{Hs: out}
+}
+
+func equalHists(a, b HistSet) bool {
+	if a.Top != b.Top || len(a.Hs) != len(b.Hs) {
+		return false
+	}
+	for i := range a.Hs {
+		if a.Hs[i] != b.Hs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DOLCHistories enumerates, per task, the set of path histories a
+// predictor could observe when predicting that task, starting from the
+// empty history at the program entry.
+//
+// Transfer along a branch, call or indirect edge pushes the source
+// task's start (the sequencer pushed it before predicting the target).
+// The return-point summary edge goes to Top: the callee sequenced an
+// unknown number of tasks, so the history at the continuation is
+// statically unknowable — the documented precision cliff of this
+// context-free summary. Sets saturate to Top at HistSetCap.
+func DOLCHistories(v *View) (*Result[HistSet], error) {
+	var roots []int
+	if v.Graph != nil && v.Graph.Prog != nil {
+		if i, ok := v.Index[v.Graph.Prog.Entry]; ok {
+			roots = []int{i}
+		}
+	}
+	if roots == nil {
+		roots = []int{}
+	}
+	return Solve(v, Problem[HistSet]{
+		Name:     "dolc-histories",
+		Dir:      Forward,
+		Bottom:   func() HistSet { return HistSet{} },
+		Boundary: func(*tfg.Task) HistSet { return HistSet{Hs: []Hist{{}}} },
+		Transfer: func(e Edge, from *tfg.Task, in HistSet) HistSet {
+			if in.Bottom() {
+				return in // strict: unreached contributes nothing
+			}
+			if in.Top || e.Kind == EdgeReturnPoint {
+				return HistSet{Top: true}
+			}
+			out := make([]Hist, len(in.Hs))
+			for i, h := range in.Hs {
+				out[i] = h.Push(from.Start)
+			}
+			sort.Slice(out, func(i, j int) bool { return histLess(out[i], out[j]) })
+			dedup := out[:1]
+			for _, h := range out[1:] {
+				if h != dedup[len(dedup)-1] {
+					dedup = append(dedup, h)
+				}
+			}
+			return HistSet{Hs: dedup}
+		},
+		Join:  joinHists,
+		Equal: equalHists,
+		Roots: roots,
+	})
+}

@@ -1,0 +1,222 @@
+// Package dataflow is a monotone-framework worklist solver over the Task
+// Flow Graph, plus the fixed-point analyses the static-predictability
+// passes of internal/lint are built on.
+//
+// The solver operates on a View — a frozen, deterministic edge list over
+// a tfg.Graph in which every edge carries its interprocedural role
+// (branch, call, call-summary return point, or inferred indirect
+// target). An analysis is a Problem: a join-semilattice (Bottom, Join,
+// Equal), a direction, a boundary fact for the root tasks, and a
+// per-edge transfer function. Solve iterates transfer functions to a
+// fixed point with a deterministic worklist (FIFO seeded in ascending
+// task order, deduplicated) and a bounded-iteration termination guard,
+// so a non-monotone or adversarial problem terminates with
+// Converged=false instead of spinning.
+//
+// Determinism contract: given the same graph and problem, Solve performs
+// exactly the same joins in exactly the same order and returns identical
+// facts. Every map in the package is either keyed by view index
+// (slices) or iterated through a sorted address list.
+package dataflow
+
+import (
+	"fmt"
+
+	"multiscalar/internal/tfg"
+)
+
+// Direction orients an analysis along or against the View's edges.
+type Direction uint8
+
+const (
+	// Forward propagates facts from roots along edges (entry-to-exit).
+	Forward Direction = iota
+	// Backward propagates facts from boundary tasks against edges.
+	Backward
+)
+
+// String returns "forward" or "backward".
+func (d Direction) String() string {
+	if d == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// DefaultMaxVisits is the default per-task recomputation budget. The
+// total iteration bound is MaxVisits·|tasks|; a well-formed monotone
+// problem over these graphs converges orders of magnitude earlier (the
+// deepest lattice shipped here — the saturating call-depth interval —
+// needs at most DepthCap+2 visits per task).
+const DefaultMaxVisits = 512
+
+// Problem defines one monotone dataflow analysis.
+//
+// The lattice is a join-semilattice described by Bottom/Join/Equal.
+// Transfer maps the fact at an edge's source (forward) or destination
+// (backward) to the fact the edge contributes to the other endpoint;
+// it must be monotone in its fact argument for convergence within the
+// guard (the guard, not the author's discipline, enforces termination).
+type Problem[F any] struct {
+	// Name labels the analysis in error messages.
+	Name string
+	// Dir is the propagation direction.
+	Dir Direction
+	// Bottom returns the lattice bottom: the fact of an unreached task.
+	Bottom func() F
+	// Boundary returns the initial fact of a root task (Forward: the
+	// View roots; Backward: the halting tasks). It is joined into the
+	// task's computed fact on every recomputation, so boundary facts
+	// survive joins with incoming edges.
+	Boundary func(t *tfg.Task) F
+	// Transfer computes the fact edge e contributes, given the fact `in`
+	// at the propagation source and the source task `from` (the edge's
+	// From task under Forward, its To task under Backward).
+	Transfer func(e Edge, from *tfg.Task, in F) F
+	// Join is the lattice least upper bound.
+	Join func(a, b F) F
+	// Equal reports lattice equality; it decides when a fact stabilized.
+	Equal func(a, b F) bool
+	// MaxVisits bounds recomputations per task (<=0: DefaultMaxVisits).
+	MaxVisits int
+	// Roots optionally overrides the propagation roots as view indices
+	// (nil: the View's Roots under Forward, its halting tasks under
+	// Backward).
+	Roots []int
+}
+
+// Result carries the fixed point (or the best facts reached before the
+// termination guard tripped).
+type Result[F any] struct {
+	// View is the graph view the facts are indexed against.
+	View *View
+	// Facts holds one fact per view task, indexed like View.Tasks.
+	Facts []F
+	// Visits counts task recomputations performed.
+	Visits int
+	// Converged reports whether a fixed point was reached within the
+	// iteration guard. When false the facts are a sound snapshot of the
+	// last state but not a fixed point; passes should disable
+	// themselves rather than report from it.
+	Converged bool
+}
+
+// At returns the fact for the task starting at the given address.
+func (r *Result[F]) At(t *tfg.Task) (F, bool) {
+	if t == nil {
+		var zero F
+		return zero, false
+	}
+	i, ok := r.View.Index[t.Start]
+	if !ok {
+		var zero F
+		return zero, false
+	}
+	return r.Facts[i], true
+}
+
+// Solve runs the worklist to a fixed point over the view.
+//
+// Scheme: a task's fact is always recomputed from scratch as
+// boundary(task) ⊔ ⨆ transfer(edge, fact(source)) over its incoming
+// edges (outgoing under Backward), so facts never need a widening step
+// to stay consistent. When the recomputed fact differs from the stored
+// one, the task's dependents are enqueued. The worklist is a FIFO with
+// a membership bitmap, seeded with the roots in ascending task order;
+// edge lists are deterministic, so the whole iteration is.
+func Solve[F any](v *View, p Problem[F]) (*Result[F], error) {
+	if v == nil {
+		return nil, fmt.Errorf("dataflow: %s: nil view", p.Name)
+	}
+	if p.Bottom == nil || p.Join == nil || p.Equal == nil || p.Transfer == nil {
+		return nil, fmt.Errorf("dataflow: %s: incomplete problem (need Bottom, Join, Equal, Transfer)", p.Name)
+	}
+	maxVisits := p.MaxVisits
+	if maxVisits <= 0 {
+		maxVisits = DefaultMaxVisits
+	}
+	n := len(v.Tasks)
+	res := &Result[F]{View: v, Facts: make([]F, n), Converged: true}
+	for i := range res.Facts {
+		res.Facts[i] = p.Bottom()
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	// in[i] lists the edges whose transfer feeds task i; out[i] lists
+	// the tasks to re-enqueue when i's fact changes.
+	feeds := v.Preds
+	if p.Dir == Backward {
+		feeds = v.Succs
+	}
+	isRoot := make([]bool, n)
+	roots := p.Roots
+	if roots == nil {
+		if p.Dir == Forward {
+			roots = v.Roots
+		} else {
+			roots = v.Halting
+		}
+	}
+	for _, r := range roots {
+		if r >= 0 && r < n {
+			isRoot[r] = true
+		}
+	}
+
+	queue := make([]int, 0, n)
+	queued := make([]bool, n)
+	enqueue := func(i int) {
+		if !queued[i] {
+			queued[i] = true
+			queue = append(queue, i)
+		}
+	}
+	// Seed every task in ascending order: roots get their boundary,
+	// everything else settles to bottom immediately (one visit) unless
+	// an incoming fact changes later.
+	for i := 0; i < n; i++ {
+		enqueue(i)
+	}
+
+	budget := maxVisits * n
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		queued[i] = false
+		if res.Visits >= budget {
+			res.Converged = false
+			return res, nil
+		}
+		res.Visits++
+
+		acc := p.Bottom()
+		if isRoot[i] && p.Boundary != nil {
+			acc = p.Join(acc, p.Boundary(v.Tasks[i]))
+		}
+		for _, e := range feeds[i] {
+			src := e.From
+			if p.Dir == Backward {
+				src = e.To
+			}
+			acc = p.Join(acc, p.Transfer(e, v.Tasks[src], res.Facts[src]))
+		}
+		if p.Equal(acc, res.Facts[i]) {
+			continue
+		}
+		res.Facts[i] = acc
+		deps := v.Succs[i]
+		if p.Dir == Backward {
+			deps = v.Preds[i]
+		}
+		for _, e := range deps {
+			if p.Dir == Forward {
+				enqueue(e.To)
+			} else {
+				enqueue(e.From)
+			}
+		}
+	}
+	return res, nil
+}

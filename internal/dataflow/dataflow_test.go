@@ -1,0 +1,437 @@
+package dataflow
+
+import (
+	"reflect"
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+	"multiscalar/internal/taskform"
+	"multiscalar/internal/tfg"
+)
+
+// build assembles source and partitions it into a TFG.
+func build(t *testing.T, src string) (*program.Program, *tfg.Graph) {
+	return buildOpts(t, src, taskform.Options{})
+}
+
+// buildOpts is build with explicit task-former budgets (MaxBlocks:1
+// forces every basic block into its own task, which keeps control-flow
+// fixtures from collapsing into one region).
+func buildOpts(t *testing.T, src string, opts taskform.Options) (*program.Program, *tfg.Graph) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	g, err := taskform.Partition(p, opts)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	return p, g
+}
+
+const callChain = `
+.entry main
+.func main
+  jal  @f
+  halt
+.func f
+  jal  @g
+  ret
+.func g
+  ret
+`
+
+const selfRecursive = `
+.entry main
+.func main
+  jal  @f
+  halt
+.func f
+  jal  @f
+  ret
+`
+
+const branchLoop = `
+.entry main
+.func main
+  li   r2, 10
+  j    @loop
+loop:
+  addi r2, r2, -1
+  br   r2, @loop, @done
+done:
+  halt
+`
+
+func taskAt(t *testing.T, g *tfg.Graph, label string) *tfg.Task {
+	t.Helper()
+	a, ok := g.Prog.Labels[label]
+	if !ok {
+		t.Fatalf("no label %q", label)
+	}
+	tk := g.Tasks[a]
+	if tk == nil {
+		t.Fatalf("no task at label %q (@%d)", label, a)
+	}
+	return tk
+}
+
+func TestViewDeterministic(t *testing.T) {
+	_, g := build(t, callChain)
+	v1, v2 := NewView(g), NewView(g)
+	if !reflect.DeepEqual(v1.Succs, v2.Succs) || !reflect.DeepEqual(v1.Preds, v2.Preds) ||
+		!reflect.DeepEqual(v1.Roots, v2.Roots) || !reflect.DeepEqual(v1.Indirect, v2.Indirect) {
+		t.Fatalf("NewView is not deterministic")
+	}
+	if v1.NumEdges() == 0 {
+		t.Fatalf("no edges built")
+	}
+}
+
+func TestViewEdgeKinds(t *testing.T) {
+	_, g := build(t, callChain)
+	v := NewView(g)
+	main := v.Index[g.Prog.Entry]
+	var kinds []EdgeKind
+	for _, e := range v.Succs[main] {
+		kinds = append(kinds, e.Kind)
+	}
+	// main's single exit is a call: one EdgeCall into f, one
+	// EdgeReturnPoint to the halt continuation.
+	want := []EdgeKind{EdgeCall, EdgeReturnPoint}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("main edge kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestCallDepthChain(t *testing.T) {
+	_, g := build(t, callChain)
+	v := NewView(g)
+	res, err := CallDepth(v)
+	if err != nil {
+		t.Fatalf("CallDepth: %v", err)
+	}
+	if !res.Result.Converged {
+		t.Fatalf("chain did not converge")
+	}
+	if len(res.Recursive) != 0 {
+		t.Fatalf("chain flagged recursive: %v", res.Recursive)
+	}
+	checks := []struct {
+		label  string
+		lo, hi int
+	}{{"main", 0, 0}, {"f", 1, 1}, {"g", 2, 2}}
+	for _, c := range checks {
+		f, ok := res.Result.At(taskAt(t, g, c.label))
+		if !ok || !f.Set || f.Lo != c.lo || f.Hi != c.hi {
+			t.Errorf("%s: depth = %+v, want [%d,%d]", c.label, f, c.lo, c.hi)
+		}
+	}
+	if res.MaxHi != 2 {
+		t.Errorf("MaxHi = %d, want 2", res.MaxHi)
+	}
+}
+
+func TestCallDepthRecursive(t *testing.T) {
+	_, g := build(t, selfRecursive)
+	v := NewView(g)
+	res, err := CallDepth(v)
+	if err != nil {
+		t.Fatalf("CallDepth: %v", err)
+	}
+	if !res.Result.Converged {
+		t.Fatalf("recursive fixture did not converge (saturation should bound it)")
+	}
+	fTask := taskAt(t, g, "f")
+	if !res.RecursiveSet()[fTask.Start] {
+		t.Fatalf("f not classified recursive (recursive=%v)", res.Recursive)
+	}
+	f, _ := res.Result.At(fTask)
+	if !f.Unbounded() {
+		t.Errorf("f depth = %+v, want saturated at DepthCap", f)
+	}
+}
+
+func TestCallDepthLoopNotRecursive(t *testing.T) {
+	_, g := build(t, branchLoop)
+	v := NewView(g)
+	res, err := CallDepth(v)
+	if err != nil {
+		t.Fatalf("CallDepth: %v", err)
+	}
+	if len(res.Recursive) != 0 {
+		t.Fatalf("branch loop misclassified as recursive: %v", res.Recursive)
+	}
+	if res.MaxHi != 0 {
+		t.Errorf("MaxHi = %d, want 0 (no calls)", res.MaxHi)
+	}
+}
+
+func TestReachableAndCoreachable(t *testing.T) {
+	_, g := build(t, callChain)
+	v := NewView(g)
+	reach, err := Reachable(v)
+	if err != nil {
+		t.Fatalf("Reachable: %v", err)
+	}
+	co, err := Coreachable(v)
+	if err != nil {
+		t.Fatalf("Coreachable: %v", err)
+	}
+	for i, tk := range v.Tasks {
+		if !reach.Facts[i] {
+			t.Errorf("task @%d unreachable in a fully-connected fixture", tk.Start)
+		}
+		if !co.Facts[i] {
+			t.Errorf("task @%d not coreachable in a halting fixture", tk.Start)
+		}
+	}
+}
+
+func TestDeadExitsNoEdge(t *testing.T) {
+	p, g := build(t, callChain)
+	// Give main an extra header slot no instruction edge maps to.
+	entry := g.Tasks[p.Entry]
+	entry.Exits = append(entry.Exits, tfg.ExitSpec{Kind: isa.KindBranch, Target: p.Entry, HasTarget: true})
+	cfg, err := program.BuildCFG(p)
+	if err != nil {
+		t.Fatalf("BuildCFG: %v", err)
+	}
+	dead, err := DeadExits(NewView(g), cfg)
+	if err != nil {
+		t.Fatalf("DeadExits: %v", err)
+	}
+	found := false
+	for _, d := range dead {
+		if d.Task == p.Entry && d.Exit == len(entry.Exits)-1 && d.Reason == "no-edge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unmapped slot not reported dead: %v", dead)
+	}
+}
+
+func TestDeadExitsCleanFixture(t *testing.T) {
+	p, g := build(t, callChain)
+	cfg, err := program.BuildCFG(p)
+	if err != nil {
+		t.Fatalf("BuildCFG: %v", err)
+	}
+	dead, err := DeadExits(NewView(g), cfg)
+	if err != nil {
+		t.Fatalf("DeadExits: %v", err)
+	}
+	if len(dead) != 0 {
+		t.Fatalf("clean fixture reported dead exits: %v", dead)
+	}
+}
+
+const diamond = `
+.entry main
+.func main
+  li   r2, 1
+  br   r2, @a, @b
+a:
+  j    @join
+b:
+  j    @join
+join:
+  halt
+`
+
+func TestDOLCHistoriesDiamond(t *testing.T) {
+	_, g := buildOpts(t, diamond, taskform.Options{MaxBlocks: 1})
+	v := NewView(g)
+	res, err := DOLCHistories(v)
+	if err != nil {
+		t.Fatalf("DOLCHistories: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("diamond did not converge")
+	}
+	join, _ := res.At(taskAt(t, g, "join"))
+	if join.Top || len(join.Hs) != 2 {
+		t.Fatalf("join fact = %+v, want exactly 2 histories", join)
+	}
+	aAddr, bAddr := g.Prog.Labels["a"], g.Prog.Labels["b"]
+	got := map[isa.Addr]bool{join.Hs[0].A[0]: true, join.Hs[1].A[0]: true}
+	if !got[aAddr] || !got[bAddr] {
+		t.Fatalf("join histories %v do not name predecessors a/b", join.Hs)
+	}
+}
+
+func TestDOLCHistoriesReturnPointTop(t *testing.T) {
+	_, g := build(t, callChain)
+	v := NewView(g)
+	res, err := DOLCHistories(v)
+	if err != nil {
+		t.Fatalf("DOLCHistories: %v", err)
+	}
+	// The task after main's call (the halt continuation) sits behind a
+	// return-point summary edge: its history must be Top.
+	main := g.Tasks[g.Prog.Entry]
+	var rp isa.Addr
+	for _, e := range main.Exits {
+		if e.Kind.IsCall() {
+			rp = e.Return
+		}
+	}
+	f, ok := res.At(g.Tasks[rp])
+	if !ok || !f.Top {
+		t.Fatalf("return-point fact = %+v, want Top", f)
+	}
+}
+
+const dispatchSwitch = `
+.entry main
+.word tbl @c1 @c2
+.func main
+  li   r2, 0
+  lw   r7, 0(r2)
+  jr   r7
+c1:
+  halt
+c2:
+  halt
+`
+
+func TestIndirectDispatchTable(t *testing.T) {
+	_, g := build(t, dispatchSwitch)
+	v := NewView(g)
+	if len(v.Indirect) != 1 {
+		t.Fatalf("Indirect sites = %v, want 1", v.Indirect)
+	}
+	s := v.Indirect[0]
+	if s.Table != "dispatch-table data[0:2)" {
+		t.Errorf("Table = %q", s.Table)
+	}
+	want := []isa.Addr{g.Prog.Labels["c1"], g.Prog.Labels["c2"]}
+	if !reflect.DeepEqual(s.Targets, want) {
+		t.Errorf("Targets = %v, want %v", s.Targets, want)
+	}
+	// The inferred targets become EdgeIndirect edges, making c1/c2
+	// reachable without label-root seeding.
+	reach, err := Solve(v, Problem[bool]{
+		Name: "entry-reach", Dir: Forward,
+		Bottom:   func() bool { return false },
+		Boundary: func(*tfg.Task) bool { return true },
+		Transfer: func(_ Edge, _ *tfg.Task, in bool) bool { return in },
+		Join:     func(a, b bool) bool { return a || b },
+		Equal:    func(a, b bool) bool { return a == b },
+		Roots:    []int{v.Index[g.Prog.Entry]},
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for _, lbl := range []string{"c1", "c2"} {
+		i := v.Index[g.Prog.Labels[lbl]]
+		if !reach.Facts[i] {
+			t.Errorf("%s unreachable through inferred dispatch edges", lbl)
+		}
+	}
+}
+
+const indirectCall = `
+.entry main
+.func main
+  la   r4, @f
+  jalr r4
+  halt
+.func f
+  ret
+`
+
+func TestIndirectCallAddressTaken(t *testing.T) {
+	_, g := build(t, indirectCall)
+	v := NewView(g)
+	if len(v.Indirect) != 1 {
+		t.Fatalf("Indirect sites = %v, want 1", v.Indirect)
+	}
+	s := v.Indirect[0]
+	if !s.Call || s.Table != "address-taken" {
+		t.Errorf("site = %+v, want address-taken call site", s)
+	}
+	want := []isa.Addr{g.Prog.Labels["f"]}
+	if !reflect.DeepEqual(s.Targets, want) {
+		t.Errorf("Targets = %v, want %v", s.Targets, want)
+	}
+}
+
+// TestSolveDeterministic runs an analysis twice and demands identical
+// facts and visit counts — the worklist determinism contract.
+func TestSolveDeterministic(t *testing.T) {
+	_, g := buildOpts(t, diamond, taskform.Options{MaxBlocks: 1})
+	v := NewView(g)
+	r1, err1 := DOLCHistories(v)
+	r2, err2 := DOLCHistories(v)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if !reflect.DeepEqual(r1.Facts, r2.Facts) || r1.Visits != r2.Visits {
+		t.Fatalf("solver nondeterministic: %d vs %d visits", r1.Visits, r2.Visits)
+	}
+}
+
+// TestSolveTerminationGuard feeds the solver a deliberately non-monotone
+// "lattice" (an ever-growing counter on a cyclic graph) and checks the
+// bounded-iteration guard trips instead of spinning.
+func TestSolveTerminationGuard(t *testing.T) {
+	_, g := build(t, branchLoop)
+	v := NewView(g)
+	res, err := Solve(v, Problem[int]{
+		Name: "diverge", Dir: Forward,
+		Bottom:    func() int { return 0 },
+		Boundary:  func(*tfg.Task) int { return 1 },
+		Transfer:  func(_ Edge, _ *tfg.Task, in int) int { return in + 1 },
+		Join:      func(a, b int) int { return max(a, b) },
+		Equal:     func(a, b int) bool { return a == b },
+		MaxVisits: 8,
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Converged {
+		t.Fatalf("non-monotone problem claimed convergence")
+	}
+	if res.Visits > 8*len(v.Tasks) {
+		t.Fatalf("guard let %d visits past budget %d", res.Visits, 8*len(v.Tasks))
+	}
+}
+
+func TestSolveRejectsIncompleteProblem(t *testing.T) {
+	_, g := build(t, branchLoop)
+	v := NewView(g)
+	if _, err := Solve(v, Problem[int]{Name: "nope"}); err == nil {
+		t.Fatalf("incomplete problem accepted")
+	}
+	if _, err := Solve[int](nil, Problem[int]{
+		Name:     "nilview",
+		Bottom:   func() int { return 0 },
+		Join:     func(a, b int) int { return a },
+		Equal:    func(a, b int) bool { return a == b },
+		Transfer: func(_ Edge, _ *tfg.Task, in int) int { return in },
+	}); err == nil {
+		t.Fatalf("nil view accepted")
+	}
+}
+
+func TestHistPushPrefix(t *testing.T) {
+	var h Hist
+	for i := 1; i <= MaxHistLen+3; i++ {
+		h = h.Push(isa.Addr(i))
+	}
+	if h.N != MaxHistLen {
+		t.Fatalf("N = %d, want %d", h.N, MaxHistLen)
+	}
+	if h.A[0] != isa.Addr(MaxHistLen+3) {
+		t.Fatalf("A[0] = %d, want newest", h.A[0])
+	}
+	p := h.Prefix(2)
+	if p.N != 2 || p.A[0] != h.A[0] || p.A[1] != h.A[1] || p.A[2] != 0 {
+		t.Fatalf("Prefix(2) = %+v", p)
+	}
+}

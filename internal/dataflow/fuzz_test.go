@@ -1,0 +1,154 @@
+package dataflow
+
+import (
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+	"multiscalar/internal/taskform"
+	"multiscalar/internal/tfg"
+)
+
+// fuzzBase is the well-formed graph the fuzzer corrupts: calls, a loop,
+// an indirect branch off a dispatch table, and a halt.
+const fuzzBase = `
+.entry main
+.word tbl @c1 @c2
+.func main
+  jal  @f
+  li   r2, 0
+  lw   r7, 0(r2)
+  jr   r7
+c1:
+  j    @c2
+c2:
+  halt
+.func f
+  jal  @f
+  ret
+`
+
+// FuzzDataflow corrupts a TFG under fuzzer control — extra exits with
+// arbitrary targets and kinds, dangling ExitIndex entries, orphan tasks
+// keyed off their Start — then runs the view builder and every analysis.
+// The properties under test: no panics, and every solve terminates
+// within the bounded-iteration guard regardless of graph shape (the
+// lint corrupt-TFG fixture is one of the seeds).
+func FuzzDataflow(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	// The lint corrupt-TFG fixture's mutations, expressed as fuzz bytes:
+	// slot overflow with a dangling target, plus an orphan task with an
+	// incoherent exit kind.
+	f.Add([]byte{1, 99, 1, 0, 1, 0, 1, 0, 3, 77, 1, 5})
+	f.Add([]byte{2, 10, 0, 3, 200, 4, 1, 50, 2, 0, 9})
+
+	p, err := asm.Assemble(fuzzBase)
+	if err != nil {
+		f.Fatalf("Assemble: %v", err)
+	}
+	cfg, err := program.BuildCFG(p)
+	if err != nil {
+		f.Fatalf("BuildCFG: %v", err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := taskform.Partition(p, taskform.Options{})
+		if err != nil {
+			t.Fatalf("Partition: %v", err)
+		}
+		corrupt(g, data)
+
+		v := NewView(g)
+		cd, err := CallDepth(v)
+		if err != nil {
+			t.Fatalf("CallDepth: %v", err)
+		}
+		checkBudget(t, "call-depth", cd.Result.Visits, len(v.Tasks))
+		if r, err := Reachable(v); err != nil {
+			t.Fatalf("Reachable: %v", err)
+		} else {
+			checkBudget(t, "reachable", r.Visits, len(v.Tasks))
+		}
+		if r, err := Coreachable(v); err != nil {
+			t.Fatalf("Coreachable: %v", err)
+		} else {
+			checkBudget(t, "coreachable", r.Visits, len(v.Tasks))
+		}
+		if r, err := DOLCHistories(v); err != nil {
+			t.Fatalf("DOLCHistories: %v", err)
+		} else {
+			checkBudget(t, "dolc-histories", r.Visits, len(v.Tasks))
+		}
+		if _, err := DeadExits(v, cfg); err != nil {
+			t.Fatalf("DeadExits: %v", err)
+		}
+	})
+}
+
+func checkBudget(t *testing.T, name string, visits, n int) {
+	t.Helper()
+	if visits > DefaultMaxVisits*n {
+		t.Fatalf("%s: %d visits exceed guard %d", name, visits, DefaultMaxVisits*n)
+	}
+}
+
+// corrupt applies fuzzer-directed mutations: each leading byte selects a
+// mutation, consuming a few argument bytes.
+func corrupt(g *tfg.Graph, data []byte) {
+	tasks := g.TaskList()
+	if len(tasks) == 0 {
+		return
+	}
+	next := func() (byte, bool) {
+		if len(data) == 0 {
+			return 0, false
+		}
+		b := data[0]
+		data = data[1:]
+		return b, true
+	}
+	for {
+		op, ok := next()
+		if !ok {
+			return
+		}
+		switch op % 4 {
+		case 0: // append an exit with an arbitrary kind/target
+			ti, _ := next()
+			kind, _ := next()
+			tgt, _ := next()
+			t := tasks[int(ti)%len(tasks)]
+			t.Exits = append(t.Exits, tfg.ExitSpec{
+				Kind:      isa.ControlKind(kind % isa.NumControlKinds),
+				Target:    isa.Addr(tgt),
+				HasTarget: kind%2 == 0,
+				Return:    isa.Addr(tgt) + 1,
+			})
+		case 1: // dangling ExitIndex entry
+			ti, _ := next()
+			at, _ := next()
+			slot, _ := next()
+			t := tasks[int(ti)%len(tasks)]
+			t.ExitIndex[tfg.ExitRef{At: isa.Addr(at)}] = int(slot) - 2
+		case 2: // drop all exits from a task
+			ti, _ := next()
+			t := tasks[int(ti)%len(tasks)]
+			t.Exits = nil
+		case 3: // orphan task with a self-referential or wild exit
+			start, _ := next()
+			tgt, _ := next()
+			a := isa.Addr(start)
+			g.Tasks[a] = &tfg.Task{
+				Start:  a,
+				Blocks: []isa.Addr{a},
+				Exits:  []tfg.ExitSpec{{Kind: isa.KindBranch, Target: isa.Addr(tgt), HasTarget: true}},
+				ExitIndex: map[tfg.ExitRef]int{
+					{At: a}: 0,
+				},
+			}
+			tasks = g.TaskList()
+		}
+	}
+}

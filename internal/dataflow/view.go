@@ -1,0 +1,398 @@
+// The View: a frozen, deterministic edge list over a tfg.Graph with
+// interprocedural edge roles and per-site indirect target inference.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"multiscalar/internal/isa"
+	"multiscalar/internal/program"
+	"multiscalar/internal/tfg"
+)
+
+// EdgeKind classifies a View edge for transfer functions.
+type EdgeKind uint8
+
+const (
+	// EdgeBranch is a statically-targeted branch: control moves between
+	// tasks at the same call depth.
+	EdgeBranch EdgeKind = iota
+	// EdgeCall enters a callee: call depth grows by one. Emitted for
+	// CALL exits with a static target and for every inferred target of
+	// an INDIRECT_CALL site.
+	EdgeCall
+	// EdgeReturnPoint is the call-summary edge: it continues at the
+	// caller's return point at the caller's depth, summarizing a
+	// balanced callee. RETURN exits themselves contribute no edges.
+	EdgeReturnPoint
+	// EdgeIndirect is an inferred target of an INDIRECT_BRANCH site:
+	// same call depth, target known only through inference.
+	EdgeIndirect
+)
+
+var edgeKindNames = [...]string{
+	EdgeBranch: "branch", EdgeCall: "call",
+	EdgeReturnPoint: "return-point", EdgeIndirect: "indirect",
+}
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeKindNames) {
+		return edgeKindNames[k]
+	}
+	return fmt.Sprintf("edgekind(%d)", uint8(k))
+}
+
+// Edge is one directed task-to-task edge of a View. From/To are view
+// task indices (positions in View.Tasks), not addresses.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	// Exit is the header exit slot the edge leaves through.
+	Exit int
+}
+
+// View is the solver's frozen picture of a graph: tasks in ascending
+// start order, deduplicated typed edges in deterministic order, and the
+// root/halting index sets both propagation directions seed from.
+type View struct {
+	// Graph is the underlying TFG.
+	Graph *tfg.Graph
+	// Tasks lists the graph's tasks in ascending start order.
+	Tasks []*tfg.Task
+	// Index maps task start addresses to positions in Tasks.
+	Index map[isa.Addr]int
+	// Succs and Preds hold each task's outgoing and incoming edges.
+	// Succs[i] is ordered by (exit slot, kind, target); Preds mirrors
+	// the same edges grouped by destination, ordered by (source, exit
+	// slot, kind).
+	Succs, Preds [][]Edge
+	// Roots lists the forward propagation roots: the entry task plus
+	// every label-addressed task (labels are the legal targets of
+	// returns and indirect transfers), ascending.
+	Roots []int
+	// Halting lists the tasks whose region contains a Halt or a RETURN
+	// exit — the boundary of backward analyses (a return reaches its
+	// caller's continuation; treating it as a terminal is the
+	// context-free summary of "this region can complete").
+	Halting []int
+	// Indirect records the per-site target inference for every
+	// INDIRECT_BRANCH / INDIRECT_CALL exit site, ordered by (task,
+	// instruction address).
+	Indirect []IndirectSite
+}
+
+// NumEdges counts the distinct edges of the view.
+func (v *View) NumEdges() int {
+	n := 0
+	for _, es := range v.Succs {
+		n += len(es)
+	}
+	return n
+}
+
+// IndirectSite is the inferred target set of one indirect exit site.
+type IndirectSite struct {
+	// Task is the start address of the task owning the site.
+	Task isa.Addr
+	// At is the address of the Jr/Jalr instruction (the exit site).
+	At isa.Addr
+	// Exit is the header exit slot the site maps to.
+	Exit int
+	// Call reports an INDIRECT_CALL (Jalr) site; false is Jr.
+	Call bool
+	// Targets lists the inferred target task starts, ascending. Only
+	// addresses that are task starts are retained.
+	Targets []isa.Addr
+	// Table describes the inference provenance: "dispatch-table
+	// data[lo:hi)", "address-taken", or "label-roots" (the conservative
+	// fallback when nothing sharper applied).
+	Table string
+}
+
+// dispatchTableCap bounds how many consecutive data words the dispatch-
+// table heuristic will read as one table.
+const dispatchTableCap = 4096
+
+// NewView freezes a graph into a deterministic view. Exit targets that
+// are not task starts contribute no edges (the structural lint pass owns
+// reporting them); tasks referenced only through such dangling targets
+// simply stay unreached.
+func NewView(g *tfg.Graph) *View {
+	v := &View{Graph: g, Index: make(map[isa.Addr]int)}
+	if g == nil {
+		return v
+	}
+	v.Tasks = g.TaskList()
+	for i, t := range v.Tasks {
+		v.Index[t.Start] = i
+	}
+	v.Succs = make([][]Edge, len(v.Tasks))
+	v.Preds = make([][]Edge, len(v.Tasks))
+	v.Indirect = inferIndirect(g, v.Tasks)
+
+	// Per-task indirect sites, for edge emission below.
+	siteTargets := make(map[isa.Addr][][]isa.Addr) // task -> per-exit target lists
+	for i := range v.Indirect {
+		s := &v.Indirect[i]
+		m := siteTargets[s.Task]
+		if m == nil {
+			m = make([][]isa.Addr, tfg.MaxExits)
+			siteTargets[s.Task] = m
+		}
+		if s.Exit >= 0 && s.Exit < tfg.MaxExits {
+			m[s.Exit] = append(m[s.Exit], s.Targets...)
+		}
+	}
+
+	for i, t := range v.Tasks {
+		var edges []Edge
+		add := func(to isa.Addr, kind EdgeKind, exit int) {
+			j, ok := v.Index[to]
+			if !ok {
+				return
+			}
+			edges = append(edges, Edge{From: i, To: j, Kind: kind, Exit: exit})
+		}
+		for ei, e := range t.Exits {
+			switch {
+			case e.Kind == isa.KindBranch:
+				if e.HasTarget {
+					add(e.Target, EdgeBranch, ei)
+				}
+			case e.Kind == isa.KindCall:
+				if e.HasTarget {
+					add(e.Target, EdgeCall, ei)
+				}
+				add(e.Return, EdgeReturnPoint, ei)
+			case e.Kind == isa.KindIndirectCall:
+				if m := siteTargets[t.Start]; m != nil && ei < len(m) {
+					for _, tgt := range m[ei] {
+						add(tgt, EdgeCall, ei)
+					}
+				}
+				add(e.Return, EdgeReturnPoint, ei)
+			case e.Kind == isa.KindIndirectBranch:
+				if m := siteTargets[t.Start]; m != nil && ei < len(m) {
+					for _, tgt := range m[ei] {
+						add(tgt, EdgeIndirect, ei)
+					}
+				}
+			}
+			// KindReturn: summarized by the caller's EdgeReturnPoint.
+		}
+		sort.Slice(edges, func(a, b int) bool {
+			x, y := edges[a], edges[b]
+			if x.Exit != y.Exit {
+				return x.Exit < y.Exit
+			}
+			if x.Kind != y.Kind {
+				return x.Kind < y.Kind
+			}
+			return x.To < y.To
+		})
+		// Dedup identical (exit, kind, to) triples (several inference
+		// routes can name the same target).
+		dedup := edges[:0]
+		for _, e := range edges {
+			if len(dedup) == 0 || dedup[len(dedup)-1] != e {
+				dedup = append(dedup, e)
+			}
+		}
+		v.Succs[i] = dedup
+	}
+	for i := range v.Succs {
+		for _, e := range v.Succs[i] {
+			v.Preds[e.To] = append(v.Preds[e.To], e)
+		}
+	}
+	// Preds inherit deterministic order from the ascending-i emission
+	// above; within one source the Succs order carries over.
+
+	if g.Prog != nil {
+		rootSet := map[int]bool{}
+		if j, ok := v.Index[g.Prog.Entry]; ok {
+			rootSet[j] = true
+		}
+		for _, a := range sortedLabelAddrs(g) {
+			if j, ok := v.Index[a]; ok {
+				rootSet[j] = true
+			}
+		}
+		v.Roots = sortedKeys(rootSet)
+	}
+	for i, t := range v.Tasks {
+		if t.Halts || hasReturnExit(t) {
+			v.Halting = append(v.Halting, i)
+		}
+	}
+	return v
+}
+
+func hasReturnExit(t *tfg.Task) bool {
+	for _, e := range t.Exits {
+		if e.Kind == isa.KindReturn {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedLabelAddrs(g *tfg.Graph) []isa.Addr {
+	out := make([]isa.Addr, 0, len(g.Prog.Labels))
+	for _, a := range g.Prog.Labels {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// inferIndirect computes the per-site target sets of every indirect
+// exit in the graph.
+//
+// Three inference tiers, sharpest first:
+//
+//  1. Dispatch table: the MSL compiler lowers dense switches to
+//     `lw scratch, table(index); jr scratch` with the table laid out as
+//     consecutive data words holding case-label addresses. When the
+//     instruction before the Jr is a Lw defining the Jr's source
+//     register, the Lw displacement names the table base; the table
+//     extends while data words decode to task starts.
+//  2. Address-taken set (Jalr): every function entry materialized by a
+//     La instruction, plus function entries stored in the data segment —
+//     the classic address-taken approximation of indirect call targets.
+//  3. Label roots (fallback): every label-addressed task start, the
+//     architectural bound on legal indirect targets.
+func inferIndirect(g *tfg.Graph, tasks []*tfg.Task) []IndirectSite {
+	if g.Prog == nil {
+		return nil
+	}
+	p := g.Prog
+	isTask := func(a isa.Addr) bool { return g.Tasks[a] != nil }
+
+	// Tier-3 universe: label-addressed task starts.
+	var labelRoots []isa.Addr
+	for _, a := range sortedLabelAddrs(g) {
+		if isTask(a) && (len(labelRoots) == 0 || labelRoots[len(labelRoots)-1] != a) {
+			labelRoots = append(labelRoots, a)
+		}
+	}
+
+	// Tier-2: function entries whose address is taken by La or stored
+	// in initialized data.
+	funcStart := map[isa.Addr]bool{}
+	for _, a := range p.Functions {
+		if isTask(a) {
+			funcStart[a] = true
+		}
+	}
+	takenSet := map[isa.Addr]bool{}
+	for _, in := range p.Code {
+		if in.Op == isa.La && in.Imm >= 0 && funcStart[isa.Addr(in.Imm)] {
+			takenSet[isa.Addr(in.Imm)] = true
+		}
+	}
+	for _, w := range p.Data {
+		if w >= 0 && funcStart[isa.Addr(w)] {
+			takenSet[isa.Addr(w)] = true
+		}
+	}
+	taken := make([]isa.Addr, 0, len(takenSet))
+	for a := range takenSet {
+		taken = append(taken, a)
+	}
+	sort.Slice(taken, func(i, j int) bool { return taken[i] < taken[j] })
+
+	var sites []IndirectSite
+	for _, t := range tasks {
+		for _, edge := range t.EdgeList() {
+			if edge.Index < 0 || edge.Index >= len(t.Exits) {
+				continue
+			}
+			kind := t.Exits[edge.Index].Kind
+			if !kind.IsIndirect() {
+				continue
+			}
+			at := edge.Ref.At
+			site := IndirectSite{Task: t.Start, At: at, Exit: edge.Index, Call: kind == isa.KindIndirectCall}
+			if int(at) < len(p.Code) {
+				in := p.Code[at]
+				if lo, hi, ok := dispatchTable(p, g, at, in.Rs); ok {
+					site.Table = fmt.Sprintf("dispatch-table data[%d:%d)", lo, hi)
+					site.Targets = tableTargets(p, g, lo, hi)
+				}
+			}
+			if site.Targets == nil && site.Call && len(taken) > 0 {
+				site.Table = "address-taken"
+				site.Targets = append([]isa.Addr(nil), taken...)
+			}
+			if site.Targets == nil {
+				site.Table = "label-roots"
+				site.Targets = append([]isa.Addr(nil), labelRoots...)
+			}
+			sites = append(sites, site)
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].Task != sites[j].Task {
+			return sites[i].Task < sites[j].Task
+		}
+		return sites[i].At < sites[j].At
+	})
+	return sites
+}
+
+// dispatchTable recognizes the `lw rX, base(rIdx); jr rX` idiom: the
+// instruction before the indirect transfer loads its source register
+// from a constant displacement, which is the table base. The table
+// extent is the maximal run of data words decoding to task starts.
+func dispatchTable(p *program.Program, g *tfg.Graph, at isa.Addr, src isa.Reg) (lo, hi int, ok bool) {
+	if at == 0 {
+		return 0, 0, false
+	}
+	prev := p.Code[at-1]
+	if prev.Op != isa.Lw || prev.Rd != src || prev.Imm < 0 {
+		return 0, 0, false
+	}
+	lo = int(prev.Imm)
+	if lo >= len(p.Data) {
+		return 0, 0, false
+	}
+	hi = lo
+	for hi < len(p.Data) && hi-lo < dispatchTableCap {
+		w := p.Data[hi]
+		if w < 0 || g.Tasks[isa.Addr(w)] == nil {
+			break
+		}
+		hi++
+	}
+	if hi == lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// tableTargets collects the distinct task starts of a data-word range.
+func tableTargets(p *program.Program, g *tfg.Graph, lo, hi int) []isa.Addr {
+	seen := map[isa.Addr]bool{}
+	out := make([]isa.Addr, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		a := isa.Addr(p.Data[i])
+		if g.Tasks[a] != nil && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -30,7 +30,7 @@ func doObserved(r Run, worker int, submitted time.Time) Result {
 	if !obs.On() {
 		return Do(r)
 	}
-	start := time.Now()
+	start := time.Now() //detlint:allow det-time (obs-gated duration metric; never rendered deterministically)
 	res := Do(r)
 	dur := time.Since(start)
 

@@ -36,7 +36,7 @@ func Execute(runs []Run, workers int) []Result {
 	observing := obs.On()
 	var gridStart time.Time
 	if observing {
-		gridStart = time.Now()
+		gridStart = time.Now() //detlint:allow det-time (obs-gated grid wall time; metrics only)
 		obsGrids.Inc()
 		obsGridRuns.Add(int64(len(runs)))
 		obsGridWorkers.Set(int64(workers))
@@ -62,7 +62,7 @@ func Execute(runs []Run, workers int) []Result {
 			// buffered channel happens-after the stamp, and workers read
 			// submitted[i] only after receiving i.
 			if submitted != nil {
-				submitted[i] = time.Now()
+				submitted[i] = time.Now() //detlint:allow det-time (obs-gated queue-latency stamp; metrics only)
 			}
 			idx <- i
 		}

@@ -67,6 +67,7 @@ func All() []Runner {
 		{"ablation-real-histories", "real GLOBAL and PER implementations vs real PATH", AblationRealHistories},
 		{"ablation-updatedelay", "predictor update latency ablation (§3.1 Update Timing)", AblationUpdateDelay},
 		{"fault-sweep", "graceful degradation: task miss rate vs predictor-state fault rate", FaultSweep},
+		{"staticpred", "static dataflow warnings vs measured per-task mispredict rates", StaticPred},
 	}
 }
 

@@ -141,7 +141,7 @@ func RunResilient(w io.Writer, cfg Config, runners []Runner, opts RunOptions) []
 
 		buf := &syncBuffer{}
 		done := make(chan error, 1)
-		start := time.Now()
+		start := time.Now() //detlint:allow det-time (watchdog deadline for hung runners; not rendered)
 		go func(r Runner) {
 			done <- safeRun(r, buf, cfg)
 		}(r)

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"multiscalar/internal/lint"
+)
+
+// TestStaticDynRASAgreement is the acceptance check for the static RAS
+// verdict: "fits" is a falsifiable claim — the dynamic overflow counter
+// must be zero on every workload the analysis clears, at any trace
+// truncation. The other verdicts make no claim and always agree.
+func TestStaticDynRASAgreement(t *testing.T) {
+	data, err := StaticDynData(quickCfg)
+	if err != nil {
+		t.Fatalf("StaticDynData: %v", err)
+	}
+	if len(data) != 5 {
+		t.Fatalf("expected all five workloads, got %d", len(data))
+	}
+	fits := 0
+	for _, r := range data {
+		if r.Verdict == lint.RASFits {
+			fits++
+			if r.RASOverflows != 0 {
+				t.Errorf("%s: static verdict %q but %d dynamic RAS overflows",
+					r.Workload, r.Verdict, r.RASOverflows)
+			}
+		}
+		if !r.RASAgrees() {
+			t.Errorf("%s: static verdict %q disagrees with %d overflows",
+				r.Workload, r.Verdict, r.RASOverflows)
+		}
+	}
+	if fits == 0 {
+		t.Errorf("no workload earned a %q verdict; the agreement check is vacuous", lint.RASFits)
+	}
+}
+
+// TestStaticDynRecursiveVerdict pins the genuinely recursive workload:
+// exprc's recursive-descent parser must classify as unbounded, not fits
+// — a "fits" there would be an unsound static claim.
+func TestStaticDynRecursiveVerdict(t *testing.T) {
+	data, err := StaticDynData(quickCfg)
+	if err != nil {
+		t.Fatalf("StaticDynData: %v", err)
+	}
+	for _, r := range data {
+		if r.Workload != "exprc" {
+			continue
+		}
+		if r.Verdict != lint.RASUnbounded || r.RecursiveTasks == 0 {
+			t.Errorf("exprc: verdict %q with %d recursive tasks; want %q with recursion",
+				r.Verdict, r.RecursiveTasks, lint.RASUnbounded)
+		}
+		return
+	}
+	t.Fatalf("exprc missing from the study")
+}
+
+// TestStaticDynGroupsAccount asserts the three static classes partition
+// the dynamic steps, and that the correlation carries signal: the clean
+// class must not mispredict worse than the overall rate (statically
+// enumerable history structure is exactly what the predictor learns).
+func TestStaticDynGroupsAccount(t *testing.T) {
+	data, err := StaticDynData(quickCfg)
+	if err != nil {
+		t.Fatalf("StaticDynData: %v", err)
+	}
+	for _, r := range data {
+		sum := r.Aliased.Steps + r.Saturated.Steps + r.Clean.Steps
+		if sum != r.Overall.Steps {
+			t.Errorf("%s: groups cover %d steps of %d", r.Workload, sum, r.Overall.Steps)
+		}
+		n := r.Aliased.Tasks + r.Saturated.Tasks + r.Clean.Tasks
+		if n != r.Overall.Tasks {
+			t.Errorf("%s: groups cover %d tasks of %d", r.Workload, n, r.Overall.Tasks)
+		}
+		if r.Overall.Steps == 0 {
+			t.Errorf("%s: no dynamic steps replayed", r.Workload)
+		}
+		if r.Clean.Steps > 0 && r.Clean.Rate() > r.Overall.Rate() {
+			t.Errorf("%s: clean class (%.3f) mispredicts worse than overall (%.3f)",
+				r.Workload, r.Clean.Rate(), r.Overall.Rate())
+		}
+	}
+}
+
+// TestStaticPredWorkerInvariance renders the study at 1 and 4 workers
+// and demands identical bytes — the determinism contract every rendered
+// experiment honours.
+func TestStaticPredWorkerInvariance(t *testing.T) {
+	render := func(workers int) string {
+		cfg := quickCfg
+		cfg.Workers = workers
+		var b strings.Builder
+		if err := StaticPred(&b, cfg); err != nil {
+			t.Fatalf("StaticPred(workers=%d): %v", workers, err)
+		}
+		return b.String()
+	}
+	if a, b := render(1), render(4); a != b {
+		t.Fatalf("staticpred output differs between 1 and 4 workers:\n--- 1 ---\n%s\n--- 4 ---\n%s", a, b)
+	}
+}

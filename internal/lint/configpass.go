@@ -6,16 +6,14 @@ import (
 	"fmt"
 
 	"multiscalar/internal/core"
-	"multiscalar/internal/engine"
-	"multiscalar/internal/isa"
 )
 
-// Check IDs owned by the configuration layer.
+// Check IDs owned by the configuration layer. (cfg-ras-depth retired:
+// the dataflow-backed tfg-call-depth pass owns RAS sizing now.)
 const (
 	CheckDOLCBudget    = "cfg-dolc-budget"
 	CheckTableSize     = "cfg-table-size"
 	CheckAliasPressure = "cfg-alias-pressure"
-	CheckRASDepth      = "cfg-ras-depth"
 )
 
 func configPasses() []Pass {
@@ -32,13 +30,8 @@ func configPasses() []Pass {
 		},
 		{
 			Name: "cfg-alias",
-			Doc:  "static alias pressure: predicted task population vs predictor table entries",
+			Doc:  "static alias pressure: multi-exit task population vs exit-PHT entries (per-site CTTB pressure moved to tfg-indirect-targets)",
 			Run:  runCfgAlias,
-		},
-		{
-			Name: "cfg-ras",
-			Doc:  "RAS depth against the program's static call nesting",
-			Run:  runCfgRAS,
 		},
 	}
 }
@@ -132,124 +125,34 @@ func runCfgTables(c *Context) []Diagnostic {
 	return out
 }
 
-// runCfgAlias estimates static alias pressure: the multi-exit static
-// task population against the exit PHT, and indirect-exit sites against
-// the CTTB. Static counts are a lower bound — path history multiplies
-// the live contexts — so exceeding the table statically guarantees
-// aliasing dynamically.
+// runCfgAlias estimates static alias pressure on the exit PHT: the
+// multi-exit static task population against the table entries. Static
+// counts are a lower bound — path history multiplies the live contexts
+// — so exceeding the table statically guarantees aliasing dynamically.
+// (CTTB pressure is judged per indirect site by tfg-indirect-targets,
+// which knows each site's inferred target set.)
 func runCfgAlias(c *Context) []Diagnostic {
 	if c.Config == nil || c.Graph == nil || c.Graph.NumTasks() == 0 {
 		return nil
 	}
-	multi, indirect := 0, 0
+	d := c.Config.exitDOLC()
+	if d == nil || d.Validate() != nil {
+		return nil
+	}
+	multi := 0
 	for _, t := range c.Graph.Tasks {
 		if t.NumExits() > 1 {
 			multi++
 		}
-		if t.HasIndirectExit() {
-			indirect++
-		}
 	}
-	var out []Diagnostic
-	report := func(what, population string, sites int, d *core.DOLC) {
-		if d == nil || d.Validate() != nil {
-			return
-		}
-		entries := d.TableSize()
-		dg := Diagnostic{
-			Check: CheckAliasPressure, Sev: Info,
-			Msg: fmt.Sprintf("%s: %d static %s share %d entries", what, sites, population, entries),
-		}
-		if sites > entries {
-			dg.Sev = Warn
-			dg.Msg += "; static population alone exceeds the table, aliasing is guaranteed"
-		}
-		out = append(out, dg)
+	entries := d.TableSize()
+	dg := Diagnostic{
+		Check: CheckAliasPressure, Sev: Info,
+		Msg: fmt.Sprintf("exit predictor: %d static multi-exit tasks share %d entries", multi, entries),
 	}
-	report("exit predictor", "multi-exit tasks", multi, c.Config.exitDOLC())
-	report("CTTB", "indirect-exit sites", indirect, c.Config.cttbDOLC())
-	return out
-}
-
-// runCfgRAS compares the RAS capacity against the longest statically
-// nested call chain reachable from the entry. Recursive programs get an
-// informational note instead (their nesting is input-dependent and the
-// circular RAS sheds the oldest frames by design).
-func runCfgRAS(c *Context) []Diagnostic {
-	if c.Config == nil || c.Graph == nil || c.Graph.EntryTask() == nil {
-		return nil
+	if multi > entries {
+		dg.Sev = Warn
+		dg.Msg += "; static population alone exceeds the table, aliasing is guaranteed"
 	}
-	if s := c.Config.spec(); s != nil && s.Class() != engine.ClassTask {
-		// Exit-only, target-only, and perfect specs predict no return
-		// addresses; RAS sizing is moot.
-		return nil
-	}
-	depth := c.Config.rasDepth()
-	if depth < 0 {
-		return []Diagnostic{{
-			Check: CheckRASDepth, Sev: Error,
-			Msg: fmt.Sprintf("RAS depth %d is negative", depth),
-		}}
-	}
-	nesting, recursive := maxCallNesting(c)
-	switch {
-	case recursive:
-		return []Diagnostic{{
-			Check: CheckRASDepth, Sev: Info,
-			Msg: fmt.Sprintf("recursive call chain detected; the %d-entry RAS bounds correctly predicted return nesting", depth),
-		}}
-	case nesting > depth:
-		return []Diagnostic{{
-			Check: CheckRASDepth, Sev: Warn,
-			Msg: fmt.Sprintf("static call nesting reaches %d but the RAS holds %d entries; deep chains will overflow and mispredict returns", nesting, depth),
-		}}
-	default:
-		return []Diagnostic{{
-			Check: CheckRASDepth, Sev: Info,
-			Msg: fmt.Sprintf("static call nesting %d fits the %d-entry RAS", nesting, depth),
-		}}
-	}
-}
-
-// maxCallNesting computes the deepest call nesting reachable from the
-// entry task: a DFS over branch edges (same level), call edges (one
-// level deeper into the callee) and call-summary edges (same level at
-// the return point). A cycle through a call edge means recursion.
-func maxCallNesting(c *Context) (nesting int, recursive bool) {
-	g := c.Graph
-	memo := make(map[isa.Addr]int)
-	onStack := make(map[isa.Addr]bool)
-	var visit func(a isa.Addr) int
-	visit = func(a isa.Addr) int {
-		t := g.Tasks[a]
-		if t == nil {
-			return 0
-		}
-		if onStack[a] {
-			recursive = true
-			return 0
-		}
-		if v, ok := memo[a]; ok {
-			return v
-		}
-		onStack[a] = true
-		best := 0
-		for _, e := range t.Exits {
-			switch {
-			case e.Kind == isa.KindBranch:
-				if e.HasTarget {
-					best = max(best, visit(e.Target))
-				}
-			case e.Kind.IsCall():
-				if e.HasTarget {
-					best = max(best, 1+visit(e.Target))
-				}
-				best = max(best, visit(e.Return))
-			}
-		}
-		onStack[a] = false
-		memo[a] = best
-		return best
-	}
-	return visit(g.Prog.Entry), recursive
+	return []Diagnostic{dg}
 }

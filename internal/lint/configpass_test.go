@@ -116,7 +116,17 @@ func TestCfgAliasPressure(t *testing.T) {
 	}
 }
 
-func TestCfgRAS(t *testing.T) {
+// findDiag returns the first diagnostic whose message contains needle.
+func findDiag(diags []Diagnostic, needle string) *Diagnostic {
+	for i := range diags {
+		if strings.Contains(diags[i].Msg, needle) {
+			return &diags[i]
+		}
+	}
+	return nil
+}
+
+func TestCallDepthRASVerdicts(t *testing.T) {
 	p, g := assemble(t, `
 .entry main
 .func main
@@ -131,21 +141,23 @@ func TestCfgRAS(t *testing.T) {
 	ctx := func(depth int) *Context {
 		return &Context{Prog: p, Graph: g, Config: &PredictorConfig{RASDepth: depth}}
 	}
-	if diags := runCfgRAS(ctx(-1)); len(diags) != 1 || diags[0].Sev != Error {
-		t.Errorf("negative depth: %v, want one error", diags)
+	if d := findDiag(runTFGCallDepth(ctx(-1)), "negative"); d == nil || d.Sev != Error {
+		t.Errorf("negative depth: want a %s error", CheckCallDepth)
 	}
-	// Static nesting is 2 (main -> f -> g): a 1-entry RAS overflows.
-	if diags := runCfgRAS(ctx(1)); len(diags) != 1 || diags[0].Sev != Warn ||
-		!strings.Contains(diags[0].Msg, "nesting reaches 2") {
-		t.Errorf("1-entry RAS vs nesting 2: %v, want overflow warning", diags)
+	// Static call depth is 2 (main -> f -> g): a 1-entry RAS overflows.
+	if d := findDiag(runTFGCallDepth(ctx(1)), `verdict "may-overflow"`); d == nil || d.Sev != Warn ||
+		!strings.Contains(d.Msg, "reaches 2") {
+		t.Errorf("1-entry RAS vs depth 2: want an overflow warning naming depth 2, got %v", runTFGCallDepth(ctx(1)))
 	}
-	if diags := runCfgRAS(ctx(32)); len(diags) != 1 || diags[0].Sev != Info ||
-		!strings.Contains(diags[0].Msg, "fits") {
-		t.Errorf("32-entry RAS: %v, want fits info", diags)
+	if d := findDiag(runTFGCallDepth(ctx(32)), `verdict "fits"`); d == nil || d.Sev != Info {
+		t.Errorf("32-entry RAS: want a fits info, got %v", runTFGCallDepth(ctx(32)))
+	}
+	if d := findDiag(runTFGCallDepth(ctx(32)), "no recursion"); d == nil {
+		t.Errorf("bounded chain: want a no-recursion info")
 	}
 }
 
-func TestCfgRASRecursion(t *testing.T) {
+func TestCallDepthRecursion(t *testing.T) {
 	p, g := assemble(t, `
 .entry main
 .func main
@@ -155,8 +167,38 @@ func TestCfgRASRecursion(t *testing.T) {
   jal  @f
   ret
 `)
-	diags := runCfgRAS(&Context{Prog: p, Graph: g, Config: &PredictorConfig{}})
-	if len(diags) != 1 || diags[0].Sev != Info || !strings.Contains(diags[0].Msg, "recursive") {
-		t.Errorf("recursive chain: %v, want recursion info", diags)
+	diags := runTFGCallDepth(&Context{Prog: p, Graph: g, Config: &PredictorConfig{}})
+	if d := findDiag(diags, "recursion detected"); d == nil || d.Sev != Info || !d.HasTask {
+		t.Errorf("recursive chain: want a recursion info naming a task, got %v", diags)
+	}
+	if d := findDiag(diags, `verdict "unbounded"`); d == nil {
+		t.Errorf("recursive chain: want an unbounded verdict, got %v", diags)
+	}
+}
+
+// TestCallDepthLoopIsBounded pins the improvement over the old cfg-ras
+// heuristic: a plain branch loop is NOT recursion (the old syntactic
+// walk could not tell them apart when a cycle crossed a call summary).
+func TestCallDepthLoopIsBounded(t *testing.T) {
+	p, g := assemble(t, `
+.entry main
+.func main
+  li   r2, 10
+  j    @loop
+loop:
+  addi r2, r2, -1
+  jal  @f
+  br   r2, @loop, @done
+done:
+  halt
+.func f
+  ret
+`)
+	diags := runTFGCallDepth(&Context{Prog: p, Graph: g, Config: &PredictorConfig{RASDepth: 32}})
+	if d := findDiag(diags, "recursion detected"); d != nil {
+		t.Errorf("branch loop with a call misclassified as recursion: %v", d)
+	}
+	if d := findDiag(diags, `verdict "fits"`); d == nil {
+		t.Errorf("loop fixture: want a fits verdict, got %v", diags)
 	}
 }

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"multiscalar/internal/asm"
+	"multiscalar/internal/msl"
+	"multiscalar/internal/program"
+	"multiscalar/internal/taskform"
+	"multiscalar/internal/workload"
+)
+
+// corpusPrograms collects every lintable program of the repo: the five
+// built-in workloads plus the programs embedded in examples/*/main.go
+// as `source` string constants (assembled or MSL-compiled according to
+// which front end the example calls).
+func corpusPrograms(t *testing.T) map[string]*program.Program {
+	t.Helper()
+	out := map[string]*program.Program{}
+	for _, w := range workload.All() {
+		p, err := w.Program()
+		if err != nil {
+			t.Fatalf("workload %s: %v", w.Name, err)
+		}
+		out["workload/"+w.Name] = p
+	}
+	dirs, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "main.go"))
+	if err != nil {
+		t.Fatalf("glob examples: %v", err)
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no examples found (corpus should cover examples/)")
+	}
+	for _, path := range dirs {
+		name := "example/" + filepath.Base(filepath.Dir(path))
+		src, isMSL, ok := embeddedSource(t, path)
+		if !ok {
+			continue // example drives a workload; already covered above
+		}
+		var p *program.Program
+		if isMSL {
+			p, err = msl.Compile(src, msl.Options{})
+		} else {
+			p, err = asm.Assemble(src)
+		}
+		if err != nil {
+			t.Fatalf("%s: embedded program does not build: %v", name, err)
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// embeddedSource extracts the `source` string constant of an example
+// main.go and reports whether the example compiles it as MSL (vs MSA
+// assembly). ok is false when the file embeds no program.
+func embeddedSource(t *testing.T, path string) (src string, isMSL, ok bool) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, raw, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	for _, decl := range f.Decls {
+		gd, isGen := decl.(*ast.GenDecl)
+		if !isGen || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, isVal := spec.(*ast.ValueSpec)
+			if !isVal {
+				continue
+			}
+			for i, id := range vs.Names {
+				if id.Name != "source" || i >= len(vs.Values) {
+					continue
+				}
+				lit, isLit := vs.Values[i].(*ast.BasicLit)
+				if !isLit || lit.Kind != token.STRING {
+					continue
+				}
+				unq, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("%s: unquote source: %v", path, err)
+				}
+				return unq, bytes.Contains(raw, []byte("msl.Compile")), true
+			}
+		}
+	}
+	return "", false, false
+}
+
+// TestCorpusGolden runs the full pass suite over every corpus program
+// under the standard predictor configuration and pins each diagnostic's
+// (check ID, task, severity) triple. Any behavioral drift in any pass
+// shows up as a golden diff; regenerate deliberately with -update.
+func TestCorpusGolden(t *testing.T) {
+	progs := corpusPrograms(t)
+	names := make([]string, 0, len(progs))
+	for n := range progs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var buf bytes.Buffer
+	for _, n := range names {
+		p := progs[n]
+		g, err := taskform.Partition(p, taskform.Options{})
+		if err != nil {
+			t.Fatalf("%s: Partition: %v", n, err)
+		}
+		rep := Run(NewContext(p, g, standardConfig()))
+		if rep.HasErrors() {
+			t.Errorf("%s: corpus program lints with errors", n)
+		}
+		for _, d := range rep.Diags {
+			task := "-"
+			if d.HasTask {
+				task = fmt.Sprintf("task@%d", d.Task)
+			}
+			fmt.Fprintf(&buf, "%s\t%s\t%s\t%s\n", n, d.Sev, d.Check, task)
+		}
+	}
+
+	golden := filepath.Join("testdata", "corpus_golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("corpus diagnostics drifted from golden (run with -update if intentional):\n%s",
+			diffSummary(string(want), buf.String()))
+	}
+}
+
+// diffSummary renders a compact line diff for golden mismatches.
+func diffSummary(want, got string) string {
+	wl := strings.Split(strings.TrimRight(want, "\n"), "\n")
+	gl := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	wset := map[string]int{}
+	for _, l := range wl {
+		wset[l]++
+	}
+	gset := map[string]int{}
+	for _, l := range gl {
+		gset[l]++
+	}
+	var b strings.Builder
+	for _, l := range wl {
+		if gset[l] == 0 {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range gl {
+		if wset[l] == 0 {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(same lines, different order or counts)"
+	}
+	return b.String()
+}

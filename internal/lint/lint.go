@@ -200,6 +200,10 @@ type Context struct {
 	// Config is the predictor configuration (nil disables cfg passes and
 	// predictor-coverage checks).
 	Config *PredictorConfig
+
+	// df caches the solved dataflow analyses (lazily built by
+	// dataflowFacts; shared by the dataflow passes and -report).
+	df *dfFacts
 }
 
 // NewContext assembles a context, building the CFG from the program when
@@ -245,6 +249,7 @@ type Pass struct {
 func AllPasses() []Pass {
 	var out []Pass
 	out = append(out, tfgPasses()...)
+	out = append(out, dataflowPasses()...)
 	out = append(out, progPasses()...)
 	out = append(out, configPasses()...)
 	out = append(out, predSpecPasses()...)

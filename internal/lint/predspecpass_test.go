@@ -120,10 +120,22 @@ func TestPredSpecDrivesConfigPasses(t *testing.T) {
 		t.Fatalf("explicit RASDepth overridden: %d", over.rasDepth())
 	}
 
-	// An exit-only spec silences the RAS-depth pass entirely (no returns
-	// are predicted, so no depth advice applies).
-	d := runCfgRAS(&Context{Config: &PredictorConfig{PredSpec: "path:d7-o5-l6-c6-f3:leh2"}})
-	if d != nil {
-		t.Fatalf("cfg-ras-depth fired for an exit-only spec: %v", d)
+	// An exit-only spec silences the RAS verdict of tfg-call-depth (no
+	// returns are predicted, so no depth advice applies); the depth
+	// profile info still reports.
+	_, g := assemble(t, `
+.entry main
+.func main
+  jal  @f
+  halt
+.func f
+  ret
+`)
+	diags := runTFGCallDepth(&Context{Graph: g, Config: &PredictorConfig{PredSpec: "path:d7-o5-l6-c6-f3:leh2"}})
+	if d := findDiag(diags, "verdict"); d != nil {
+		t.Fatalf("RAS verdict fired for an exit-only spec: %v", d)
+	}
+	if d := findDiag(diags, "maximum static call depth"); d == nil {
+		t.Fatalf("depth profile info missing for an exit-only spec: %v", diags)
 	}
 }

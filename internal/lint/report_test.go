@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multiscalar/internal/workload"
+)
+
+// TestReportDeterministic renders the full-workload report twice from
+// fresh contexts and demands byte-identical output — the acceptance
+// criterion for mlint -report.
+func TestReportDeterministic(t *testing.T) {
+	render := func() []byte {
+		var rts []ReportTarget
+		for _, w := range workload.All() {
+			g, err := w.Graph()
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			rt, err := BuildReportTarget(w.Name, NewContext(g.Prog, g, standardConfig()))
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			rts = append(rts, rt)
+		}
+		var buf bytes.Buffer
+		if err := WriteReport(&buf, rts); err != nil {
+			t.Fatalf("WriteReport: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("report is not byte-identical across runs")
+	}
+}
+
+func TestReportFacts(t *testing.T) {
+	p, g := assemble(t, `
+.entry main
+.func main
+  jal  @f
+  halt
+.func f
+  jal  @g
+  ret
+.func g
+  ret
+`)
+	rt, err := BuildReportTarget("fixture", NewContext(p, g, standardConfig()))
+	if err != nil {
+		t.Fatalf("BuildReportTarget: %v", err)
+	}
+	if rt.Summary.MaxCallDepth != 2 || rt.Summary.RecursiveTasks != 0 {
+		t.Errorf("summary = %+v, want depth 2, no recursion", rt.Summary)
+	}
+	if rt.Summary.RASVerdict != RASFits {
+		t.Errorf("verdict = %q, want %q", rt.Summary.RASVerdict, RASFits)
+	}
+	byAddr := map[uint32]TaskFacts{}
+	for _, tf := range rt.Tasks {
+		byAddr[tf.Task] = tf
+	}
+	fAddr := uint32(g.Prog.Labels["f"])
+	gAddr := uint32(g.Prog.Labels["g"])
+	if tf := byAddr[fAddr]; tf.DepthLo != 1 || tf.DepthHi != 1 {
+		t.Errorf("f facts = %+v, want depth [1,1]", tf)
+	}
+	if tf := byAddr[gAddr]; tf.DepthLo != 2 || tf.DepthHi != 2 {
+		t.Errorf("g facts = %+v, want depth [2,2]", tf)
+	}
+}
+
+// TestReportGolden pins the -report document schema on a small fixture.
+// Regenerate with -update after an intentional schema change.
+func TestReportGolden(t *testing.T) {
+	p, g := assemble(t, `
+.entry main
+.word tbl @c1 @c2
+.func main
+  li   r2, 0
+  lw   r7, 0(r2)
+  jr   r7
+c1:
+  jal  @f
+  halt
+c2:
+  halt
+.func f
+  ret
+`)
+	rt, err := BuildReportTarget("fixture", NewContext(p, g, standardConfig()))
+	if err != nil {
+		t.Fatalf("BuildReportTarget: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, []ReportTarget{rt}); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

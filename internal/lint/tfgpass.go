@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"multiscalar/internal/isa"
+	"multiscalar/internal/tfg"
 )
 
 // Check IDs owned by the TFG layer (the structural IDs live in
@@ -91,10 +92,11 @@ func runTFGOrphans(c *Context) []Diagnostic {
 	for _, a := range g.Prog.Labels {
 		push(a)
 	}
+	var succ [tfg.MaxSuccessors]isa.Addr
 	for len(stack) > 0 {
 		a := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, s := range g.Successors(g.Tasks[a]) {
+		for _, s := range g.SuccessorsInto(g.Tasks[a], succ[:0]) {
 			push(s)
 		}
 	}

@@ -178,25 +178,47 @@ func (g *Graph) TaskList() []*Task {
 	return out
 }
 
+// MaxSuccessors is the largest number of distinct statically-known
+// successor starts a task header can name: each of the MaxExits slots
+// contributes at most a target and a call return point.
+const MaxSuccessors = 2 * MaxExits
+
 // Successors returns the statically-known successor task starts of t:
 // every exit target and every call return point, deduplicated, in
 // ascending order. Dynamic targets (returns, indirect transfers)
 // contribute nothing.
 func (g *Graph) Successors(t *Task) []isa.Addr {
-	seen := make(map[isa.Addr]bool)
+	return g.SuccessorsInto(t, make([]isa.Addr, 0, MaxSuccessors))
+}
+
+// SuccessorsInto is Successors into a caller-provided buffer: it
+// appends into buf[:0] and returns the filled slice. With cap(buf) >=
+// MaxSuccessors it performs no allocation, which matters in the lint
+// and dataflow loops that walk every task of every workload. The
+// header holds at most MaxSuccessors candidates, so dedup and ordering
+// run as insertion into a small sorted slice — no map.
+func (g *Graph) SuccessorsInto(t *Task, buf []isa.Addr) []isa.Addr {
+	out := buf[:0]
+	insert := func(a isa.Addr) {
+		i := len(out)
+		for i > 0 && out[i-1] > a {
+			i--
+		}
+		if i > 0 && out[i-1] == a {
+			return
+		}
+		out = append(out, 0)
+		copy(out[i+1:], out[i:])
+		out[i] = a
+	}
 	for _, e := range t.Exits {
 		if e.HasTarget {
-			seen[e.Target] = true
+			insert(e.Target)
 		}
 		if e.Kind.IsCall() {
-			seen[e.Return] = true
+			insert(e.Return)
 		}
 	}
-	out := make([]isa.Addr, 0, len(seen))
-	for a := range seen {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -112,3 +112,77 @@ func TestStaticHistograms(t *testing.T) {
 		t.Fatalf("kinds = %v", kinds)
 	}
 }
+
+// TestSuccessorsDedupOrder pins Successors semantics: exit targets and
+// call return points, deduplicated, ascending.
+func TestSuccessorsDedupOrder(t *testing.T) {
+	g := validGraph(t)
+	task := &Task{Start: 9, Exits: []ExitSpec{
+		{Kind: isa.KindCall, Target: 7, HasTarget: true, Return: 3},
+		{Kind: isa.KindBranch, Target: 3, HasTarget: true},
+		{Kind: isa.KindBranch, Target: 1, HasTarget: true},
+		{Kind: isa.KindReturn},
+	}}
+	got := g.Successors(task)
+	want := []isa.Addr{1, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Successors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Successors = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSuccessorsIntoZeroAlloc pins the hot-loop contract: with a
+// caller-provided MaxSuccessors buffer the common small-header case
+// allocates nothing.
+func TestSuccessorsIntoZeroAlloc(t *testing.T) {
+	g := validGraph(t)
+	task := g.Tasks[0]
+	var buf [MaxSuccessors]isa.Addr
+	allocs := testing.AllocsPerRun(100, func() {
+		if s := g.SuccessorsInto(task, buf[:0]); len(s) != 2 {
+			t.Fatalf("SuccessorsInto = %v", s)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SuccessorsInto allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkSuccessorsInto(b *testing.B) {
+	p := program.New()
+	p.Code = []isa.Instr{{Op: isa.Halt}}
+	g := &Graph{Prog: p, Tasks: map[isa.Addr]*Task{}}
+	task := &Task{Start: 0, Exits: []ExitSpec{
+		{Kind: isa.KindCall, Target: 40, HasTarget: true, Return: 8},
+		{Kind: isa.KindBranch, Target: 8, HasTarget: true},
+		{Kind: isa.KindBranch, Target: 4, HasTarget: true},
+		{Kind: isa.KindBranch, Target: 16, HasTarget: true},
+	}}
+	var buf [MaxSuccessors]isa.Addr
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := g.SuccessorsInto(task, buf[:0]); len(s) != 4 {
+			b.Fatal("bad successor count")
+		}
+	}
+}
+
+func BenchmarkSuccessorsAlloc(b *testing.B) {
+	g := &Graph{Tasks: map[isa.Addr]*Task{}}
+	task := &Task{Start: 0, Exits: []ExitSpec{
+		{Kind: isa.KindCall, Target: 40, HasTarget: true, Return: 8},
+		{Kind: isa.KindBranch, Target: 8, HasTarget: true},
+		{Kind: isa.KindBranch, Target: 4, HasTarget: true},
+		{Kind: isa.KindBranch, Target: 16, HasTarget: true},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := g.Successors(task); len(s) != 4 {
+			b.Fatal("bad successor count")
+		}
+	}
+}

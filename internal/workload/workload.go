@@ -249,7 +249,7 @@ func CachedTrace(name string, maxSteps int) (*trace.Trace, error) {
 			}
 			return
 		}
-		start := time.Now()
+		start := time.Now() //detlint:allow det-time (obs-gated decode timing; metrics only)
 		entry.tr, entry.err = w.TraceN(maxSteps)
 		if obs.On() {
 			obsCacheMisses.Inc()
@@ -276,7 +276,7 @@ func (w *Workload) cachedFullTrace() (*trace.Trace, error) {
 	generated := false
 	w.traceOnce.Do(func() {
 		generated = true
-		start := time.Now()
+		start := time.Now() //detlint:allow det-time (obs-gated decode timing; metrics only)
 		w.fullTrace()
 		if obs.On() {
 			obsCacheMisses.Inc()

@@ -208,8 +208,15 @@ func compare(base, current map[string]Bench) error {
 				n, c.NsOp, b.NsOp, c.AllocsOp, b.AllocsOp, status)
 		}
 	}
+	var fresh []string
 	for n := range current {
-		if _, ok := base[n]; !ok && *verbose {
+		if _, ok := base[n]; !ok {
+			fresh = append(fresh, n)
+		}
+	}
+	sort.Strings(fresh)
+	for _, n := range fresh {
+		if *verbose {
 			fmt.Printf("%-44s new benchmark (not in baseline; add with -write)\n", n)
 		}
 	}

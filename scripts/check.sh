@@ -11,6 +11,9 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> detlint (determinism self-lint over our own source)"
+go run ./scripts/detlint
+
 echo "==> go test -race -timeout 10m ./..."
 go test -race -timeout 10m ./...
 

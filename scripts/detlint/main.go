@@ -1,0 +1,270 @@
+// Command detlint is the repo's determinism self-lint: a go/ast pass
+// over our own Go source enforcing the contracts that keep every
+// rendered artifact byte-stable across runs and worker counts.
+//
+// Rules:
+//
+//	det-time       time.Now outside internal/obs. Wall-clock reads feed
+//	               nondeterminism into anything they touch; the obs
+//	               layer is the one place allowed to own them (it strips
+//	               durations from deterministic output).
+//	det-rand       math/rand imports outside internal/obs. Randomness in
+//	               simulation or rendering code breaks replay; seeded
+//	               streams belong to the RNG plumbed through configs.
+//	det-map-range  a `for ... range` directly over a map whose body
+//	               renders output (fmt printing, Writer methods, Encode).
+//	               Map iteration order is randomized; collect the keys,
+//	               sort, and range the slice instead.
+//
+// A finding is suppressed by a `//detlint:allow <rule>` comment on the
+// offending line or the line above it — use it where wall-clock time is
+// genuinely wanted (watchdogs, live profiling) and say why.
+//
+// Usage: go run ./scripts/detlint [dir]   (default: .)
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// exemptDir is the one package allowed to read wall clocks and entropy.
+const exemptDir = "internal/obs"
+
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := lintTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s:%d: %s: %s\n", f.pos.Filename, f.pos.Line, f.rule, f.msg)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("detlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func lintTree(root string) ([]finding, error) {
+	var findings []finding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		fs, err := lintFile(path, filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		return a.pos.Line < b.pos.Line
+	})
+	return findings, nil
+}
+
+func lintFile(path, rel string) ([]finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	exempt := strings.HasPrefix(rel, exemptDir+"/")
+	allowed := allowLines(fset, f)
+	var findings []finding
+	add := func(pos token.Pos, rule, msg string) {
+		p := fset.Position(pos)
+		if allowed[lineRule{p.Line, rule}] || allowed[lineRule{p.Line - 1, rule}] {
+			return
+		}
+		findings = append(findings, finding{pos: p, rule: rule, msg: msg})
+	}
+
+	timeName := importName(f, "time")
+	if !exempt {
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p == "math/rand" || p == "math/rand/v2" {
+				add(imp.Pos(), "det-rand", fmt.Sprintf("import of %s outside %s", p, exemptDir))
+			}
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if exempt || timeName == "" {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName && id.Obj == nil && sel.Sel.Name == "Now" {
+					add(n.Pos(), "det-time", fmt.Sprintf("time.Now outside %s (nondeterministic; obs owns wall clocks)", exemptDir))
+				}
+			}
+		case *ast.RangeStmt:
+			if isMapExpr(n.X) && rendersOutput(n.Body) {
+				add(n.Pos(), "det-map-range",
+					"range over a map feeds rendered output; collect keys, sort, then range the slice")
+			}
+		}
+		return true
+	})
+	return findings, nil
+}
+
+type lineRule struct {
+	line int
+	rule string
+}
+
+// allowLines indexes `//detlint:allow <rule>` suppressions by line.
+func allowLines(fset *token.FileSet, f *ast.File) map[lineRule]bool {
+	out := map[lineRule]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "detlint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			out[lineRule{fset.Position(c.Pos()).Line, fields[0]}] = true
+		}
+	}
+	return out
+}
+
+// importName returns the name the file binds a standard import to, or
+// "" when the path is not imported. Dot and blank imports return "".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, _ := strconv.Unquote(imp.Path.Value)
+		if p != path {
+			continue
+		}
+		if imp.Name == nil {
+			return path[strings.LastIndex(path, "/")+1:]
+		}
+		if imp.Name.Name == "." || imp.Name.Name == "_" {
+			return ""
+		}
+		return imp.Name.Name
+	}
+	return ""
+}
+
+// isMapExpr reports whether e is syntactically known to be a map: a map
+// composite literal, a make(map[...]...), or an identifier whose local
+// declaration has one of those shapes. Identifiers the parser cannot
+// resolve (fields, imports) are conservatively not maps — this is a
+// self-lint heuristic, not a type checker.
+func isMapExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		_, ok := e.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			_, ok := e.Args[0].(*ast.MapType)
+			return ok
+		}
+	case *ast.Ident:
+		if e.Obj == nil {
+			return false
+		}
+		switch decl := e.Obj.Decl.(type) {
+		case *ast.ValueSpec:
+			if _, ok := decl.Type.(*ast.MapType); ok {
+				return true
+			}
+			for i, name := range decl.Names {
+				if name.Name == e.Name && i < len(decl.Values) && isMapExpr(decl.Values[i]) {
+					return true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range decl.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != e.Name {
+					continue
+				}
+				if len(decl.Rhs) == len(decl.Lhs) && isMapExpr(decl.Rhs[i]) {
+					return true
+				}
+			}
+		case *ast.Field:
+			_, ok := decl.Type.(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+// renderCalls are method/function names whose invocation inside a map
+// range marks the loop as feeding rendered output.
+var renderCalls = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+func rendersOutput(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && renderCalls[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
