@@ -21,6 +21,13 @@ var (
 	obsGridRuns   = obs.Default().Counter("engine.grid.runs")
 	obsGridSecs   = obs.Default().Histogram("engine.grid.seconds", nil)
 	obsGridWorkers = obs.Default().Gauge("engine.grid.workers")
+
+	// Pool metrics (the serving-side scheduler in pool.go). Sheds and
+	// watchdog kills are exceptional-path events, recorded
+	// unconditionally — they are precisely what an operator needs to see
+	// even before turning full observability on.
+	obsPoolSheds    = obs.Default().Counter("engine.pool.shed")
+	obsPoolTimeouts = obs.Default().Counter("engine.pool.timeouts")
 )
 
 // doObserved wraps Do with per-run metrics and span tracing. worker is

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The pool is the engine's serving-side scheduler: where Execute evaluates
+// a fixed grid and returns, a Pool stays up for the life of a process and
+// accepts runs one at a time as they arrive — the shape a long-running
+// evaluation service needs. It adds the three robustness behaviours a
+// batch scheduler never had to care about: admission (a bounded queue
+// that sheds instead of growing without bound), cancellation
+// (context-aware submits that cancel queued work and abandon — but never
+// corrupt — running work), and a per-run watchdog (a hung run is
+// abandoned and its worker lane recovered, the resilient-mbench pattern).
+
+// ErrPoolBusy is returned by Submit when the queue is full: the caller
+// should shed load (an HTTP server maps it to 429).
+var ErrPoolBusy = errors.New("engine: pool queue full")
+
+// ErrPoolClosed is returned by Submit once Close has begun.
+var ErrPoolClosed = errors.New("engine: pool closed")
+
+// RunTimeoutError marks a run killed by the pool's per-run watchdog. The
+// run's goroutine is abandoned (evaluation is read-only over shared
+// traces, so an abandoned run cannot corrupt anything) and the worker
+// lane moves on.
+type RunTimeoutError struct {
+	// Limit is the watchdog budget the run exceeded.
+	Limit time.Duration
+}
+
+// Error implements error.
+func (e *RunTimeoutError) Error() string {
+	return fmt.Sprintf("engine: run exceeded the %v watchdog timeout", e.Limit)
+}
+
+// job states: a queued job is either picked up by a worker (started) or
+// cancelled by its submitter (cancelled) — a single CAS decides the race.
+const (
+	jobQueued int32 = iota
+	jobStarted
+	jobCancelled
+)
+
+type poolJob struct {
+	run       Run
+	state     atomic.Int32
+	submitted time.Time
+	done      chan Result // buffered(1); closed never, receives exactly once unless cancelled
+	err       error       // watchdog/cancel error, read only after done delivers or state=cancelled
+}
+
+// Pool is a persistent worker pool over engine runs with a bounded
+// queue. Submit blocks until the run completes, sheds immediately when
+// the queue is full, and honours context cancellation; Close drains.
+// Results are computed by the same observed run path as Execute, so
+// engine.run.* metrics, queue-wait histograms, and span traces cover
+// pool traffic too.
+type Pool struct {
+	queue      chan *poolJob
+	runTimeout time.Duration
+
+	// runner is the evaluation function — a test seam so tests can
+	// simulate slow or hung runs without real multi-second workloads.
+	// Guarded by mu; nil means the engine default (doObserved).
+	runner func(Run) Result
+
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup // worker goroutines
+	pending atomic.Int64   // admitted, not yet finished (queued + running)
+	workers int
+}
+
+// NewPool starts a pool of workers (<=0 means 1) with queue extra
+// admission slots beyond the in-flight runs (<0 means 0) and an optional
+// per-run watchdog (0 disables it). Close must be called to release the
+// workers.
+func NewPool(workers, queue int, runTimeout time.Duration) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{
+		queue:      make(chan *poolJob, workers+queue),
+		runTimeout: runTimeout,
+		workers:    workers,
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Capacity returns the admission cap: the most runs that can be in
+// flight (queued or running) before Submit sheds.
+func (p *Pool) Capacity() int { return cap(p.queue) }
+
+// Pending returns the number of admitted runs not yet finished. It is a
+// snapshot — callers use it to derive backpressure hints (Retry-After),
+// not for synchronization.
+func (p *Pool) Pending() int { return int(p.pending.Load()) }
+
+// SetRunner replaces the pool's evaluation function (nil restores the
+// engine default). It exists so server tests can simulate slow, hung, or
+// panicking runs deterministically; production code never calls it.
+func (p *Pool) SetRunner(fn func(Run) Result) {
+	p.mu.Lock()
+	p.runner = fn
+	p.mu.Unlock()
+}
+
+// Submit admits one run and blocks until it completes, the context is
+// done, or the pool sheds it.
+//
+// Shedding is immediate: a full queue returns ErrPoolBusy without
+// blocking, so an overloaded server answers "try later" in microseconds
+// instead of stacking up waiters. A context cancelled while the run is
+// still queued cancels it (the worker skips it untouched). A context
+// cancelled after the run started does NOT abandon the computation:
+// evaluation is uninterruptible by design (a tight replay loop over a
+// shared read-only trace), so Submit keeps waiting and returns the
+// completed result — the caller's deadline is the caller's problem
+// (serve layers time out on their side and let the flight finish so the
+// result can still be cached). A hung run is bounded by the watchdog.
+func (p *Pool) Submit(ctx context.Context, r Run) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	j := &poolJob{run: r, done: make(chan Result, 1)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Result{}, ErrPoolClosed
+	}
+	// Admission is governed by the pending count, not channel occupancy:
+	// a worker takes a job off the channel the moment it starts running
+	// it, so the channel alone under-counts in-flight work. pending is
+	// decremented only by workers as they drain jobs (started or
+	// cancelled alike — a cancelled job still occupies its queue slot
+	// until a worker skips past it), so pending <= cap(queue) implies
+	// the send below can never block.
+	if p.pending.Add(1) > int64(cap(p.queue)) {
+		p.pending.Add(-1)
+		p.mu.Unlock()
+		obsPoolSheds.Inc()
+		return Result{}, ErrPoolBusy
+	}
+	j.submitted = time.Now() //detlint:allow det-time (queue-wait stamp; metrics only, never rendered)
+	p.queue <- j
+	p.mu.Unlock()
+
+	select {
+	case res := <-j.done:
+		return res, j.err
+	case <-ctx.Done():
+		if j.state.CompareAndSwap(jobQueued, jobCancelled) {
+			// Still queued: the worker will see the cancelled state,
+			// skip it, and release its admission slot.
+			return Result{}, ctx.Err()
+		}
+		// Already running: abandon the wait? No — collect. The run is
+		// uninterruptible and its result is still valuable (callers
+		// cache it); the watchdog bounds how long this can take.
+		res := <-j.done
+		return res, j.err
+	}
+}
+
+// worker is one pool lane: it takes queued jobs in order, skips
+// cancelled ones, and survives hung runs by abandoning them.
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	for j := range p.queue {
+		if !j.state.CompareAndSwap(jobQueued, jobStarted) {
+			p.pending.Add(-1) // cancelled while queued; free its slot
+			continue
+		}
+		p.execute(j, id)
+		p.pending.Add(-1)
+	}
+}
+
+// execute runs one started job, with the watchdog when configured.
+func (p *Pool) execute(j *poolJob, worker int) {
+	p.mu.Lock()
+	runner := p.runner
+	p.mu.Unlock()
+	do := func() Result {
+		if runner != nil {
+			return runner(j.run)
+		}
+		return doObserved(j.run, worker, j.submitted)
+	}
+	if p.runTimeout <= 0 {
+		j.done <- do()
+		return
+	}
+	ch := make(chan Result, 1)
+	go func() { ch <- do() }()
+	t := time.NewTimer(p.runTimeout)
+	select {
+	case res := <-ch:
+		t.Stop()
+		j.done <- res
+	case <-t.C:
+		// Abandon the run goroutine (it finishes into its buffered
+		// channel and is collected); recover the worker lane.
+		j.err = &RunTimeoutError{Limit: p.runTimeout}
+		obsPoolTimeouts.Inc()
+		j.done <- Result{Run: j.run}
+	}
+}
+
+// Close stops admission and waits for every admitted run to finish (or
+// be watchdog-abandoned). It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

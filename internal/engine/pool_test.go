@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolSubmitMatchesDo checks the pool produces exactly what a direct
+// Do produces for a real (small) run.
+func TestPoolSubmitMatchesDo(t *testing.T) {
+	p := NewPool(2, 4, 0)
+	defer p.Close()
+
+	r := Run{Workload: "boolmin", Spec: "path:d7-o5-l6-c6-f3:leh2", MaxSteps: 2000}
+	got, err := p.Submit(context.Background(), r)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	want := Do(r)
+	if got.Err != nil || want.Err != nil {
+		t.Fatalf("run errors: pool=%v direct=%v", got.Err, want.Err)
+	}
+	if got.Exit != want.Exit {
+		t.Fatalf("pool result %+v != direct %+v", got.Exit, want.Exit)
+	}
+}
+
+// TestPoolSheds fills the queue with blocked runs and checks the next
+// submit is rejected immediately with ErrPoolBusy.
+func TestPoolSheds(t *testing.T) {
+	p := NewPool(1, 1, 0) // capacity 2: one running + one queued
+	defer p.Close()
+	release := make(chan struct{})
+	p.SetRunner(func(r Run) Result { <-release; return Result{Run: r} })
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.Submit(context.Background(), Run{Workload: "w"})
+		}(i)
+	}
+	// Wait until both are admitted (capacity full).
+	deadline := time.After(5 * time.Second)
+	for p.Pending() != 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("pending = %d, want 2", p.Pending())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	if _, err := p.Submit(context.Background(), Run{Workload: "w"}); !errors.Is(err, ErrPoolBusy) {
+		t.Fatalf("overflow submit: err = %v, want ErrPoolBusy", err)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("admitted submit %d: %v", i, err)
+		}
+	}
+}
+
+// TestPoolCancelQueued checks a context cancelled while the run is still
+// queued cancels it: the submitter returns the context error and the
+// worker never evaluates the run.
+func TestPoolCancelQueued(t *testing.T) {
+	p := NewPool(1, 1, 0)
+	defer p.Close()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	ran := map[string]bool{}
+	p.SetRunner(func(r Run) Result {
+		mu.Lock()
+		ran[r.Workload] = true
+		mu.Unlock()
+		<-release
+		return Result{Run: r}
+	})
+
+	// Occupy the single worker.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Submit(context.Background(), Run{Workload: "running"}); err != nil {
+			t.Errorf("blocking submit: %v", err)
+		}
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		started := ran["running"]
+		mu.Unlock()
+		if started {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("worker never started the blocking run")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Queue a second run, then cancel it before the worker can reach it.
+	ctx, cancel := context.WithCancel(context.Background())
+	var qerr error
+	qdone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(qdone)
+		_, qerr = p.Submit(ctx, Run{Workload: "queued"})
+	}()
+	for p.Pending() != 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("pending = %d, want 2", p.Pending())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	// The worker is still blocked in the running job, so the cancelled
+	// submit can only return via the cancel path; wait for it before
+	// releasing the worker so the worker cannot win the CAS race.
+	select {
+	case <-qdone:
+	case <-deadline:
+		t.Fatal("cancelled submit did not return")
+	}
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(qerr, context.Canceled) {
+		t.Fatalf("cancelled submit: err = %v, want context.Canceled", qerr)
+	}
+	// Give the worker a moment to drain the skipped job, then check it
+	// never evaluated the cancelled run.
+	p.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if ran["queued"] {
+		t.Fatal("worker evaluated a run cancelled while queued")
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d after close, want 0", p.Pending())
+	}
+}
+
+// TestPoolAbandonRunningCollects checks a context cancelled after the
+// run started does not lose the computation: Submit keeps waiting and
+// returns the completed result.
+func TestPoolAbandonRunningCollects(t *testing.T) {
+	p := NewPool(1, 0, 0)
+	defer p.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	p.SetRunner(func(r Run) Result { close(started); <-release; return Result{Run: r} })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = p.Submit(ctx, Run{Workload: "slow"})
+	}()
+	<-started
+	cancel() // run already started: Submit must wait it out
+	select {
+	case <-done:
+		t.Fatal("Submit returned before the running job completed")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	<-done
+	if err != nil {
+		t.Fatalf("Submit after abandon-collect: %v", err)
+	}
+	if res.Run.Workload != "slow" {
+		t.Fatalf("collected result %+v, want the completed run", res.Run)
+	}
+}
+
+// TestPoolWatchdog checks a hung run is abandoned with RunTimeoutError
+// and the worker lane keeps serving afterwards.
+func TestPoolWatchdog(t *testing.T) {
+	p := NewPool(1, 1, 20*time.Millisecond)
+	defer p.Close()
+	hang := make(chan struct{})
+	defer close(hang)
+	first := true
+	var mu sync.Mutex
+	p.SetRunner(func(r Run) Result {
+		mu.Lock()
+		hangThis := first
+		first = false
+		mu.Unlock()
+		if hangThis {
+			<-hang
+		}
+		return Result{Run: r}
+	})
+
+	_, err := p.Submit(context.Background(), Run{Workload: "hung"})
+	var te *RunTimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("hung submit: err = %v, want *RunTimeoutError", err)
+	}
+
+	res, err := p.Submit(context.Background(), Run{Workload: "after"})
+	if err != nil {
+		t.Fatalf("post-watchdog submit: %v", err)
+	}
+	if res.Run.Workload != "after" {
+		t.Fatalf("post-watchdog result %+v", res.Run)
+	}
+}
+
+// TestPoolClose checks Close drains admitted work and later submits are
+// refused.
+func TestPoolClose(t *testing.T) {
+	p := NewPool(2, 2, 0)
+	p.SetRunner(func(r Run) Result { return Result{Run: r} })
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Submit(context.Background(), Run{Workload: "w"})
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	p.Close() // idempotent
+	if _, err := p.Submit(context.Background(), Run{Workload: "late"}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("post-close submit: err = %v, want ErrPoolClosed", err)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d after close, want 0", p.Pending())
+	}
+}

@@ -1,0 +1,124 @@
+package mserve
+
+import (
+	"context"
+	"sync"
+
+	"multiscalar/internal/engine"
+)
+
+// DefaultCacheCap bounds the result cache (entries). Cells are small
+// (one rendered JSON body each) and deterministic, so the cache never
+// goes stale — the cap only bounds memory on adversarial key churn.
+const DefaultCacheCap = 4096
+
+// flight is one in-progress evaluation that any number of identical
+// concurrent requests wait on. The first request for a key becomes the
+// leader (it spawns the evaluation); everyone else joins. Waiters that
+// give up (deadline, disconnect) release their reference; when the last
+// waiter leaves a flight that is still queued, the flight's context is
+// cancelled so the pool can drop it unexecuted.
+type flight struct {
+	cell   Cell
+	done   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Written once before done closes, read only after.
+	body []byte        // rendered success body (nil on failure)
+	res  engine.Result // the raw result (for error classification)
+	err  error         // submit/cancel error (ErrPoolBusy, ctx, watchdog)
+
+	// Guarded by resultCache.mu.
+	refs      int
+	completed bool
+}
+
+// resultCache is the dedup + memo layer in front of the pool: completed
+// cells by canonical key (bounded, FIFO-evicted), and in-flight cells as
+// singleflight flights.
+type resultCache struct {
+	mu      sync.Mutex
+	results map[string][]byte
+	order   []string // insertion order for FIFO eviction
+	cap     int
+	flights map[string]*flight
+}
+
+func newResultCache(capEntries int) *resultCache {
+	if capEntries <= 0 {
+		capEntries = DefaultCacheCap
+	}
+	return &resultCache{
+		results: make(map[string][]byte),
+		flights: make(map[string]*flight),
+		cap:     capEntries,
+	}
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.results)
+}
+
+// acquire looks up key: a cached body (hit), an existing flight to join,
+// or a brand-new flight the caller must lead (leader=true). base is the
+// context the new flight's evaluation runs under (the server's lifetime
+// context — NOT one request's, so one impatient client cannot kill a
+// computation others are waiting on).
+func (c *resultCache) acquire(key string, cell Cell, base context.Context) (body []byte, f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.results[key]; ok {
+		return b, nil, false
+	}
+	if f, ok := c.flights[key]; ok {
+		f.refs++
+		return nil, f, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	f = &flight{cell: cell, done: make(chan struct{}), ctx: ctx, cancel: cancel, refs: 1}
+	c.flights[key] = f
+	return nil, f, true
+}
+
+// release drops one waiter's reference. When the last waiter leaves a
+// flight that has not completed, the flight is cancelled — if the run is
+// still queued the pool skips it; if it already started, the pool
+// collects the result anyway and complete still caches it for the next
+// request.
+func (c *resultCache) release(f *flight) {
+	c.mu.Lock()
+	f.refs--
+	cancel := f.refs <= 0 && !f.completed
+	c.mu.Unlock()
+	if cancel {
+		f.cancel()
+	}
+}
+
+// complete records a flight's outcome, publishes it to waiters, and
+// caches successful bodies.
+func (c *resultCache) complete(key string, f *flight, body []byte, res engine.Result, err error) {
+	c.mu.Lock()
+	f.body, f.res, f.err = body, res, err
+	f.completed = true
+	delete(c.flights, key)
+	if err == nil && res.Err == nil && body != nil {
+		if _, dup := c.results[key]; !dup {
+			c.results[key] = body
+			c.order = append(c.order, key)
+			for len(c.results) > c.cap {
+				victim := c.order[0]
+				c.order = c.order[1:]
+				delete(c.results, victim)
+				obsCacheEvictions.Inc()
+			}
+		}
+	}
+	c.mu.Unlock()
+	f.cancel() // release the flight context either way
+	close(f.done)
+}

@@ -1,0 +1,29 @@
+package mserve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSelfTestSmall runs the built-in load test at a small scale — the
+// same envelope the CI smoke and EXPERIMENTS.md runs use, shrunk so the
+// race detector can afford it. It must pass every invariant: graceful
+// shedding under the burst, >50% cache hit rate, byte-identical bodies,
+// and no goroutine leak after drain.
+func TestSelfTestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	var out bytes.Buffer
+	cfg := SelfTestConfig{Clients: 6, Requests: 8, Workers: 1, Queue: 2, Steps: 600, Seed: 7, BurstFactor: 8}
+	if err := SelfTest(&out, cfg); err != nil {
+		t.Fatalf("selftest: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"phase 1", "phase 2", "phase 3", "cache hit rate", "mserve selftest: OK"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}

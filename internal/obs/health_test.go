@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// getStatusBody fetches url and returns (status, body).
+func getStatusBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// checkGolden pins got against testdata/<name>; UPDATE_GOLDEN=1
+// regenerates.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestHealthEndpointsGolden pins the /healthz and /readyz bodies in both
+// readiness states — the exact bytes a load balancer or smoke script
+// matches on.
+func TestHealthEndpointsGolden(t *testing.T) {
+	health := NewHealth()
+	srv := httptest.NewServer(HandlerWithHealth(fixtureRegistry(), health))
+	defer srv.Close()
+
+	status, body := getStatusBody(t, srv.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("/healthz status = %d, want 200", status)
+	}
+	checkGolden(t, "healthz.golden", body)
+
+	status, body = getStatusBody(t, srv.URL+"/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("/readyz (ready) status = %d, want 200", status)
+	}
+	checkGolden(t, "readyz_ready.golden", body)
+
+	health.SetReady(false)
+	status, body = getStatusBody(t, srv.URL+"/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz (draining) status = %d, want 503", status)
+	}
+	checkGolden(t, "readyz_draining.golden", body)
+
+	// Flipping back restores readiness (a cancelled drain).
+	health.SetReady(true)
+	if status, _ := getStatusBody(t, srv.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz (re-ready) status = %d, want 200", status)
+	}
+}
+
+// TestHandlerNilHealth checks the plain Handler serves both endpoints
+// and is always ready.
+func TestHandlerNilHealth(t *testing.T) {
+	srv := httptest.NewServer(Handler(fixtureRegistry()))
+	defer srv.Close()
+	if status, body := getStatusBody(t, srv.URL+"/healthz"); status != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", status, body)
+	}
+	if status, body := getStatusBody(t, srv.URL+"/readyz"); status != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz = %d %q", status, body)
+	}
+}
+
+// TestHistogramQuantile exercises the fixed-bucket quantile estimate.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.quantile.seconds", []float64{0.001, 0.01, 0.1, 1})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	// 90 fast, 9 medium, 1 overflow.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(50)
+
+	if got := h.Quantile(0.5); got != 0.001 {
+		t.Fatalf("p50 = %v, want 0.001", got)
+	}
+	if got := h.Quantile(0.99); got != 0.1 {
+		t.Fatalf("p99 = %v, want 0.1", got)
+	}
+	if got := h.Quantile(0.999); !math.IsInf(got, 1) {
+		t.Fatalf("p999 = %v, want +Inf", got)
+	}
+	if got := h.Quantile(0); got != 0.001 {
+		t.Fatalf("p0 = %v, want 0.001 (first non-empty bucket)", got)
+	}
+}

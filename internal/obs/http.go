@@ -19,8 +19,19 @@ var publishOnce sync.Once
 //	/debug/vars        expvar (memstats, cmdline, obs_metrics)
 //	/metricz           deterministic text snapshot of the registry
 //	/metricz?format=json  the same snapshot as JSON
+//	/healthz           liveness (always 200 "ok")
+//	/readyz            readiness (503 "draining" once a drain begins)
 //	/                  a one-page index of the above
+//
+// Handler's /readyz is always ready; daemons with a drain sequence use
+// HandlerWithHealth and flip the Health off before closing the listener.
 func Handler(reg *Registry) http.Handler {
+	return HandlerWithHealth(reg, nil)
+}
+
+// HandlerWithHealth is Handler with a caller-owned readiness switch
+// backing /readyz (nil behaves like Handler).
+func HandlerWithHealth(reg *Registry, health *Health) http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("obs_metrics", expvar.Func(func() any {
 			return Default().Snapshot()
@@ -28,6 +39,8 @@ func Handler(reg *Registry) http.Handler {
 	})
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealthz)
+	mux.HandleFunc("/readyz", handleReadyz(health))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -52,6 +65,8 @@ func Handler(reg *Registry) http.Handler {
 		fmt.Fprint(w, "multiscalar observability\n\n"+
 			"  /metricz               metrics snapshot (text)\n"+
 			"  /metricz?format=json   metrics snapshot (JSON)\n"+
+			"  /healthz               liveness\n"+
+			"  /readyz                readiness\n"+
 			"  /debug/pprof/          live profiling\n"+
 			"  /debug/vars            expvar\n")
 	})

@@ -113,6 +113,40 @@ func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds.
 // len(Bounds()) is the +Inf overflow bucket.
 func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
 
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0,1]): the smallest bucket upper bound whose cumulative count reaches
+// q of the total. It returns +Inf when the quantile lands in the
+// overflow bucket and NaN when the histogram is empty — load-test
+// reporting uses it for p50/p99/p999, where "at most this bound" is the
+// honest reading of fixed-bucket data.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(math.Ceil(q * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
 // Registry holds a process's metrics. Registration is lenient by
 // design: an invalid name or a duplicate registration is recorded as an
 // issue (surfaced by Issues and gated by the obs-metric-name lint pass)

@@ -35,6 +35,16 @@ var (
 	obsDecodeSecs  = obs.Default().Histogram("workload.trace_cache.decode_seconds", nil)
 )
 
+// simulations counts functional-simulator executions process-wide,
+// unconditionally (not obs-gated): concurrency tests assert singleflight
+// behaviour against it — M concurrent demands for the same trace must
+// move this by exactly one.
+var simulations atomic.Int64
+
+// Simulations returns how many functional simulations this process has
+// run (full traces and truncations both count).
+func Simulations() int64 { return simulations.Load() }
+
 // Workload is one benchmark program.
 type Workload struct {
 	// Name is the workload's short name (e.g. "exprc").
@@ -159,6 +169,7 @@ func (w *Workload) fullTrace() {
 		w.traceErr = err
 		return
 	}
+	simulations.Add(1)
 	m := functional.NewMachine(g, functional.Config{})
 	tr, err := m.Run(functional.Config{})
 	if err != nil {
@@ -187,6 +198,7 @@ func (w *Workload) TraceN(maxSteps int) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	simulations.Add(1)
 	tr, _, err := functional.Run(g, functional.Config{MaxSteps: maxSteps})
 	return tr, err
 }

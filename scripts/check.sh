@@ -41,6 +41,14 @@ go run ./cmd/mbench -exp fig7 -steps 6000 -journal '' \
 go run ./scripts/checkjson "$OBS_TMP/mbench-metrics.json" "$OBS_TMP/mbench-trace.json" >/dev/null
 rm -f "$OBS_TMP/mbench-metrics.json" "$OBS_TMP/mbench-trace.json"
 
+echo "==> mserve selftest smoke (admission, dedup, deadline, drain invariants)"
+go run ./cmd/mserve -selftest -clients 8 -requests 10 -steps 3000 >/dev/null
+
+echo "==> mserve end-to-end smoke (daemon: cold/warm grid, 413, 429 burst, SIGTERM drain)"
+go run ./scripts/mservesmoke "$OBS_TMP/mserve-metrics.json" >/dev/null
+go run ./scripts/checkjson "$OBS_TMP/mserve-metrics.json" >/dev/null
+rm -f "$OBS_TMP/mserve-metrics.json"
+
 echo "==> benchmark smoke (one iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x . >/dev/null
 

@@ -1,0 +1,223 @@
+// Command mservesmoke is the CI end-to-end smoke for cmd/mserve: it
+// builds the daemon, starts it on an ephemeral port, and drives the full
+// robustness envelope from outside the process — cold grid pass, cached
+// re-pass (every answer byte-identical and marked "hit"), an oversized
+// body (413), an overload burst that must shed with 429+Retry-After, and
+// finally SIGTERM for a graceful drain with a flushed metrics snapshot
+// (validated by scripts/checkjson from check.sh).
+//
+// Usage: mservesmoke <metrics-out-path>
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+type cell struct {
+	workload string
+	spec     string
+	steps    int
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mservesmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("mservesmoke: OK")
+}
+
+func run() error {
+	if len(os.Args) != 2 {
+		return fmt.Errorf("usage: mservesmoke <metrics-out-path>")
+	}
+	metricsOut := os.Args[1]
+
+	tmp, err := os.MkdirTemp("", "mservesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "mserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/mserve")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building mserve: %w", err)
+	}
+
+	addrFile := filepath.Join(tmp, "addr")
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-workers", "1", "-queue", "2",
+		"-metrics-out", metricsOut)
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("starting mserve: %w", err)
+	}
+	defer daemon.Process.Kill() // no-op after a clean Wait
+
+	// Wait for the daemon to announce its ephemeral address.
+	var base string
+	for i := 0; i < 100; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			base = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if base == "" {
+		return fmt.Errorf("daemon never wrote %s", addrFile)
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	grid := []cell{}
+	for _, wl := range []string{"exprc", "boolmin"} {
+		for _, spec := range []string{
+			"path:d7-o5-l6-c6-f3:leh2",
+			"cttb:d7-o4-l4-c5-f3",
+			"composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3",
+		} {
+			grid = append(grid, cell{workload: wl, spec: spec, steps: 4000})
+		}
+	}
+
+	// Pass 1 (cold): every cell evaluates and answers 200.
+	first := make(map[string][]byte, len(grid))
+	for _, c := range grid {
+		status, hdr, body, err := post(client, base, c)
+		if err != nil {
+			return fmt.Errorf("cold pass %s/%s: %w", c.workload, c.spec, err)
+		}
+		if status != 200 {
+			return fmt.Errorf("cold pass %s/%s: status %d: %s", c.workload, c.spec, status, body)
+		}
+		if cp := hdr.Get("X-Mserve-Cache"); cp != "miss" {
+			return fmt.Errorf("cold pass %s/%s: cache path %q, want miss", c.workload, c.spec, cp)
+		}
+		first[c.workload+"/"+c.spec] = body
+	}
+	fmt.Printf("mservesmoke: cold pass ok (%d cells)\n", len(grid))
+
+	// Pass 2 (warm): every answer must come from the cache, byte-identical.
+	for _, c := range grid {
+		status, hdr, body, err := post(client, base, c)
+		if err != nil {
+			return fmt.Errorf("warm pass %s/%s: %w", c.workload, c.spec, err)
+		}
+		if status != 200 {
+			return fmt.Errorf("warm pass %s/%s: status %d", c.workload, c.spec, status)
+		}
+		if cp := hdr.Get("X-Mserve-Cache"); cp != "hit" {
+			return fmt.Errorf("warm pass %s/%s: cache path %q, want hit", c.workload, c.spec, cp)
+		}
+		if !bytes.Equal(body, first[c.workload+"/"+c.spec]) {
+			return fmt.Errorf("warm pass %s/%s: cached bytes differ from the cold answer", c.workload, c.spec)
+		}
+	}
+	fmt.Println("mservesmoke: warm pass ok (all hits, byte-identical)")
+
+	// Hardened decoder: an oversized body must be a structured 413.
+	big := `{"workload":"boolmin","spec":"` + strings.Repeat("x", 1<<17) + `"}`
+	resp, err := client.Post(base+"/eval", "application/json", strings.NewReader(big))
+	if err != nil {
+		return fmt.Errorf("oversized POST: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		return fmt.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	fmt.Println("mservesmoke: oversized body rejected (413)")
+
+	// Overload burst: fire 8× the daemon's admission capacity (1 worker +
+	// 2 queued = 3) of simultaneous distinct cells. Tiny cells evaluate
+	// fast, so a round can theoretically drain before the burst lands —
+	// retry a few rounds with fresh (uncached) cells; at least one round
+	// must produce a 429 carrying Retry-After >= 1.
+	const burst = 24
+	shed := false
+	for round := 0; round < 5 && !shed; round++ {
+		var wg sync.WaitGroup
+		sheds := make([]int, burst)
+		barrier := make(chan struct{})
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c := cell{
+					workload: "boolmin",
+					spec:     fmt.Sprintf("path:d2-o4-l5-c5:vc2rand:seed%d", 1000*round+i+1),
+					steps:    60000,
+				}
+				<-barrier
+				status, hdr, body, err := post(client, base, c)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mservesmoke: burst POST: %v\n", err)
+					return
+				}
+				switch status {
+				case 200:
+				case http.StatusTooManyRequests:
+					if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil && ra >= 1 {
+						sheds[i] = 1
+					} else {
+						fmt.Fprintf(os.Stderr, "mservesmoke: 429 without a positive Retry-After (%q)\n", hdr.Get("Retry-After"))
+					}
+				default:
+					fmt.Fprintf(os.Stderr, "mservesmoke: burst status %d (want 200 or 429): %s\n", status, body)
+				}
+			}(i)
+		}
+		close(barrier)
+		wg.Wait()
+		n := 0
+		for _, s := range sheds {
+			n += s
+		}
+		fmt.Printf("mservesmoke: burst round %d: %d/%d shed with Retry-After\n", round+1, n, burst)
+		shed = n > 0
+	}
+	if !shed {
+		return fmt.Errorf("burst never shed: admission control did not engage at 8x capacity")
+	}
+
+	// Graceful drain: SIGTERM must exit 0 and flush the metrics snapshot.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	if err := daemon.Wait(); err != nil {
+		return fmt.Errorf("daemon did not drain cleanly: %w", err)
+	}
+	if fi, err := os.Stat(metricsOut); err != nil || fi.Size() == 0 {
+		return fmt.Errorf("metrics snapshot missing or empty at %s (stat err %v)", metricsOut, err)
+	}
+	fmt.Println("mservesmoke: SIGTERM drained cleanly, metrics flushed")
+	return nil
+}
+
+// post issues one /eval request for a cell.
+func post(client *http.Client, base string, c cell) (int, http.Header, []byte, error) {
+	body := fmt.Sprintf(`{"workload":%q,"spec":%q,"steps":%d}`, c.workload, c.spec, c.steps)
+	resp, err := client.Post(base+"/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, b, nil
+}
