@@ -11,6 +11,7 @@ package multiscalar_test
 //	go test -bench=. -benchmem
 
 import (
+	"bytes"
 	"io"
 	"testing"
 
@@ -182,7 +183,11 @@ func benchResolvedTrace(b *testing.B, name string) (*trace.Trace, *trace.Resolve
 
 // reportPerStep converts whole-replay ns/op into ns/step.
 func reportPerStep(b *testing.B, tr *trace.Trace) {
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(tr.PredictionSteps())), "ns/step")
+	reportPerStepN(b, tr.PredictionSteps())
+}
+
+func reportPerStepN(b *testing.B, predSteps int) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(predSteps)), "ns/step")
 }
 
 func BenchmarkEvaluateExit(b *testing.B) {
@@ -283,6 +288,106 @@ func BenchmarkEvaluateTaskComposedUnresolved(b *testing.B) {
 		_ = core.EvaluateTaskUnresolved(tr, p)
 	}
 	reportPerStep(b, tr)
+}
+
+// ---- block kernels (columnar replay) -------------------------------------
+//
+// The ...Blocks benchmarks replay the same workloads through the
+// block-wise kernels over the columnar encoding. With the probes' block
+// fast paths, interface dispatch costs one call per 4096-step block
+// instead of two per step — the floor the resolved path could not cross.
+// BenchmarkEvaluateExitPathBlocks replays the real PATH predictor
+// through its inlined ReplayExitBlock for the end-to-end number.
+
+// benchColumnarTrace returns the shared truncated columnar trace
+// (workload.CachedColumnar memoizes process-wide).
+func benchColumnarTrace(b *testing.B, name string) *trace.Columnar {
+	b.Helper()
+	c, err := workload.CachedColumnar(name, benchReplaySteps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkEvaluateExitBlocks(b *testing.B) {
+	c := benchColumnarTrace(b, "exprc")
+	p := &probeExit{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvaluateExitBlocks(c.Blocks(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerStepN(b, c.PredictionSteps())
+}
+
+func BenchmarkEvaluateExitPathBlocks(b *testing.B) {
+	c := benchColumnarTrace(b, "exprc")
+	p := engine.MustBuildExit("path:d7-o5-l6-c6-f3:leh2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvaluateExitBlocks(c.Blocks(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerStepN(b, c.PredictionSteps())
+}
+
+func BenchmarkEvaluateIndirectBlocks(b *testing.B) {
+	c := benchColumnarTrace(b, "minilisp")
+	buf := &probeBuf{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvaluateIndirectBlocks(c.Blocks(), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerStepN(b, c.PredictionSteps())
+}
+
+func BenchmarkEvaluateTaskBlocks(b *testing.B) {
+	c := benchColumnarTrace(b, "exprc")
+	p := &probeTask{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvaluateTaskBlocks(c.Blocks(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerStepN(b, c.PredictionSteps())
+}
+
+// BenchmarkColumnarEncode measures columnar encoding of an existing
+// trace (the cost a cache miss pays once per (workload, cap) pair).
+func BenchmarkColumnarEncode(b *testing.B) {
+	tr, _ := benchResolvedTrace(b, "exprc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.FromTrace(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerStep(b, tr)
+}
+
+// BenchmarkColumnarDecode measures decoding an MSTC stream from memory
+// back into columns (the disk-replay ingest path).
+func BenchmarkColumnarDecode(b *testing.B) {
+	c := benchColumnarTrace(b, "exprc")
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadColumnar(bytes.NewReader(raw), c.Graph, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerStepN(b, c.PredictionSteps())
 }
 
 // BenchmarkTraceResolve measures the one-time sidecar construction cost

@@ -100,12 +100,12 @@ func run(wname, predStr, faultStr string, steps int, doTiming bool) error {
 	}
 
 	if sp.Class() != engine.ClassPerfect {
-		tr, err := workload.CachedTrace(w.Name, steps)
+		c, err := workload.CachedColumnar(w.Name, steps)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("workload %s (%s analog): %d dynamic tasks, %d distinct\n",
-			w.Name, w.Analog, tr.Len(), tr.DistinctTasks())
+			w.Name, w.Analog, c.Len(), c.DistinctTasks())
 
 		res := engine.Do(engine.Run{Workload: w.Name, Spec: predStr, Fault: faultStr, MaxSteps: steps})
 		if res.Err != nil {

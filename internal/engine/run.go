@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/fault"
 	"multiscalar/internal/sim/timing"
+	"multiscalar/internal/trace"
 	"multiscalar/internal/workload"
 )
 
@@ -67,6 +69,12 @@ type Run struct {
 	// TimingSteps bounds the timing run (ModeTiming only; 0 = the timing
 	// model's default).
 	TimingSteps int
+	// Stream replays against a generated-on-the-fly block stream instead
+	// of a cached trace: functional simulation pipelines into the replay
+	// kernels and the full trace is never resident, so step counts can
+	// exceed memory. Replay modes only; streaming runs cannot inject
+	// faults (the fault harness checksums a materialized trace).
+	Stream bool
 	// Label optionally names the run in formatted output; Result.Label
 	// falls back to the canonical spec string.
 	Label string
@@ -154,6 +162,10 @@ func run(r Run, res *Result) (err error) {
 		return fmt.Errorf("engine: fault injection wraps a task predictor; %s runs cannot inject", mode)
 	}
 
+	if r.Stream && (mode == ModeTiming || fs.Enabled()) {
+		return fmt.Errorf("engine: streaming replay supports fault-free exit/target/task runs only")
+	}
+
 	if mode == ModeTiming {
 		w, err := workload.ByName(r.Workload)
 		if err != nil {
@@ -190,6 +202,31 @@ func run(r Run, res *Result) (err error) {
 			res.Injection = inj.Stats()
 		}
 		return nil
+	}
+
+	if r.Stream {
+		// Pipelined generation→replay: the functional simulator produces
+		// one block at a time and the kernels consume it; the full trace
+		// is never resident.
+		src, err := workload.StreamBlocks(r.Workload, r.MaxSteps, 1)
+		if err != nil {
+			return err
+		}
+		return replayBlocks(sp, mode, src, res)
+	}
+
+	if !fs.Enabled() {
+		// Fault-free replays run block-wise over the columnar cache — the
+		// call sequences (and therefore results) are identical to the
+		// materialized paths; only traces that cannot columnar-encode
+		// fall through to the legacy array-of-structs replay.
+		c, err := workload.CachedColumnar(r.Workload, r.MaxSteps)
+		if err == nil {
+			return replayBlocks(sp, mode, c.Blocks(), res)
+		}
+		if !errors.Is(err, trace.ErrNotColumnar) {
+			return err
+		}
 	}
 
 	tr, err := workload.CachedTrace(r.Workload, r.MaxSteps)
@@ -243,4 +280,37 @@ func run(r Run, res *Result) (err error) {
 		}
 	}
 	return nil
+}
+
+// replayBlocks evaluates one replay-mode run through the block-wise
+// kernels over any block source (columnar cache cursor or generated
+// stream).
+func replayBlocks(sp *Spec, mode Mode, src trace.BlockSource, res *Result) error {
+	switch mode {
+	case ModeExit:
+		p, err := sp.BuildExit()
+		if err != nil {
+			return err
+		}
+		res.Exit, err = core.EvaluateExitBlocks(src, p)
+		return err
+	case ModeTarget:
+		b, err := sp.BuildTarget()
+		if err != nil {
+			return err
+		}
+		res.Target, err = core.EvaluateIndirectBlocks(src, b)
+		return err
+	case ModeTask:
+		p, err := sp.BuildTask()
+		if err != nil {
+			return err
+		}
+		if p == nil {
+			return fmt.Errorf("engine: the perfect predictor is only meaningful in timing runs")
+		}
+		res.Task, err = core.EvaluateTaskBlocks(src, p)
+		return err
+	}
+	return fmt.Errorf("engine: block replay does not support mode %s", mode)
 }

@@ -6,14 +6,17 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/engine"
+	"multiscalar/internal/isa"
 	"multiscalar/internal/sim/functional"
 	"multiscalar/internal/stats"
+	"multiscalar/internal/tfg"
 	"multiscalar/internal/trace"
 	"multiscalar/internal/workload"
 )
@@ -90,6 +93,31 @@ func ByName(name string) (Runner, error) {
 // process-level trace cache (each (workload, truncation) pair is decoded
 // once no matter how many experiments replay it).
 func getTrace(w *workload.Workload, cfg Config) (*trace.Trace, error) {
+	return workload.CachedTrace(w.Name, cfg.MaxSteps)
+}
+
+// traceStats is the statistics view the table/figure experiments need:
+// both trace.Columnar and trace.Trace provide it, so stats-only
+// experiments can run off the columns without materializing steps.
+type traceStats interface {
+	Len() int
+	DistinctTasks() int
+	DynamicExitHistogram() [tfg.MaxExits + 1]int
+	DynamicExitKinds() map[isa.ControlKind]int
+}
+
+// getTraceStats is getTrace for experiments that only need column-level
+// statistics (lengths, histograms): it serves the columnar cache and
+// avoids materializing the array-of-structs view entirely. Workloads
+// that cannot columnar-encode fall back to the materialized trace.
+func getTraceStats(w *workload.Workload, cfg Config) (traceStats, error) {
+	c, err := workload.CachedColumnar(w.Name, cfg.MaxSteps)
+	if err == nil {
+		return c, nil
+	}
+	if !errors.Is(err, trace.ErrNotColumnar) {
+		return nil, err
+	}
 	return workload.CachedTrace(w.Name, cfg.MaxSteps)
 }
 
@@ -203,8 +231,12 @@ func workloadCol(w *workload.Workload) string {
 }
 
 // fullStats returns the cached full-trace execution stats for a workload
-// (Table 2 needs instruction counts, not just steps).
+// (Table 2 needs instruction counts, not just steps). The columnar memo
+// carries the stats, so this never materializes the step array.
 func fullStats(w *workload.Workload) (functional.Stats, error) {
+	if _, st, err := w.Columnar(); err == nil || !errors.Is(err, trace.ErrNotColumnar) {
+		return st, err
+	}
 	_, st, err := w.Trace()
 	return st, err
 }

@@ -20,7 +20,7 @@ func Table2(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		tr, err := getTrace(wl, cfg)
+		tr, err := getTraceStats(wl, cfg)
 		if err != nil {
 			return err
 		}

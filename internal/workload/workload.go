@@ -10,6 +10,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -63,6 +64,16 @@ type Workload struct {
 	prog  *program.Program
 	graph *tfg.Graph
 	err   error
+
+	// colOnce memoizes the columnar full trace — the primitive encoding
+	// every other trace view derives from (see columnar.go).
+	colOnce  sync.Once
+	col      *trace.Columnar
+	colStats functional.Stats
+	colErr   error
+	// fullCol mirrors the memoized full columnar trace for lock-free
+	// clamp/prefix checks outside colOnce.
+	fullCol atomic.Pointer[trace.Columnar]
 
 	traceOnce sync.Once
 	trace     *trace.Trace
@@ -160,13 +171,25 @@ func (w *Workload) Trace() (*trace.Trace, functional.Stats, error) {
 	return w.trace, w.stats, w.traceErr
 }
 
-// fullTrace is the body of the full-trace memoization: it simulates the
-// workload to halt, self-checks it, and fills the trace fields. Must be
-// called under traceOnce.
+// fullTrace is the body of the full-trace memoization. The columnar
+// memo is the primitive: generation (simulation, halt check, self-check)
+// happens there once, and the array-of-structs view is materialized from
+// the columns. A workload whose trace cannot be columnar-encoded falls
+// back to direct legacy generation. Must be called under traceOnce.
 func (w *Workload) fullTrace() {
-	g, err := w.Graph()
-	if err != nil {
+	c, stats, err := w.Columnar()
+	if err == nil {
+		w.trace, w.stats = c.Materialize(), stats
+		w.full.Store(w.trace)
+		return
+	}
+	if !errors.Is(err, trace.ErrNotColumnar) {
 		w.traceErr = err
+		return
+	}
+	g, gerr := w.Graph()
+	if gerr != nil {
+		w.traceErr = gerr
 		return
 	}
 	simulations.Add(1)
@@ -261,11 +284,21 @@ func CachedTrace(name string, maxSteps int) (*trace.Trace, error) {
 			}
 			return
 		}
-		start := time.Now() //detlint:allow det-time (obs-gated decode timing; metrics only)
-		entry.tr, entry.err = w.TraceN(maxSteps)
-		if obs.On() {
-			obsCacheMisses.Inc()
-			obsDecodeSecs.Observe(time.Since(start).Seconds())
+		// The columnar cache is the generation primitive: materialize the
+		// array-of-structs view from it (hit/miss accounting happens
+		// there). Workloads that cannot columnar-encode simulate legacy.
+		if c, cerr := CachedColumnar(w.Name, maxSteps); cerr == nil {
+			entry.tr = c.Materialize()
+		} else if !errors.Is(cerr, trace.ErrNotColumnar) {
+			entry.err = cerr
+			return
+		} else {
+			start := time.Now() //detlint:allow det-time (obs-gated decode timing; metrics only)
+			entry.tr, entry.err = w.TraceN(maxSteps)
+			if obs.On() {
+				obsCacheMisses.Inc()
+				obsDecodeSecs.Observe(time.Since(start).Seconds())
+			}
 		}
 		if entry.err == nil && entry.tr.Halted() {
 			// The cap never bit — the run completed, so this IS the full

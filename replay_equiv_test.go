@@ -35,6 +35,15 @@ func equivTrace(tb testing.TB, name string) (*trace.Trace, *trace.Resolved) {
 	return tr, rt
 }
 
+func equivColumnar(tb testing.TB, name string) *trace.Columnar {
+	tb.Helper()
+	c, err := workload.CachedColumnar(name, equivSteps)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
 var equivExitSpecs = []string{
 	"path:d7-o5-l6-c6-f3:leh2",
 	"path:d2-o4-l5-c5:vc2rand:seed7",
@@ -61,11 +70,19 @@ func TestReplayEquivalence(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			tr, rt := equivTrace(t, name)
+			c := equivColumnar(t, name)
 			for _, spec := range equivExitSpecs {
 				slow := core.EvaluateExitUnresolved(tr, engine.MustBuildExit(spec))
 				fast := core.EvaluateExitResolved(rt, engine.MustBuildExit(spec))
 				if !reflect.DeepEqual(slow, fast) {
 					t.Errorf("exit %s: unresolved %+v != resolved %+v", spec, slow, fast)
+				}
+				blocks, err := core.EvaluateExitBlocks(c.Blocks(), engine.MustBuildExit(spec))
+				if err != nil {
+					t.Fatalf("exit %s: block replay: %v", spec, err)
+				}
+				if !reflect.DeepEqual(slow, blocks) {
+					t.Errorf("exit %s: unresolved %+v != blocks %+v", spec, slow, blocks)
 				}
 			}
 			for _, spec := range equivTargetSpecs {
@@ -74,12 +91,26 @@ func TestReplayEquivalence(t *testing.T) {
 				if !reflect.DeepEqual(slow, fast) {
 					t.Errorf("target %s: unresolved %+v != resolved %+v", spec, slow, fast)
 				}
+				blocks, err := core.EvaluateIndirectBlocks(c.Blocks(), engine.MustBuildTarget(spec))
+				if err != nil {
+					t.Fatalf("target %s: block replay: %v", spec, err)
+				}
+				if !reflect.DeepEqual(slow, blocks) {
+					t.Errorf("target %s: unresolved %+v != blocks %+v", spec, slow, blocks)
+				}
 			}
 			for _, spec := range equivTaskSpecs {
 				slow := core.EvaluateTaskUnresolved(tr, engine.MustBuild(spec))
 				fast := core.EvaluateTaskResolved(rt, engine.MustBuild(spec))
 				if !reflect.DeepEqual(slow, fast) {
 					t.Errorf("task %s: unresolved %+v != resolved %+v", spec, slow, fast)
+				}
+				blocks, err := core.EvaluateTaskBlocks(c.Blocks(), engine.MustBuild(spec))
+				if err != nil {
+					t.Fatalf("task %s: block replay: %v", spec, err)
+				}
+				if !reflect.DeepEqual(slow, blocks) {
+					t.Errorf("task %s: unresolved %+v != blocks %+v", spec, slow, blocks)
 				}
 			}
 			// The public entry points take the fast path on a resolvable
@@ -89,6 +120,23 @@ func TestReplayEquivalence(t *testing.T) {
 			slow := core.EvaluateTaskUnresolved(tr, engine.MustBuild(spec))
 			if !reflect.DeepEqual(auto, slow) {
 				t.Errorf("EvaluateTask %s: %+v != unresolved %+v", spec, auto, slow)
+			}
+			// A generated-on-the-fly stream must replay identically to the
+			// cached columns (same steps, same blocks, never materialized).
+			src, err := workload.StreamBlocks(name, equivSteps, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed, err := core.EvaluateExitBlocks(src, engine.MustBuildExit(equivExitSpecs[0]))
+			if err != nil {
+				t.Fatalf("stream replay: %v", err)
+			}
+			cached, err := core.EvaluateExitBlocks(c.Blocks(), engine.MustBuildExit(equivExitSpecs[0]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(streamed, cached) {
+				t.Errorf("streamed %+v != cached columnar %+v", streamed, cached)
 			}
 		})
 	}
@@ -153,6 +201,74 @@ func (b *probeBuf) Advance(cur isa.Addr)                 {}
 func (b *probeBuf) Reset()                               { b.target, b.n = 0, 0 }
 func (b *probeBuf) States() int                          { return b.n }
 
+// The probes also implement the core.*BlockReplayer fast paths, issuing
+// the same logical call sequence inline. Benchmarks use them to measure
+// the one-interface-call-per-block floor; the equivalence tests above
+// pin the real predictors' fast paths (PathExit) against the generic
+// loops, and these probe implementations are covered by
+// TestBlockReplayAllocationFree.
+
+func (p *probeExit) ReplayExitBlock(blk *trace.Block) (steps, misses int) {
+	for i := 0; i < blk.N; i++ {
+		e := blk.Exits[i]
+		if e == trace.HaltExit {
+			continue
+		}
+		p.n++ // PredictExit side effect
+		steps++
+		if e != 0 { // probe always predicts exit 0
+			misses++
+		}
+	}
+	return steps, misses
+}
+
+func (b *probeBuf) ReplayTargetBlock(blk *trace.Block) (steps, misses int) {
+	entries := blk.Dict.Entries
+	n := blk.N
+	taskIdx, exits, targetIdx := blk.TaskIdx[:n], blk.Exits[:n], blk.TargetIdx[:n]
+	for i, e := range exits {
+		ent := &entries[taskIdx[i]]
+		// e&3 lets the compiler drop the Indirect bounds check; encoded
+		// non-halt exits are already validated < NumExits <= MaxExits.
+		if e != trace.HaltExit && ent.Indirect[e&3] {
+			target := entries[targetIdx[i]].Addr
+			steps++
+			if b.target == 0 || b.target != target {
+				misses++
+			}
+			b.target = target
+			b.n++
+		}
+		// Advance is a no-op for the probe.
+	}
+	return steps, misses
+}
+
+func (p *probeTask) ReplayTaskBlock(blk *trace.Block, byKind *[isa.NumControlKinds]core.KindMisses) (steps, exitMisses, misses int) {
+	entries := blk.Dict.Entries
+	for i := 0; i < blk.N; i++ {
+		e := blk.Exits[i]
+		if e == trace.HaltExit {
+			continue
+		}
+		ent := &entries[blk.TaskIdx[i]]
+		target := entries[blk.TargetIdx[i]].Addr
+		steps++
+		km := &byKind[ent.Kinds[e]]
+		km.Steps++
+		if e != 0 { // probe always predicts exit 0
+			exitMisses++
+		}
+		if p.last != target {
+			misses++
+			km.Misses++
+		}
+		p.last = target
+	}
+	return steps, exitMisses, misses
+}
+
 // TestResolvedReplayAllocationFree pins the tentpole's allocation
 // contract: the resolved replay loops allocate nothing per step. Exit and
 // indirect replay allocate nothing at all; task replay allocates only the
@@ -176,5 +292,37 @@ func TestResolvedReplayAllocationFree(t *testing.T) {
 	core.EvaluateTaskResolved(rt, tp)
 	if allocs := testing.AllocsPerRun(3, func() { core.EvaluateTaskResolved(rt, tp) }); allocs > 8 {
 		t.Errorf("EvaluateTaskResolved: %.1f allocs per %d-step replay, want <= 8 (the ByKind map)", allocs, rt.Len())
+	}
+}
+
+// TestBlockReplayAllocationFree pins the same contract on the block
+// kernels: replaying N steps costs a constant few allocations (the
+// cursor and, for task replay, the end-of-run ByKind map) — never
+// per-step or per-block ones.
+func TestBlockReplayAllocationFree(t *testing.T) {
+	c := equivColumnar(t, "exprc")
+
+	ep := &probeExit{}
+	if _, err := core.EvaluateExitBlocks(c.Blocks(), ep); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(3, func() { core.EvaluateExitBlocks(c.Blocks(), ep) }); allocs > 2 {
+		t.Errorf("EvaluateExitBlocks: %.1f allocs per %d-step replay, want <= 2 (the cursor)", allocs, c.Len())
+	}
+
+	bp := &probeBuf{}
+	if _, err := core.EvaluateIndirectBlocks(c.Blocks(), bp); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(3, func() { core.EvaluateIndirectBlocks(c.Blocks(), bp) }); allocs > 2 {
+		t.Errorf("EvaluateIndirectBlocks: %.1f allocs per %d-step replay, want <= 2 (the cursor)", allocs, c.Len())
+	}
+
+	tp := &probeTask{}
+	if _, err := core.EvaluateTaskBlocks(c.Blocks(), tp); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(3, func() { core.EvaluateTaskBlocks(c.Blocks(), tp) }); allocs > 10 {
+		t.Errorf("EvaluateTaskBlocks: %.1f allocs per %d-step replay, want <= 10 (cursor + ByKind map)", allocs, c.Len())
 	}
 }

@@ -20,6 +20,7 @@ go test -race -timeout 10m ./...
 echo "==> fuzz smoke (5s per target)"
 go test ./internal/core -run '^$' -fuzz FuzzRAS -fuzztime 5s >/dev/null
 go test ./internal/trace -run '^$' -fuzz FuzzTraceRead -fuzztime 5s >/dev/null
+go test ./internal/trace -run '^$' -fuzz FuzzColumnarRead -fuzztime 5s >/dev/null
 
 echo "==> mlint -w all"
 go run ./cmd/mlint -w all >/dev/null
@@ -48,6 +49,24 @@ echo "==> mserve end-to-end smoke (daemon: cold/warm grid, 413, 429 burst, SIGTE
 go run ./scripts/mservesmoke "$OBS_TMP/mserve-metrics.json" >/dev/null
 go run ./scripts/checkjson "$OBS_TMP/mserve-metrics.json" >/dev/null
 rm -f "$OBS_TMP/mserve-metrics.json"
+
+echo "==> columnar round-trip gate (legacy ⇄ MSTC, byte-identical, same replay)"
+MT_TMP="${TMPDIR:-/tmp}"
+go run ./cmd/mtrace record -w boolmin -steps 20000 "$MT_TMP/mt-legacy.trace" >/dev/null
+go run ./cmd/mtrace convert -w boolmin "$MT_TMP/mt-legacy.trace" "$MT_TMP/mt-col.trace" >/dev/null
+go run ./cmd/mtrace convert -w boolmin "$MT_TMP/mt-col.trace" "$MT_TMP/mt-back.trace" >/dev/null
+cmp "$MT_TMP/mt-legacy.trace" "$MT_TMP/mt-back.trace"
+go run ./cmd/mtrace replay -w boolmin "$MT_TMP/mt-legacy.trace" > "$MT_TMP/mt-replay-legacy.txt"
+go run ./cmd/mtrace replay -w boolmin "$MT_TMP/mt-col.trace" > "$MT_TMP/mt-replay-col.txt"
+cmp "$MT_TMP/mt-replay-legacy.txt" "$MT_TMP/mt-replay-col.txt"
+rm -f "$MT_TMP/mt-legacy.trace" "$MT_TMP/mt-col.trace" "$MT_TMP/mt-back.trace" \
+	"$MT_TMP/mt-replay-legacy.txt" "$MT_TMP/mt-replay-col.txt"
+
+echo "==> streaming replay smoke (10M+ steps, bounded heap)"
+# Six back-to-back passes of the full exprc trace: >10M prediction steps
+# whose in-memory equivalent exceeds 400 MiB, replayed under a 32 MiB
+# heap ceiling (the generate→replay pipeline never materializes a trace).
+go run ./cmd/mtrace stream -w exprc -repeat 6 -max-heap-mb 32 >/dev/null
 
 echo "==> benchmark smoke (one iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x . >/dev/null
