@@ -70,6 +70,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	// With observability on, report the in-flight evaluation (steps,
+	// rate, ETA) every few seconds — the run-level complement to the
+	// per-experiment done/total progress line.
+	stopRuns := make(chan struct{})
+	if obs.On() {
+		go watchRuns(stopRuns)
+	}
+
 	code := 0
 	if *list {
 		for _, r := range experiments.All() {
@@ -78,6 +86,8 @@ func main() {
 	} else {
 		code = run(*exp, *steps, *timing, *workers, *timeout, *journalPath, *fresh)
 	}
+
+	close(stopRuns)
 
 	// The single authoritative flush: -list, error returns, interrupts,
 	// and normal completion all pass through here, and Outputs.Flush is
@@ -171,4 +181,36 @@ func run(exp string, steps, timing, workers int, timeout time.Duration, journalP
 		}
 	}
 	return 0
+}
+
+// watchRuns prints a live line for the in-flight run-registry entry
+// every few seconds until stop closes. Quiet when nothing is active, so
+// short batches produce no extra output.
+func watchRuns(stop <-chan struct{}) {
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			active := obs.Runs().Active()
+			if len(active) == 0 {
+				continue
+			}
+			a := active[0]
+			extra := ""
+			if len(active) > 1 {
+				extra = fmt.Sprintf(" (+%d more)", len(active)-1)
+			}
+			if a.Total > 0 {
+				fmt.Fprintf(os.Stderr, "mbench: run %s/%s %d/%d steps (%.0f%%, %.0f steps/s, eta %.0fs)%s\n",
+					a.Workload, a.Mode, a.Steps, a.Total,
+					100*float64(a.Steps)/float64(a.Total), a.StepsPerSecond, a.ETASeconds, extra)
+			} else {
+				fmt.Fprintf(os.Stderr, "mbench: run %s/%s %d steps (%.0f steps/s)%s\n",
+					a.Workload, a.Mode, a.Steps, a.StepsPerSecond, extra)
+			}
+		}
+	}
 }

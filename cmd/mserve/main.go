@@ -38,6 +38,8 @@ func run() int {
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 		maxBody  = flag.Int64("max-body", 0, "request body cap in bytes (0 = 64KiB)")
 		cacheMax = flag.Int("cache-max", 0, "result cache capacity in entries (0 = 4096)")
+		progTick = flag.Duration("progress-interval", 0, "SSE progress event period on /progress (0 = 250ms)")
+		sampTick = flag.Duration("sample-interval", 0, "/statusz time-series sampling period (0 = 1s)")
 
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (JSON) here on exit")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file here on exit")
@@ -80,7 +82,8 @@ func run() int {
 		Workers: *workers, Queue: *queue,
 		MaxBody:        *maxBody,
 		DefaultTimeout: *reqTO, MaxTimeout: *maxTO, RunTimeout: *runTO,
-		CacheCap: *cacheMax,
+		CacheCap:         *cacheMax,
+		ProgressInterval: *progTick, SampleInterval: *sampTick,
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {
@@ -93,7 +96,7 @@ func run() int {
 			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "mserve: serving on http://%s/ (POST /eval; /healthz /readyz /metricz /debug/pprof)\n", bound)
+	fmt.Fprintf(os.Stderr, "mserve: serving on http://%s/ (POST /eval; /progress /statusz /healthz /readyz /metricz /debug/pprof)\n", bound)
 
 	// First signal drains gracefully; a second forces exit (still
 	// flushing obs outputs — Flush is a sync.Once, so the racing deferred

@@ -12,6 +12,8 @@
 //	mtrace replay  -w exprc FILE                          # predictor sweep (either format)
 //	mtrace stream  -w exprc [-steps N] [-repeat K] [-max-heap-mb M]
 //	                                                      # generate→replay pipeline, nothing materialized
+//	mtrace stream  -w exprc -steps N -progress 256        # live progress lines on stderr
+//	mtrace stream  -w exprc -metrics-out m.json           # JSON metrics snapshot (peak-heap gauge) on exit
 package main
 
 import (
@@ -20,12 +22,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/engine"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/sim/functional"
 	"multiscalar/internal/tfg"
 	"multiscalar/internal/trace"
@@ -73,7 +77,7 @@ func usage() {
   mtrace stat    -w WL FILE
   mtrace convert -w WL IN OUT
   mtrace replay  -w WL FILE
-  mtrace stream  -w WL [-steps N] [-repeat K] [-max-heap-mb M]
+  mtrace stream  -w WL [-steps N] [-repeat K] [-max-heap-mb M] [-progress N] [-metrics-out FILE]
 workloads: `+strings.Join(workload.Names(), ", "))
 }
 
@@ -380,17 +384,61 @@ func (h *heapSampler) NextBlock() (*trace.Block, error) {
 	return h.src.NextBlock()
 }
 
+// progressPrinter wraps a block source, printing a live progress line
+// every few blocks. All figures come from the run status snapshot (the
+// registry owns the clock), so the replay loop itself never reads time.
+type progressPrinter struct {
+	src    trace.BlockSource
+	st     *obs.RunStatus
+	every  int
+	blocks int
+	w      io.Writer
+}
+
+func (p *progressPrinter) NextBlock() (*trace.Block, error) {
+	b, err := p.src.NextBlock()
+	if b != nil {
+		p.blocks++
+		if p.every > 0 && p.blocks%p.every == 0 {
+			snap := p.st.Snapshot()
+			if snap.Total > 0 {
+				fmt.Fprintf(p.w, "mtrace: %d/%d steps (%.0f%%, %.0f steps/s, eta %.0fs)\n",
+					snap.Steps, snap.Total, 100*float64(snap.Steps)/float64(snap.Total),
+					snap.StepsPerSecond, snap.ETASeconds)
+			} else {
+				fmt.Fprintf(p.w, "mtrace: %d steps (%.0f steps/s)\n", snap.Steps, snap.StepsPerSecond)
+			}
+		}
+	}
+	return b, err
+}
+
 func cmdStream(args []string) error {
 	fs, wname := flagSet("stream")
 	steps := fs.Int("steps", 0, "dynamic task budget per pass (0 = run to halt)")
 	repeat := fs.Int("repeat", 1, "number of back-to-back passes (synthesizes long streams)")
 	maxHeapMB := fs.Int("max-heap-mb", 0, "fail if sampled peak heap exceeds this many MiB (0 = no ceiling)")
 	predStr := fs.String("pred", "path:d7-o5-l6-c6-f3:leh2", "exit predictor spec to replay")
+	progress := fs.Int("progress", 0, "print a progress line to stderr every N blocks (0 = off)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot (incl. peak-heap gauge) to this file on exit ('' = off)")
+	httpAddr := fs.String("http", "", "serve pprof/expvar//metricz//runz on this address while streaming ('' = off)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return errors.New("stream takes no positional arguments")
 	}
-	sp, err := engine.Parse(*predStr)
+	outputs, err := obs.CLISetup("mtrace", *httpAddr, *metricsOut, "", os.Stderr)
+	if err != nil {
+		return err
+	}
+	runErr := streamRun(*wname, *steps, *repeat, *maxHeapMB, *predStr, *progress)
+	if ferr := outputs.Flush(); ferr != nil && runErr == nil {
+		runErr = ferr
+	}
+	return runErr
+}
+
+func streamRun(wname string, steps, repeat, maxHeapMB int, predStr string, progress int) error {
+	sp, err := engine.Parse(predStr)
 	if err != nil {
 		return err
 	}
@@ -398,28 +446,44 @@ func cmdStream(args []string) error {
 	if err != nil {
 		return err
 	}
-	src, err := workload.StreamBlocks(*wname, *steps, *repeat)
+	src, err := workload.StreamBlocks(wname, steps, repeat)
 	if err != nil {
 		return err
 	}
-	sampler := &heapSampler{src: src}
-	res, err := core.EvaluateExitBlocks(sampler, p)
+
+	// The run status is the stream's telemetry side channel: the engine
+	// wrapper credits steps, the printer and any -http viewer read them.
+	st := obs.Runs().Start("stream:"+wname, wname, predStr, "exit")
+	if steps > 0 {
+		st.SetTotal(int64(steps * repeat))
+	}
+	st.SetPhase(obs.PhaseRunning)
+
+	sampler := &heapSampler{src: engine.WithProgress(src, st)}
+	var outer trace.BlockSource = sampler
+	if progress > 0 {
+		outer = &progressPrinter{src: sampler, st: st, every: progress, w: os.Stderr}
+	}
+	res, err := core.EvaluateExitBlocks(outer, p)
 	if err != nil {
+		st.Fail()
 		return err
 	}
+	st.Finish()
 	// One final sample after the run so short streams still report.
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	if ms.HeapAlloc > sampler.peak {
 		sampler.peak = ms.HeapAlloc
 	}
+	obs.Default().Gauge("mtrace.stream.peak_heap_bytes").Set(int64(sampler.peak))
 	peakMB := float64(sampler.peak) / (1 << 20)
 	fmt.Printf("streamed %d prediction steps in %d blocks through %s: %6.2f%% misses (%d states)\n",
 		res.Steps, sampler.blocks, res.Name, 100*res.MissRate(), res.States)
 	fmt.Printf("peak heap %.1f MiB (in-memory equivalent ≥ %.1f MiB)\n",
 		peakMB, float64(res.Steps)*44/(1<<20))
-	if *maxHeapMB > 0 && peakMB > float64(*maxHeapMB) {
-		return fmt.Errorf("peak heap %.1f MiB exceeds ceiling %d MiB", peakMB, *maxHeapMB)
+	if maxHeapMB > 0 && peakMB > float64(maxHeapMB) {
+		return fmt.Errorf("peak heap %.1f MiB exceeds ceiling %d MiB", peakMB, maxHeapMB)
 	}
 	return nil
 }

@@ -34,12 +34,31 @@ var (
 // the zero-based worker lane; submitted is the queue-submit time (zero
 // when the run never waited in a queue, i.e. the sequential path).
 func doObserved(r Run, worker int, submitted time.Time) Result {
-	if !obs.On() {
+	if !obs.On() && r.Status == nil {
 		return Do(r)
+	}
+	// Telemetry is on or the caller attached a status: keep the run's
+	// progress record live. A caller-less observed run still registers
+	// itself so /runz and /statusz see CLI and grid traffic too — but an
+	// auto-created status is scrubbed from the echoed Result.Run so
+	// observed and unobserved results stay deeply equal.
+	auto := r.Status == nil
+	if auto {
+		r.Status = obs.Runs().Start(r.Label, r.Workload, r.Spec, r.Mode.String())
+	}
+	r.Status.SetPhase(obs.PhaseRunning)
+	if !obs.On() {
+		res := Do(r)
+		finishStatus(r.Status, res.Err)
+		return res
 	}
 	start := time.Now() //detlint:allow det-time (obs-gated duration metric; never rendered deterministically)
 	res := Do(r)
 	dur := time.Since(start)
+	finishStatus(r.Status, res.Err)
+	if auto {
+		res.Run.Status = nil
+	}
 
 	obsRunsTotal.Inc()
 	if res.Err != nil {
@@ -72,6 +91,10 @@ func doObserved(r Run, worker int, submitted time.Time) Result {
 			"spec":     r.Spec,
 			"mode":     mode.String(),
 			"worker":   worker,
+			"run_id":   r.Status.ID(),
+		}
+		if r.Label != "" {
+			args["label"] = r.Label
 		}
 		if queueWait > 0 {
 			args["queue_wait_us"] = queueWait.Microseconds()

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"multiscalar/internal/obs"
 )
 
 // The pool is the engine's serving-side scheduler: where Execute evaluates
@@ -159,6 +161,7 @@ func (p *Pool) Submit(ctx context.Context, r Run) (Result, error) {
 		return Result{}, ErrPoolBusy
 	}
 	j.submitted = time.Now() //detlint:allow det-time (queue-wait stamp; metrics only, never rendered)
+	r.Status.SetPhase(obs.PhaseQueued)
 	p.queue <- j
 	p.mu.Unlock()
 
@@ -169,6 +172,7 @@ func (p *Pool) Submit(ctx context.Context, r Run) (Result, error) {
 		if j.state.CompareAndSwap(jobQueued, jobCancelled) {
 			// Still queued: the worker will see the cancelled state,
 			// skip it, and release its admission slot.
+			r.Status.Cancel()
 			return Result{}, ctx.Err()
 		}
 		// Already running: abandon the wait? No — collect. The run is
@@ -198,6 +202,10 @@ func (p *Pool) execute(j *poolJob, worker int) {
 	p.mu.Lock()
 	runner := p.runner
 	p.mu.Unlock()
+	// Running/terminal transitions are driven here as well as inside
+	// doObserved so stubbed runners (SetRunner) keep the status honest;
+	// SetPhase is forward-only, so the double reporting is harmless.
+	j.run.Status.SetPhase(obs.PhaseRunning)
 	do := func() Result {
 		if runner != nil {
 			return runner(j.run)
@@ -205,7 +213,9 @@ func (p *Pool) execute(j *poolJob, worker int) {
 		return doObserved(j.run, worker, j.submitted)
 	}
 	if p.runTimeout <= 0 {
-		j.done <- do()
+		res := do()
+		finishStatus(j.run.Status, res.Err)
+		j.done <- res
 		return
 	}
 	ch := make(chan Result, 1)
@@ -214,12 +224,16 @@ func (p *Pool) execute(j *poolJob, worker int) {
 	select {
 	case res := <-ch:
 		t.Stop()
+		finishStatus(j.run.Status, res.Err)
 		j.done <- res
 	case <-t.C:
 		// Abandon the run goroutine (it finishes into its buffered
-		// channel and is collected); recover the worker lane.
+		// channel and is collected); recover the worker lane. The first
+		// terminal phase is sticky, so the abandoned goroutine's eventual
+		// finishStatus cannot overwrite the abandoned marker.
 		j.err = &RunTimeoutError{Limit: p.runTimeout}
 		obsPoolTimeouts.Inc()
+		j.run.Status.Abandon()
 		j.done <- Result{Run: j.run}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"multiscalar/internal/core"
 	"multiscalar/internal/fault"
+	"multiscalar/internal/obs"
 	"multiscalar/internal/sim/timing"
 	"multiscalar/internal/trace"
 	"multiscalar/internal/workload"
@@ -78,6 +79,11 @@ type Run struct {
 	// Label optionally names the run in formatted output; Result.Label
 	// falls back to the canonical spec string.
 	Label string
+	// Status, when non-nil, receives live progress: the expected step
+	// total once the trace length is known and per-block step credits as
+	// the replay advances. It is a pure side channel — results are
+	// byte-identical with or without it (the invariance test pins this).
+	Status *obs.RunStatus
 }
 
 // Result is one run's outcome. Exactly one of Exit, Target, Task, Timing
@@ -201,6 +207,9 @@ func run(r Run, res *Result) (err error) {
 		if inj != nil {
 			res.Injection = inj.Stats()
 		}
+		// Timing runs have no step total up front; credit the tasks
+		// retired so the status at least shows forward motion.
+		r.Status.AddSteps(int64(tres.Tasks))
 		return nil
 	}
 
@@ -212,7 +221,10 @@ func run(r Run, res *Result) (err error) {
 		if err != nil {
 			return err
 		}
-		return replayBlocks(sp, mode, src, res)
+		if r.MaxSteps > 0 {
+			r.Status.SetTotal(int64(r.MaxSteps))
+		}
+		return replayBlocks(sp, mode, WithProgress(src, r.Status), res)
 	}
 
 	if !fs.Enabled() {
@@ -222,7 +234,8 @@ func run(r Run, res *Result) (err error) {
 		// fall through to the legacy array-of-structs replay.
 		c, err := workload.CachedColumnar(r.Workload, r.MaxSteps)
 		if err == nil {
-			return replayBlocks(sp, mode, c.Blocks(), res)
+			r.Status.SetTotal(int64(c.Len()))
+			return replayBlocks(sp, mode, WithProgress(c.Blocks(), r.Status), res)
 		}
 		if !errors.Is(err, trace.ErrNotColumnar) {
 			return err
@@ -233,6 +246,10 @@ func run(r Run, res *Result) (err error) {
 	if err != nil {
 		return err
 	}
+	// The legacy array-of-structs replay is not block-wise, so progress
+	// lands in one credit at completion — total is still published up
+	// front so surfaces can show the denominator.
+	r.Status.SetTotal(int64(tr.Len()))
 	switch mode {
 	case ModeExit:
 		p, err := sp.BuildExit()
@@ -256,6 +273,7 @@ func run(r Run, res *Result) (err error) {
 		}
 		if !fs.Enabled() {
 			res.Task = core.EvaluateTask(tr, p)
+			r.Status.AddSteps(int64(tr.Len()))
 			return nil
 		}
 		// Faulted task replay: wrap in the injector and hold the run to
@@ -279,6 +297,7 @@ func run(r Run, res *Result) (err error) {
 			return fmt.Errorf("engine: trace no longer validates after faulted replay: %w", err)
 		}
 	}
+	r.Status.AddSteps(int64(tr.Len()))
 	return nil
 }
 

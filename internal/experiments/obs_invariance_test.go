@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
 
+	"multiscalar/internal/engine"
 	"multiscalar/internal/obs"
 )
 
@@ -74,6 +76,43 @@ func TestObsByteInvariance(t *testing.T) {
 				t.Errorf("%s: output with workers=%d observed=%v differs from workers=1 observed=false:\n--- base\n%s\n--- got\n%s",
 					name, tc.workers, tc.observed, base, got)
 			}
+		}
+	}
+
+	// The same contract at the engine level, across the streaming axis:
+	// one cell's replay outcome is byte-identical whether it streams
+	// generated blocks or replays a cached trace slice, with telemetry
+	// enabled or not, and with a live run status attached or not (the
+	// status is a pure side channel — run-level progress must never leak
+	// into results).
+	renderCell := func(stream, observed, withStatus bool) string {
+		obs.SetEnabled(observed)
+		defer obs.SetEnabled(false)
+		r := engine.Run{Workload: "exprc", Spec: "path:d7-o5-l6-c6-f3:leh2", MaxSteps: 20000, Stream: stream}
+		if withStatus {
+			r.Status = obs.Runs().Start("invariance", r.Workload, r.Spec, "exit")
+		}
+		res := engine.Execute([]engine.Run{r}, 1)[0]
+		if res.Err != nil {
+			t.Fatalf("stream=%v observed=%v status=%v: %v", stream, observed, withStatus, res.Err)
+		}
+		return fmt.Sprintf("%s %+v", res.Label(), res.Exit)
+	}
+	cellBase := renderCell(false, false, false)
+	for _, tc := range []struct {
+		stream, observed, status bool
+	}{
+		{false, true, false},
+		{false, false, true},
+		{false, true, true},
+		{true, false, false},
+		{true, true, false},
+		{true, false, true},
+		{true, true, true},
+	} {
+		if got := renderCell(tc.stream, tc.observed, tc.status); got != cellBase {
+			t.Errorf("cell render with stream=%v observed=%v status=%v drifted:\n--- base\n%s\n--- got\n%s",
+				tc.stream, tc.observed, tc.status, cellBase, got)
 		}
 	}
 

@@ -1,0 +1,70 @@
+package mserve
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer is a mutex-guarded byte buffer for concurrent log writes.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestAccessLog checks every request gets an X-Mserve-Request id that
+// also appears in the structured log line, along with the cell key and
+// cache path for /eval traffic.
+func TestAccessLog(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{
+		Workers:   1,
+		AccessLog: slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+
+	status, hdr, _ := postEval(t, ts.URL, `{"workload":"boolmin","spec":"path:d7-o5-l6-c6-f3:leh2","steps":2000}`)
+	if status != 200 {
+		t.Fatalf("eval status = %d", status)
+	}
+	rid := hdr.Get("X-Mserve-Request")
+	if rid == "" {
+		t.Fatal("response missing X-Mserve-Request")
+	}
+
+	// Repeat: a hit, with a fresh id.
+	_, hdr2, _ := postEval(t, ts.URL, `{"workload":"boolmin","spec":"path:d7-o5-l6-c6-f3:leh2","steps":2000}`)
+	rid2 := hdr2.Get("X-Mserve-Request")
+	if rid2 == "" || rid2 == rid {
+		t.Fatalf("second request id = %q (first %q), want fresh ids per request", rid2, rid)
+	}
+
+	log := buf.String()
+	for _, want := range []string{
+		"id=" + rid,
+		"id=" + rid2,
+		"method=POST",
+		"path=/eval",
+		"status=200",
+		"cache=miss",
+		"cache=hit",
+		"boolmin/path:d7-o5-l6-c6-f3:leh2@mode=exit,steps=2000,timing=0",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("access log missing %q\nlog:\n%s", want, log)
+		}
+	}
+}

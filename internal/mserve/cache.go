@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"multiscalar/internal/engine"
+	"multiscalar/internal/obs"
 )
 
 // DefaultCacheCap bounds the result cache (entries). Cells are small
@@ -23,6 +24,15 @@ type flight struct {
 	done   chan struct{}
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// status is the flight's live progress record, created with the
+	// flight (label = cell key) so the progress endpoint can stream it
+	// without joining the flight's refcount.
+	status *obs.RunStatus
+
+	// reqID is the leader request's id, written by handleEval before the
+	// flight goroutine starts (for span correlation via Run.Label).
+	reqID string
 
 	// Written once before done closes, read only after.
 	body []byte        // rendered success body (nil on failure)
@@ -79,9 +89,31 @@ func (c *resultCache) acquire(key string, cell Cell, base context.Context) (body
 		return nil, f, false
 	}
 	ctx, cancel := context.WithCancel(base)
-	f = &flight{cell: cell, done: make(chan struct{}), ctx: ctx, cancel: cancel, refs: 1}
+	f = &flight{
+		cell: cell, done: make(chan struct{}), ctx: ctx, cancel: cancel, refs: 1,
+		status: obs.Runs().Start(key, cell.Workload, cell.Spec, cell.Mode.String()),
+	}
 	c.flights[key] = f
 	return nil, f, true
+}
+
+// peek looks up key without joining: a cached body, an in-flight flight
+// (no reference taken — a peeking progress watcher must never be able
+// to cancel a shared run by disconnecting), or neither.
+func (c *resultCache) peek(key string) ([]byte, *flight) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.results[key]; ok {
+		return b, nil
+	}
+	return nil, c.flights[key]
+}
+
+// stats returns the cached-result and in-flight counts.
+func (c *resultCache) stats() (results, flights int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.results), len(c.flights)
 }
 
 // release drops one waiter's reference. When the last waiter leaves a

@@ -34,6 +34,13 @@ var (
 	// Queue depth snapshot (admitted, unfinished pool work).
 	obsQueueDepth = obs.Default().Gauge("mserve.queue.depth")
 
+	// Progress streaming: SSE streams opened and streams that ended by
+	// client disconnect rather than run completion. A disconnect must
+	// never cancel the shared run (the watcher holds no flight
+	// reference), so streams - disconnects ≈ streams that saw "done".
+	obsProgressStreams     = obs.Default().Counter("mserve.progress.streams")
+	obsProgressDisconnects = obs.Default().Counter("mserve.progress.disconnects")
+
 	// Load-generator (selftest) client-side metrics: end-to-end latency
 	// of successful requests, sheds observed, backoff retries taken, and
 	// requests abandoned after exhausting the retry budget.

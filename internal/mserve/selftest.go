@@ -1,6 +1,7 @@
 package mserve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -9,8 +10,10 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -121,6 +124,44 @@ func (t *stRun) post(req *EvalRequest) (int, []byte, int, error) {
 	}
 	retryAfter, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 	return resp.StatusCode, body, retryAfter, nil
+}
+
+// streamProgress consumes key's SSE progress stream to its terminal
+// event, returning the done payload and how many progress events
+// preceded it.
+func (t *stRun) streamProgress(key string, wait time.Duration) (ProgressDone, int, error) {
+	resp, err := t.client.Get(fmt.Sprintf("%s/progress?key=%s&wait=%g", t.base, url.QueryEscape(key), wait.Seconds()))
+	if err != nil {
+		return ProgressDone{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return ProgressDone{}, 0, fmt.Errorf("progress stream: status %d: %s", resp.StatusCode, body)
+	}
+	var done ProgressDone
+	var event string
+	progressEvents := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			if event == "progress" {
+				progressEvents++
+			}
+			if event == "done" {
+				if err := json.Unmarshal([]byte(data), &done); err != nil {
+					return done, progressEvents, fmt.Errorf("progress stream: bad done payload %q: %w", data, err)
+				}
+				return done, progressEvents, nil
+			}
+		}
+	}
+	return done, progressEvents, fmt.Errorf("progress stream ended without a done event")
 }
 
 // evalWithRetry is the seeded retry loop: exponential backoff plus
@@ -256,7 +297,10 @@ func SelfTest(out io.Writer, cfg SelfTestConfig) error {
 
 	baseline := runtime.NumGoroutine()
 
-	srv := New(Config{Workers: cfg.Workers, Queue: cfg.Queue})
+	srv := New(Config{
+		Workers: cfg.Workers, Queue: cfg.Queue,
+		SampleInterval: 50 * time.Millisecond, ProgressInterval: 5 * time.Millisecond,
+	})
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -338,6 +382,86 @@ func SelfTest(out io.Writer, cfg SelfTestConfig) error {
 	}
 	close(startBarrier)
 	wg.Wait()
+
+	// Phase 2b: live progress. One fresh cell evaluates under the still-
+	// throttled runner while a watcher consumes its /progress stream; the
+	// terminal event must name exactly the key the cached response body
+	// carries — the same plumbing mservesmoke asserts from outside.
+	progReq := &EvalRequest{
+		Workload: "boolmin",
+		Spec:     fmt.Sprintf("path:d2-o4-l5-c5:vc2rand:seed%d", burst+1),
+		Steps:    cfg.Steps,
+	}
+	progCell, err := ValidateEvalRequest(progReq)
+	if err != nil {
+		return fmt.Errorf("selftest progress cell: %w", err)
+	}
+	progKey := progCell.Key()
+	fmt.Fprintf(out, "mserve selftest: phase 2b — progress stream over %s\n", progKey)
+	type postOutcome struct {
+		status int
+		body   []byte
+		err    error
+	}
+	postc := make(chan postOutcome, 1)
+	go func() {
+		status, body, _, err := t.post(progReq)
+		postc <- postOutcome{status, body, err}
+	}()
+	doneEv, progressEvents, streamErr := t.streamProgress(progKey, 5*time.Second)
+	po := <-postc
+	switch {
+	case po.err != nil:
+		t.failf("progress-phase POST: %v", po.err)
+	case po.status != http.StatusOK:
+		t.failf("progress-phase POST: status %d: %s", po.status, po.body)
+	case streamErr != nil:
+		t.failf("%v", streamErr)
+	default:
+		var er EvalResponse
+		if err := json.Unmarshal(po.body, &er); err != nil {
+			t.failf("progress-phase body: %v", err)
+		} else if !doneEv.OK || doneEv.Key != er.Key || er.Key != progKey {
+			t.failf("progress stream ended with %+v, response key %q (want ok for %q)", doneEv, er.Key, progKey)
+		}
+	}
+	_ = progressEvents // a fast run may legitimately deliver done alone
+
+	// The status surface must agree: the progress cell retired as done
+	// with steps == total, the pool section populated, the time series
+	// sampling, and the request-id header present.
+	statusResp, err := t.client.Get(t.base + "/statusz")
+	if err != nil {
+		t.failf("GET /statusz: %v", err)
+	} else {
+		if statusResp.Header.Get("X-Mserve-Request") == "" {
+			t.failf("/statusz response carried no X-Mserve-Request id")
+		}
+		var sz StatuszResponse
+		err := json.NewDecoder(statusResp.Body).Decode(&sz)
+		statusResp.Body.Close()
+		switch {
+		case err != nil:
+			t.failf("decode /statusz: %v", err)
+		case sz.Pool.Workers != cfg.Workers:
+			t.failf("/statusz pool workers = %d, want %d", sz.Pool.Workers, cfg.Workers)
+		case sz.Cache.Results < 1:
+			t.failf("/statusz cache results = %d, want >= 1", sz.Cache.Results)
+		default:
+			found := false
+			for _, snap := range sz.Runs.Recent {
+				if snap.Label == progKey && snap.Phase == "done" && snap.Steps == snap.Total && snap.Total > 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.failf("/statusz recent runs missing a done steps==total entry for %s", progKey)
+			}
+			if len(sz.Series.Samples) == 0 {
+				t.failf("/statusz time series has no samples")
+			}
+		}
+	}
 	srv.Pool().SetRunner(nil)
 
 	burstOK, burstShed := 0, 0

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -41,6 +42,17 @@ type Config struct {
 	// ErrLog receives operational messages — panic stacks, drain
 	// progress (nil = os.Stderr).
 	ErrLog *os.File
+	// AccessLog receives one structured line per HTTP request (nil = a
+	// slog text handler over ErrLog).
+	AccessLog *slog.Logger
+	// SampleInterval is the metric time-series sampling period
+	// (0 = 1s).
+	SampleInterval time.Duration
+	// SeriesCap bounds the time-series ring in samples
+	// (0 = obs.DefaultSeriesCap).
+	SeriesCap int
+	// ProgressInterval is the SSE progress event period (0 = 250ms).
+	ProgressInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +83,15 @@ func (c Config) withDefaults() Config {
 	if c.ErrLog == nil {
 		c.ErrLog = os.Stderr
 	}
+	if c.AccessLog == nil {
+		c.AccessLog = slog.New(slog.NewTextHandler(c.ErrLog, nil))
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = time.Second
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 250 * time.Millisecond
+	}
 	return c
 }
 
@@ -79,13 +100,16 @@ func (c Config) withDefaults() Config {
 // serve with Start (or mount Handler in a test server), stop with
 // Shutdown.
 type Server struct {
-	cfg    Config
-	pool   *engine.Pool
-	cache  *resultCache
-	health *obs.Health
-	mux    *http.ServeMux
-	http   *http.Server
-	ln     net.Listener
+	cfg       Config
+	pool      *engine.Pool
+	cache     *resultCache
+	health    *obs.Health
+	mux       *http.ServeMux
+	handler   http.Handler // mux wrapped in the access-log middleware
+	http      *http.Server
+	ln        net.Listener
+	series    *obs.TimeSeries
+	accessLog *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -99,22 +123,29 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		pool:   engine.NewPool(cfg.Workers, cfg.Queue, cfg.RunTimeout),
-		cache:  newResultCache(cfg.CacheCap),
-		health: obs.NewHealth(),
+		cfg:       cfg,
+		pool:      engine.NewPool(cfg.Workers, cfg.Queue, cfg.RunTimeout),
+		cache:     newResultCache(cfg.CacheCap),
+		health:    obs.NewHealth(),
+		series:    obs.NewTimeSeries(obs.Default(), cfg.SeriesCap, cfg.SampleInterval),
+		accessLog: cfg.AccessLog,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.series.Start()
 
 	obsHandler := obs.HandlerWithHealth(obs.Default(), s.health)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/eval", s.handleEval)
 	s.mux.HandleFunc("/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/progress", s.handleProgress)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/" {
 			fmt.Fprint(w, "multiscalar prediction service\n\n"+
 				"  POST /eval             evaluate one grid cell (JSON)\n"+
 				"  GET  /workloads        list workloads\n"+
+				"  GET  /statusz          live status (pool, cache, runs, series)\n"+
+				"  GET  /progress?key=    per-cell progress stream (SSE)\n"+
 				"  GET  /healthz          liveness\n"+
 				"  GET  /readyz           readiness (flips during drain)\n"+
 				"  GET  /metricz          metrics snapshot\n"+
@@ -123,12 +154,15 @@ func New(cfg Config) *Server {
 		}
 		obsHandler.ServeHTTP(w, r)
 	})
-	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.handler = s.withAccessLog(s.mux)
+	s.http = &http.Server{Handler: s.handler, ReadHeaderTimeout: 10 * time.Second}
 	return s
 }
 
-// Handler returns the server's mux (for httptest-style embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's handler chain (for httptest-style
+// embedding): the mux wrapped in the access-log middleware, exactly
+// what a listening server serves.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Pool returns the evaluation pool (tests use it to install a stub
 // runner; production code has no reason to touch it).
@@ -166,6 +200,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.health.SetReady(false)
 	err := s.http.Shutdown(ctx)
 	s.pool.Close()
+	s.series.Stop()
 	s.baseCancel()
 	return err
 }
@@ -243,9 +278,19 @@ func (s *Server) runFlight(key string, f *flight) {
 	s.evals.Add(1)
 	obsQueueDepth.Set(int64(s.pool.Pending()))
 	start := time.Now()
-	res, err := s.pool.Submit(f.ctx, f.cell.Run())
+	run := f.cell.Run()
+	run.Status = f.status
+	run.Label = f.reqID // correlates the pool span with the access log
+	res, err := s.pool.Submit(f.ctx, run)
 	if err == nil {
 		s.observeLatency(time.Since(start))
+	}
+	// The pool resolves most terminal phases itself (done, failed,
+	// abandoned, cancelled-while-queued); runs it never admitted — shed
+	// or post-drain submits — are failed here. Terminal phases are
+	// sticky, so this is a no-op whenever the pool already decided.
+	if err != nil {
+		f.status.Fail()
 	}
 	var body []byte
 	if err == nil && res.Err == nil {
@@ -309,10 +354,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	key := cell.Key()
+	rec := accessRecordFrom(r.Context())
 	body, f, leader := s.cache.acquire(key, cell, s.baseCtx)
 	if body != nil {
 		obsCacheHits.Inc()
 		obsReqOK.Inc()
+		rec.set(key, "hit")
 		respondBody(w, "hit", body)
 		return
 	}
@@ -320,10 +367,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if leader {
 		obsCacheMisses.Inc()
 		cachePath = "miss"
+		f.reqID = w.Header().Get("X-Mserve-Request")
 		go s.runFlight(key, f)
 	} else {
 		obsCoalesced.Inc()
 	}
+	rec.set(key, cachePath)
 
 	select {
 	case <-ctx.Done():

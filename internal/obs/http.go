@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -57,6 +58,7 @@ func HandlerWithHealth(reg *Registry, health *Health) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		snap.WriteText(w)
 	})
+	mux.HandleFunc("/runz", handleRunz)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -65,12 +67,25 @@ func HandlerWithHealth(reg *Registry, health *Health) http.Handler {
 		fmt.Fprint(w, "multiscalar observability\n\n"+
 			"  /metricz               metrics snapshot (text)\n"+
 			"  /metricz?format=json   metrics snapshot (JSON)\n"+
+			"  /runz                  run registry (active + recent runs, JSON)\n"+
 			"  /healthz               liveness\n"+
 			"  /readyz                readiness\n"+
 			"  /debug/pprof/          live profiling\n"+
 			"  /debug/vars            expvar\n")
 	})
 	return mux
+}
+
+// handleRunz dumps the process-wide run registry: active runs with
+// live progress plus the recently finished ring, both in id order.
+func handleRunz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Active []RunStatusSnapshot `json:"active"`
+		Recent []RunStatusSnapshot `json:"recent"`
+	}{Active: Runs().Active(), Recent: Runs().Recent()})
 }
 
 // Serve starts the introspection endpoint on addr (e.g. "localhost:6060";

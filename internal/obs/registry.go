@@ -300,11 +300,18 @@ type GaugeValue struct {
 	Value int64  `json:"value"`
 }
 
-// HistogramValue is one histogram in a snapshot.
+// HistogramValue is one histogram in a snapshot. P50/P90/P99 are
+// upper-bound quantile estimates (Histogram.Quantile) rendered as
+// strings so "+Inf" (the overflow bucket) stays valid JSON; they are
+// empty on an empty histogram. The fields are additive — the snapshot
+// schema stays backward-compatible with pre-quantile consumers.
 type HistogramValue struct {
 	Name    string        `json:"name"`
 	Count   int64         `json:"count"`
 	Sum     float64       `json:"sum"`
+	P50     string        `json:"p50,omitempty"`
+	P90     string        `json:"p90,omitempty"`
+	P99     string        `json:"p99,omitempty"`
 	Buckets []BucketValue `json:"buckets"`
 }
 
@@ -344,6 +351,11 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for n, h := range r.hists {
 		hv := HistogramValue{Name: n, Count: h.Count(), Sum: h.Sum()}
+		if hv.Count > 0 {
+			hv.P50 = formatBound(h.Quantile(0.50))
+			hv.P90 = formatBound(h.Quantile(0.90))
+			hv.P99 = formatBound(h.Quantile(0.99))
+		}
 		for i, b := range h.bounds {
 			hv.Buckets = append(hv.Buckets, BucketValue{Le: formatBound(b), Count: h.counts[i].Load()})
 		}
@@ -380,7 +392,11 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 		}
 	}
 	for _, h := range s.Histograms {
-		if _, err := fmt.Fprintf(w, "histogram %-40s count=%d sum=%.6fs\n", h.Name, h.Count, h.Sum); err != nil {
+		quantiles := ""
+		if h.P50 != "" {
+			quantiles = fmt.Sprintf(" p50=%s p90=%s p99=%s", h.P50, h.P90, h.P99)
+		}
+		if _, err := fmt.Fprintf(w, "histogram %-40s count=%d sum=%.6fs%s\n", h.Name, h.Count, h.Sum, quantiles); err != nil {
 			return err
 		}
 		for _, b := range h.Buckets {

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Run-level live telemetry. A RunStatus is one evaluation's progress
+// record — workload/spec/mode identity, lifecycle phase, and steps
+// completed against an (optionally known) total — updated from the hot
+// replay path with nothing heavier than an atomic add per 4096-step
+// block. The RunRegistry indexes active statuses and keeps a bounded
+// ring of recently finished ones, so serving surfaces (/statusz, /runz)
+// and streaming progress endpoints can answer "what is this process
+// doing right now" without touching the results path: statuses are a
+// side channel, never an input, and the byte-invariance test holds
+// rendered output identical with them attached or not.
+
+// RunPhase is a run's lifecycle position. Phases only move forward
+// (SetPhase ignores backward transitions), and the first terminal phase
+// wins — a watchdog-abandoned run stays "abandoned" even when its
+// orphaned goroutine later completes.
+type RunPhase int32
+
+const (
+	// PhasePending: the status exists but the run has not been admitted.
+	PhasePending RunPhase = iota
+	// PhaseQueued: admitted to a scheduler queue, not yet on a worker.
+	PhaseQueued
+	// PhaseRunning: executing on a worker lane.
+	PhaseRunning
+	// PhaseDone: completed successfully (terminal).
+	PhaseDone
+	// PhaseFailed: completed with an error (terminal).
+	PhaseFailed
+	// PhaseAbandoned: killed by a watchdog; the run's goroutine may still
+	// be executing but its lane has moved on (terminal).
+	PhaseAbandoned
+	// PhaseCancelled: cancelled while still queued; never ran (terminal).
+	PhaseCancelled
+)
+
+// terminal reports whether p is a final phase.
+func (p RunPhase) terminal() bool { return p >= PhaseDone }
+
+// String implements fmt.Stringer.
+func (p RunPhase) String() string {
+	switch p {
+	case PhasePending:
+		return "pending"
+	case PhaseQueued:
+		return "queued"
+	case PhaseRunning:
+		return "running"
+	case PhaseDone:
+		return "done"
+	case PhaseFailed:
+		return "failed"
+	case PhaseAbandoned:
+		return "abandoned"
+	case PhaseCancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
+
+// RunStatus is one run's live progress record. All update methods are
+// safe for concurrent use and lock-free: AddSteps is a single atomic
+// add, SetPhase a small CAS loop. Steps are monotonically nondecreasing
+// by construction.
+type RunStatus struct {
+	id       int64
+	label    string
+	workload string
+	spec     string
+	mode     string
+	created  time.Time
+
+	steps     atomic.Int64
+	total     atomic.Int64
+	phase     atomic.Int32
+	startedNs atomic.Int64 // PhaseRunning transition (unix nanos; 0 = never ran)
+	endedNs   atomic.Int64 // terminal transition (unix nanos; 0 = still live)
+
+	reg *RunRegistry
+}
+
+// ID returns the registry-assigned run id.
+func (s *RunStatus) ID() int64 { return s.id }
+
+// Label returns the caller-supplied label (a serving cache key, a CLI
+// tag; may be empty).
+func (s *RunStatus) Label() string { return s.label }
+
+// Steps returns the steps completed so far.
+func (s *RunStatus) Steps() int64 { return s.steps.Load() }
+
+// Total returns the expected step total (0 = unknown).
+func (s *RunStatus) Total() int64 { return s.total.Load() }
+
+// Phase returns the current lifecycle phase.
+func (s *RunStatus) Phase() RunPhase { return RunPhase(s.phase.Load()) }
+
+// AddSteps records n more completed steps. Negative n is ignored — the
+// steps column is monotone by contract (asserted by test).
+func (s *RunStatus) AddSteps(n int64) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.steps.Add(n)
+}
+
+// SetTotal records the expected step total (0 = unknown). The engine
+// sets it once, before the first AddSteps, when the trace length is
+// known up front.
+func (s *RunStatus) SetTotal(n int64) {
+	if s == nil || n < 0 {
+		return
+	}
+	s.total.Store(n)
+}
+
+// SetPhase advances the lifecycle phase. Backward transitions are
+// ignored and terminal phases are sticky, so racing reporters (a
+// watchdog abandoning a run whose goroutine finishes anyway) resolve to
+// the first terminal phase. Reaching a terminal phase stamps the end
+// time and retires the status into the registry's recent ring.
+func (s *RunStatus) SetPhase(p RunPhase) {
+	if s == nil {
+		return
+	}
+	for {
+		old := RunPhase(s.phase.Load())
+		if old.terminal() || p <= old {
+			return
+		}
+		if s.phase.CompareAndSwap(int32(old), int32(p)) {
+			now := s.reg.now()
+			if p == PhaseRunning {
+				s.startedNs.Store(now.UnixNano())
+			}
+			if p.terminal() {
+				s.endedNs.Store(now.UnixNano())
+				s.reg.retire(s)
+			}
+			return
+		}
+	}
+}
+
+// Finish marks the run successfully completed.
+func (s *RunStatus) Finish() { s.SetPhase(PhaseDone) }
+
+// Fail marks the run failed.
+func (s *RunStatus) Fail() { s.SetPhase(PhaseFailed) }
+
+// Abandon marks the run watchdog-abandoned.
+func (s *RunStatus) Abandon() { s.SetPhase(PhaseAbandoned) }
+
+// Cancel marks a still-queued run cancelled.
+func (s *RunStatus) Cancel() { s.SetPhase(PhaseCancelled) }
+
+// RunStatusSnapshot is a point-in-time copy of a RunStatus with the
+// derived throughput figures a progress surface renders. Rate and ETA
+// are extrapolated from the running-phase wall clock; ETA is 0 whenever
+// the total is unknown or no throughput has been observed yet.
+type RunStatusSnapshot struct {
+	ID             int64   `json:"id"`
+	Label          string  `json:"label,omitempty"`
+	Workload       string  `json:"workload"`
+	Spec           string  `json:"spec"`
+	Mode           string  `json:"mode"`
+	Phase          string  `json:"phase"`
+	Steps          int64   `json:"steps"`
+	Total          int64   `json:"total,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	StepsPerSecond float64 `json:"steps_per_second,omitempty"`
+	ETASeconds     float64 `json:"eta_seconds,omitempty"`
+}
+
+// Snapshot copies the status and derives rate/ETA at the registry's
+// current clock.
+func (s *RunStatus) Snapshot() RunStatusSnapshot {
+	now := s.reg.now()
+	snap := RunStatusSnapshot{
+		ID:       s.id,
+		Label:    s.label,
+		Workload: s.workload,
+		Spec:     s.spec,
+		Mode:     s.mode,
+		Phase:    s.Phase().String(),
+		Steps:    s.steps.Load(),
+		Total:    s.total.Load(),
+	}
+	end := now
+	if ns := s.endedNs.Load(); ns != 0 {
+		end = time.Unix(0, ns)
+	}
+	snap.ElapsedSeconds = end.Sub(s.created).Seconds()
+	if ns := s.startedNs.Load(); ns != 0 {
+		if running := end.Sub(time.Unix(0, ns)).Seconds(); running > 0 && snap.Steps > 0 {
+			snap.StepsPerSecond = float64(snap.Steps) / running
+			if snap.Total > snap.Steps && snap.StepsPerSecond > 0 {
+				snap.ETASeconds = float64(snap.Total-snap.Steps) / snap.StepsPerSecond
+			}
+		}
+	}
+	return snap
+}
+
+// DefaultRecentRuns bounds the registry's ring of retired statuses.
+const DefaultRecentRuns = 64
+
+// RunRegistry tracks a process's run statuses: the active set plus a
+// fixed-capacity ring of the most recently finished runs. Start and
+// retire take a mutex once per run lifecycle; per-step progress never
+// touches the registry.
+type RunRegistry struct {
+	mu        sync.Mutex
+	nextID    int64
+	active    map[int64]*RunStatus
+	recent    []*RunStatus // ring, capacity recentCap
+	recentPos int
+	recentCap int
+	now       func() time.Time // test hook
+}
+
+// NewRunRegistry returns an empty registry keeping recentCap retired
+// statuses (<=0 selects DefaultRecentRuns).
+func NewRunRegistry(recentCap int) *RunRegistry {
+	if recentCap <= 0 {
+		recentCap = DefaultRecentRuns
+	}
+	return &RunRegistry{
+		active:    map[int64]*RunStatus{},
+		recentCap: recentCap,
+		now:       time.Now,
+	}
+}
+
+var defaultRuns = NewRunRegistry(0)
+
+// Runs returns the process-wide run registry, the one engine hooks and
+// serving surfaces share.
+func Runs() *RunRegistry { return defaultRuns }
+
+// Start registers a new run in PhasePending and returns its status.
+// label is a caller-chosen correlation tag (a serving cache key, a CLI
+// stream name; "" is fine), the rest identify the run for display.
+func (r *RunRegistry) Start(label, workload, spec, mode string) *RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	s := &RunStatus{
+		id:       r.nextID,
+		label:    label,
+		workload: workload,
+		spec:     spec,
+		mode:     mode,
+		created:  r.now(),
+		reg:      r,
+	}
+	r.active[s.id] = s
+	return s
+}
+
+// retire moves a terminal status from the active set into the recent
+// ring (overwriting the oldest entry once full).
+func (r *RunRegistry) retire(s *RunStatus) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.active[s.id]; !ok {
+		return
+	}
+	delete(r.active, s.id)
+	if len(r.recent) < r.recentCap {
+		r.recent = append(r.recent, s)
+		return
+	}
+	r.recent[r.recentPos] = s
+	r.recentPos = (r.recentPos + 1) % r.recentCap
+}
+
+// ActiveCount returns the number of live (non-terminal) statuses.
+func (r *RunRegistry) ActiveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.active)
+}
+
+// Active snapshots every live status, sorted by run id ascending.
+func (r *RunRegistry) Active() []RunStatusSnapshot {
+	r.mu.Lock()
+	statuses := make([]*RunStatus, 0, len(r.active))
+	for _, s := range r.active {
+		statuses = append(statuses, s)
+	}
+	r.mu.Unlock()
+	return snapshotSorted(statuses)
+}
+
+// Recent snapshots the retired ring, sorted by run id ascending (i.e.
+// oldest retained first).
+func (r *RunRegistry) Recent() []RunStatusSnapshot {
+	r.mu.Lock()
+	statuses := append([]*RunStatus(nil), r.recent...)
+	r.mu.Unlock()
+	return snapshotSorted(statuses)
+}
+
+// snapshotSorted renders statuses as snapshots in id order.
+func snapshotSorted(statuses []*RunStatus) []RunStatusSnapshot {
+	sort.Slice(statuses, func(i, j int) bool { return statuses[i].id < statuses[j].id })
+	out := make([]RunStatusSnapshot, len(statuses))
+	for i, s := range statuses {
+		out[i] = s.Snapshot()
+	}
+	return out
+}

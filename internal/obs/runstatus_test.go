@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunStatusMonotonic pins the RunStatus progress contract: steps
+// never decrease under concurrent reporters, negative deltas are
+// rejected, and the final count is exact.
+func TestRunStatusMonotonic(t *testing.T) {
+	reg := NewRunRegistry(4)
+	st := reg.Start("k", "exprc", "spec", "exit")
+
+	const writers, perWriter = 8, 1000
+	stop := make(chan struct{})
+	var sawDecrease bool
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		prev := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := st.Steps()
+			if v < prev {
+				sawDecrease = true
+				return
+			}
+			prev = v
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				st.AddSteps(3)
+				st.AddSteps(-1) // ignored: steps are monotone
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	if sawDecrease {
+		t.Fatal("Steps() decreased during concurrent AddSteps")
+	}
+	if got, want := st.Steps(), int64(writers*perWriter*3); got != want {
+		t.Fatalf("steps = %d, want %d", got, want)
+	}
+}
+
+// TestRunStatusPhaseOrdering checks phases only move forward and the
+// first terminal phase is sticky — the watchdog-abandon vs late-finish
+// race resolves to abandoned.
+func TestRunStatusPhaseOrdering(t *testing.T) {
+	reg := NewRunRegistry(4)
+	st := reg.Start("", "w", "s", "task")
+
+	if st.Phase() != PhasePending {
+		t.Fatalf("new status phase = %v, want pending", st.Phase())
+	}
+	st.SetPhase(PhaseQueued)
+	st.SetPhase(PhaseRunning)
+	st.SetPhase(PhaseQueued) // backward: ignored
+	if st.Phase() != PhaseRunning {
+		t.Fatalf("phase = %v after backward transition, want running", st.Phase())
+	}
+	st.Abandon()
+	st.Finish() // the abandoned goroutine completing late: ignored
+	if st.Phase() != PhaseAbandoned {
+		t.Fatalf("phase = %v, want abandoned (first terminal wins)", st.Phase())
+	}
+	if reg.ActiveCount() != 0 {
+		t.Fatalf("terminal status still active: %d", reg.ActiveCount())
+	}
+}
+
+// TestRunStatusSnapshotDerived checks rate and ETA derivation with a
+// synthetic clock.
+func TestRunStatusSnapshotDerived(t *testing.T) {
+	reg := NewRunRegistry(4)
+	base := time.Unix(1000, 0)
+	now := base
+	reg.now = func() time.Time { return now }
+
+	st := reg.Start("key", "boolmin", "spec", "exit")
+	st.SetTotal(1000)
+	now = base.Add(1 * time.Second)
+	st.SetPhase(PhaseRunning)
+	st.AddSteps(250)
+	now = base.Add(2 * time.Second) // 1s of running time
+
+	snap := st.Snapshot()
+	if snap.Phase != "running" || snap.Steps != 250 || snap.Total != 1000 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.StepsPerSecond < 249 || snap.StepsPerSecond > 251 {
+		t.Fatalf("rate = %v, want ~250/s", snap.StepsPerSecond)
+	}
+	if snap.ETASeconds < 2.9 || snap.ETASeconds > 3.1 {
+		t.Fatalf("eta = %v, want ~3s", snap.ETASeconds)
+	}
+
+	st.Finish()
+	done := st.Snapshot()
+	if done.Phase != "done" {
+		t.Fatalf("phase = %q, want done", done.Phase)
+	}
+	// Elapsed freezes at the terminal transition.
+	now = base.Add(100 * time.Second)
+	if again := st.Snapshot(); again.ElapsedSeconds != done.ElapsedSeconds {
+		t.Fatalf("elapsed moved after terminal phase: %v then %v", done.ElapsedSeconds, again.ElapsedSeconds)
+	}
+}
+
+// TestRunRegistryRecentRing checks retirement into the bounded ring:
+// active drains, only the last recentCap statuses are retained, and
+// both views come back in id order.
+func TestRunRegistryRecentRing(t *testing.T) {
+	reg := NewRunRegistry(8)
+	for i := 0; i < 30; i++ {
+		st := reg.Start(fmt.Sprintf("run-%d", i), "w", "s", "exit")
+		st.SetPhase(PhaseRunning)
+		st.AddSteps(int64(i))
+		st.Finish()
+	}
+	if reg.ActiveCount() != 0 {
+		t.Fatalf("active = %d, want 0", reg.ActiveCount())
+	}
+	recent := reg.Recent()
+	if len(recent) != 8 {
+		t.Fatalf("recent ring holds %d, want 8", len(recent))
+	}
+	for i, snap := range recent {
+		if want := int64(23 + i); snap.ID != want {
+			t.Fatalf("recent[%d].ID = %d, want %d (last 8 in id order)", i, snap.ID, want)
+		}
+	}
+
+	// Active view sorts by id too.
+	a := reg.Start("a", "w", "s", "exit")
+	b := reg.Start("b", "w", "s", "exit")
+	_ = b
+	act := reg.Active()
+	if len(act) != 2 || act[0].ID != a.ID() {
+		t.Fatalf("active view = %+v", act)
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TimeSeries turns the registry's point-in-time snapshots into a
+// time-resolved view: a fixed-capacity ring of periodic samples, each
+// carrying every counter and gauge value plus the counter's derived
+// rate against the previous sample. The ring bounds memory for
+// arbitrarily long-running daemons (old samples are overwritten) while
+// the export stays deterministic: samples in chronological order,
+// metrics sorted by name within each sample, rates computed once at
+// sampling time so a sample's bytes never change after it is taken —
+// which is what makes wraparound exports reproducible (pinned by test).
+//
+// Histograms are deliberately not sampled: their full bucket vectors
+// would dominate the ring's footprint, and the rate-of-count view an
+// operator wants from a series is already carried by the counters.
+
+// DefaultSeriesCap is the default ring capacity: at the default 1s
+// sample interval, six minutes of history.
+const DefaultSeriesCap = 360
+
+// SeriesPoint is one counter in one sample: its absolute value and the
+// per-second rate since the previous sample (0 in the first sample).
+type SeriesPoint struct {
+	Name  string  `json:"name"`
+	Value int64   `json:"value"`
+	Rate  float64 `json:"rate"`
+}
+
+// SeriesGauge is one gauge in one sample.
+type SeriesGauge struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// SeriesSample is one periodic snapshot.
+type SeriesSample struct {
+	UnixMS   int64         `json:"unix_ms"`
+	Counters []SeriesPoint `json:"counters"`
+	Gauges   []SeriesGauge `json:"gauges"`
+}
+
+// SeriesSnapshot is the exported form of a TimeSeries: the configured
+// interval plus the retained samples, oldest first.
+type SeriesSnapshot struct {
+	IntervalSeconds float64        `json:"interval_seconds"`
+	Samples         []SeriesSample `json:"samples"`
+}
+
+// WriteJSON renders the snapshot as indented JSON. Two exports of the
+// same ring state are byte-identical.
+func (s *SeriesSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// TimeSeries is the sampling ring. Construct with NewTimeSeries, drive
+// with Sample (or Start for a background ticker), read with Snapshot or
+// Tail.
+type TimeSeries struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu      sync.Mutex
+	ring    []SeriesSample // capacity capSamples, len grows to cap then stays
+	pos     int            // next overwrite position once full
+	capS    int
+	last    map[string]int64 // previous sample's counter values
+	lastAt  time.Time
+	sampled bool
+
+	now      func() time.Time // test hook
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  bool
+}
+
+// NewTimeSeries builds a ring of capSamples periodic samples of reg
+// (capSamples <= 0 selects DefaultSeriesCap; interval <= 0 selects 1s;
+// the interval only drives Start's ticker — Sample can be called at any
+// cadence).
+func NewTimeSeries(reg *Registry, capSamples int, interval time.Duration) *TimeSeries {
+	if reg == nil {
+		reg = Default()
+	}
+	if capSamples <= 0 {
+		capSamples = DefaultSeriesCap
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &TimeSeries{
+		reg:      reg,
+		interval: interval,
+		capS:     capSamples,
+		last:     map[string]int64{},
+		now:      time.Now,
+		stop:     make(chan struct{}),
+	}
+}
+
+// Sample takes one snapshot of the registry now and appends it to the
+// ring (overwriting the oldest sample once the ring is full).
+func (t *TimeSeries) Sample() {
+	t.sampleAt(t.now())
+}
+
+// sampleAt is Sample with an explicit clock (the determinism tests
+// drive it with synthetic times).
+func (t *TimeSeries) sampleAt(at time.Time) {
+	snap := t.reg.Snapshot()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	dt := 0.0
+	if t.sampled {
+		dt = at.Sub(t.lastAt).Seconds()
+	}
+	sample := SeriesSample{
+		UnixMS:   at.UnixMilli(),
+		Counters: make([]SeriesPoint, 0, len(snap.Counters)),
+		Gauges:   make([]SeriesGauge, 0, len(snap.Gauges)),
+	}
+	nextLast := make(map[string]int64, len(snap.Counters))
+	for _, c := range snap.Counters {
+		rate := 0.0
+		if prev, ok := t.last[c.Name]; ok && dt > 0 && c.Value >= prev {
+			rate = float64(c.Value-prev) / dt
+		}
+		sample.Counters = append(sample.Counters, SeriesPoint{Name: c.Name, Value: c.Value, Rate: rate})
+		nextLast[c.Name] = c.Value
+	}
+	for _, g := range snap.Gauges {
+		sample.Gauges = append(sample.Gauges, SeriesGauge{Name: g.Name, Value: g.Value})
+	}
+	t.last, t.lastAt, t.sampled = nextLast, at, true
+
+	if len(t.ring) < t.capS {
+		t.ring = append(t.ring, sample)
+		return
+	}
+	t.ring[t.pos] = sample
+	t.pos = (t.pos + 1) % t.capS
+}
+
+// Start launches a background goroutine sampling every interval until
+// Stop. Calling Start twice is a no-op.
+func (t *TimeSeries) Start() {
+	t.mu.Lock()
+	if t.started {
+		t.mu.Unlock()
+		return
+	}
+	t.started = true
+	t.mu.Unlock()
+	go func() {
+		tick := time.NewTicker(t.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t.Sample()
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background sampler (idempotent; safe without Start).
+func (t *TimeSeries) Stop() {
+	t.stopOnce.Do(func() { close(t.stop) })
+}
+
+// Len returns the number of retained samples.
+func (t *TimeSeries) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// ordered returns the retained samples oldest-first. Caller holds mu.
+func (t *TimeSeries) ordered() []SeriesSample {
+	out := make([]SeriesSample, 0, len(t.ring))
+	if len(t.ring) < t.capS {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.pos:]...)
+	return append(out, t.ring[:t.pos]...)
+}
+
+// Snapshot copies the whole retained window, oldest sample first.
+func (t *TimeSeries) Snapshot() *SeriesSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &SeriesSnapshot{
+		IntervalSeconds: t.interval.Seconds(),
+		Samples:         t.ordered(),
+	}
+}
+
+// Tail returns the most recent k samples (all of them when k exceeds
+// the retained count), oldest first.
+func (t *TimeSeries) Tail(k int) []SeriesSample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	all := t.ordered()
+	if k < 0 {
+		k = 0
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[len(all)-k:]
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestTimeSeriesRates checks counter rate derivation against an
+// explicit clock.
+func TestTimeSeriesRates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test.series.events")
+	g := reg.Gauge("test.series.depth")
+
+	ts := NewTimeSeries(reg, 8, time.Second)
+	base := time.Unix(2000, 0)
+
+	c.Add(10)
+	g.Set(3)
+	ts.sampleAt(base)
+	c.Add(20)
+	g.Set(5)
+	ts.sampleAt(base.Add(2 * time.Second))
+
+	snap := ts.Snapshot()
+	if len(snap.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(snap.Samples))
+	}
+	s0, s1 := snap.Samples[0], snap.Samples[1]
+	if s0.Counters[0].Rate != 0 {
+		t.Fatalf("first sample rate = %v, want 0 (no previous sample)", s0.Counters[0].Rate)
+	}
+	if s1.Counters[0].Value != 30 || s1.Counters[0].Rate != 10 {
+		t.Fatalf("second sample = %+v, want value 30 rate 10/s", s1.Counters[0])
+	}
+	if s1.Gauges[0].Value != 5 {
+		t.Fatalf("gauge = %+v, want 5", s1.Gauges[0])
+	}
+}
+
+// TestTimeSeriesWraparoundDeterminism pins the ring's wraparound
+// behaviour: only the newest capacity samples are retained, exports are
+// chronological, and two exports of the same state are byte-identical.
+func TestTimeSeriesWraparoundDeterminism(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test.ring.count")
+
+	const capacity = 4
+	ts := NewTimeSeries(reg, capacity, time.Second)
+	base := time.Unix(3000, 0)
+	for i := 0; i < 11; i++ {
+		c.Add(int64(i + 1))
+		ts.sampleAt(base.Add(time.Duration(i) * time.Second))
+	}
+
+	if ts.Len() != capacity {
+		t.Fatalf("ring holds %d, want %d", ts.Len(), capacity)
+	}
+	snap := ts.Snapshot()
+	if len(snap.Samples) != capacity {
+		t.Fatalf("export holds %d samples, want %d", len(snap.Samples), capacity)
+	}
+	// The retained window is the last `capacity` samples, in order.
+	for i := 1; i < len(snap.Samples); i++ {
+		if snap.Samples[i].UnixMS <= snap.Samples[i-1].UnixMS {
+			t.Fatalf("samples not chronological: %d then %d", snap.Samples[i-1].UnixMS, snap.Samples[i].UnixMS)
+		}
+	}
+	if want := base.Add(7 * time.Second).UnixMilli(); snap.Samples[0].UnixMS != want {
+		t.Fatalf("oldest retained = %d, want %d", snap.Samples[0].UnixMS, want)
+	}
+	// Rates were frozen at sampling time, so wraparound does not
+	// recompute them: sample i observed Add(i+1) over 1s.
+	for i, s := range snap.Samples {
+		if want := float64(8 + i); s.Counters[0].Rate != want {
+			t.Fatalf("retained sample %d rate = %v, want %v", i, s.Counters[0].Rate, want)
+		}
+	}
+
+	var a, b bytes.Buffer
+	if err := ts.Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same ring state differ")
+	}
+
+	// Tail returns the newest k, oldest first.
+	tail := ts.Tail(2)
+	if len(tail) != 2 || tail[1].UnixMS != base.Add(10*time.Second).UnixMilli() {
+		t.Fatalf("tail = %+v", tail)
+	}
+}
+
+// TestTimeSeriesStartStop smoke-tests the background sampler.
+func TestTimeSeriesStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.bg.count").Add(1)
+	ts := NewTimeSeries(reg, 16, 5*time.Millisecond)
+	ts.Start()
+	ts.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for ts.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts.Stop()
+	ts.Stop() // idempotent
+	if ts.Len() == 0 {
+		t.Fatal("background sampler never sampled")
+	}
+}

@@ -45,10 +45,10 @@ rm -f "$OBS_TMP/mbench-metrics.json" "$OBS_TMP/mbench-trace.json"
 echo "==> mserve selftest smoke (admission, dedup, deadline, drain invariants)"
 go run ./cmd/mserve -selftest -clients 8 -requests 10 -steps 3000 >/dev/null
 
-echo "==> mserve end-to-end smoke (daemon: cold/warm grid, 413, 429 burst, SIGTERM drain)"
-go run ./scripts/mservesmoke "$OBS_TMP/mserve-metrics.json" >/dev/null
-go run ./scripts/checkjson "$OBS_TMP/mserve-metrics.json" >/dev/null
-rm -f "$OBS_TMP/mserve-metrics.json"
+echo "==> mserve end-to-end smoke (daemon: cold/warm grid, SSE progress, statusz, 413, 429 burst, SIGTERM drain)"
+go run ./scripts/mservesmoke "$OBS_TMP/mserve-metrics.json" "$OBS_TMP/mserve-statusz.json" >/dev/null
+go run ./scripts/checkjson "$OBS_TMP/mserve-metrics.json" "$OBS_TMP/mserve-statusz.json" >/dev/null
+rm -f "$OBS_TMP/mserve-metrics.json" "$OBS_TMP/mserve-statusz.json"
 
 echo "==> columnar round-trip gate (legacy ⇄ MSTC, byte-identical, same replay)"
 MT_TMP="${TMPDIR:-/tmp}"
@@ -62,11 +62,17 @@ cmp "$MT_TMP/mt-replay-legacy.txt" "$MT_TMP/mt-replay-col.txt"
 rm -f "$MT_TMP/mt-legacy.trace" "$MT_TMP/mt-col.trace" "$MT_TMP/mt-back.trace" \
 	"$MT_TMP/mt-replay-legacy.txt" "$MT_TMP/mt-replay-col.txt"
 
-echo "==> streaming replay smoke (10M+ steps, bounded heap)"
+echo "==> streaming replay smoke (10M+ steps, bounded heap, peak-heap gauge)"
 # Six back-to-back passes of the full exprc trace: >10M prediction steps
 # whose in-memory equivalent exceeds 400 MiB, replayed under a 32 MiB
 # heap ceiling (the generate→replay pipeline never materializes a trace).
-go run ./cmd/mtrace stream -w exprc -repeat 6 -max-heap-mb 32 >/dev/null
+# The sampled peak lands in the metrics snapshot as a gauge; checkjson
+# re-asserts the same 32 MiB ceiling on the exported value.
+go run ./cmd/mtrace stream -w exprc -repeat 6 -max-heap-mb 32 -progress 2048 \
+	-metrics-out "$OBS_TMP/mtrace-metrics.json" >/dev/null
+go run ./scripts/checkjson -max-gauge mtrace.stream.peak_heap_bytes=33554432 \
+	"$OBS_TMP/mtrace-metrics.json" >/dev/null
+rm -f "$OBS_TMP/mtrace-metrics.json"
 
 echo "==> benchmark smoke (one iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x . >/dev/null

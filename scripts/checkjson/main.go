@@ -1,43 +1,105 @@
 // Command checkjson validates observability output files for the CI
 // smoke in scripts/check.sh: each argument must parse as JSON, a
 // -metrics-out snapshot must be an object with counters/gauges/
-// histograms sections, and a -trace-out file must be a JSON array of
-// trace events each carrying the fields Perfetto requires.
+// histograms sections, a /statusz capture must carry pool/cache/runs
+// sections plus a well-formed time series, and a -trace-out file must
+// be a JSON array of trace events each carrying the fields Perfetto
+// requires.
 //
 // Usage:
 //
 //	go run ./scripts/checkjson metrics.json trace.json
+//	go run ./scripts/checkjson -max-gauge mtrace.stream.peak_heap_bytes=33554432 metrics.json
 //
-// File roles are sniffed from the parsed shape (object = metrics
-// snapshot, array = trace). Exit status 0 iff every file validates.
+// File roles are sniffed from the parsed shape (object with "counters"
+// = metrics snapshot, object with "pool" = statusz capture, array =
+// trace). -max-gauge NAME=VALUE (repeatable) additionally requires the
+// named gauge to exist in at least one validated metrics snapshot with
+// a value no greater than VALUE. Exit status 0 iff every file and
+// every ceiling validates.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
+// gaugeCeiling is one -max-gauge NAME=VALUE assertion.
+type gaugeCeiling struct {
+	name string
+	max  int64
+	seen bool
+}
+
+// gaugeFlags collects repeated -max-gauge flags.
+type gaugeFlags []*gaugeCeiling
+
+func (g *gaugeFlags) String() string { return "" }
+
+func (g *gaugeFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME=VALUE, got %q", s)
+	}
+	max, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad ceiling in %q: %v", s, err)
+	}
+	*g = append(*g, &gaugeCeiling{name: name, max: max})
+	return nil
+}
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: checkjson file.json ...")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var ceilings gaugeFlags
+	files := []string{}
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-max-gauge" {
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "checkjson: -max-gauge needs NAME=VALUE")
+				return 2
+			}
+			i++
+			if err := ceilings.Set(args[i]); err != nil {
+				fmt.Fprintf(os.Stderr, "checkjson: -max-gauge: %v\n", err)
+				return 2
+			}
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: checkjson [-max-gauge NAME=VALUE]... file.json ...")
+		return 2
 	}
 	failed := false
-	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
+	for _, path := range files {
+		if err := check(path, ceilings); err != nil {
 			fmt.Fprintf(os.Stderr, "checkjson: %s: %v\n", path, err)
 			failed = true
 			continue
 		}
 		fmt.Printf("checkjson: %s ok\n", path)
 	}
-	if failed {
-		os.Exit(1)
+	for _, c := range ceilings {
+		if !c.seen {
+			fmt.Fprintf(os.Stderr, "checkjson: gauge %q not found in any metrics snapshot\n", c.name)
+			failed = true
+		}
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
-func check(path string) error {
+func check(path string, ceilings gaugeFlags) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -48,17 +110,24 @@ func check(path string) error {
 	}
 	switch doc := v.(type) {
 	case map[string]any:
-		return checkMetrics(doc)
+		if _, ok := doc["counters"]; ok {
+			return checkMetrics(doc, ceilings)
+		}
+		if _, ok := doc["pool"]; ok {
+			return checkStatusz(doc)
+		}
+		return fmt.Errorf("object is neither a metrics snapshot (no %q) nor a statusz capture (no %q)", "counters", "pool")
 	case []any:
 		return checkTrace(doc)
 	default:
-		return fmt.Errorf("top-level JSON is %T, want an object (metrics) or array (trace)", v)
+		return fmt.Errorf("top-level JSON is %T, want an object (metrics/statusz) or array (trace)", v)
 	}
 }
 
 // checkMetrics validates a -metrics-out snapshot: the three sections
-// exist and every metric entry names itself.
-func checkMetrics(doc map[string]any) error {
+// exist, every metric entry names itself, and any -max-gauge ceilings
+// that match a gauge here hold.
+func checkMetrics(doc map[string]any, ceilings gaugeFlags) error {
 	for _, section := range []string{"counters", "gauges", "histograms"} {
 		raw, ok := doc[section]
 		if !ok {
@@ -82,6 +151,91 @@ func checkMetrics(doc map[string]any) error {
 				return fmt.Errorf("%s not sorted: %q after %q", section, name, prev)
 			}
 			prev = name
+			if section == "gauges" {
+				for _, c := range ceilings {
+					if c.name != name {
+						continue
+					}
+					c.seen = true
+					val, ok := m["value"].(float64)
+					if !ok {
+						return fmt.Errorf("gauge %q has non-numeric value %v", name, m["value"])
+					}
+					if int64(val) > c.max {
+						return fmt.Errorf("gauge %q = %d exceeds ceiling %d", name, int64(val), c.max)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkStatusz validates a /statusz capture: pool occupancy, cache and
+// runs sections, and a time series whose samples are chronologically
+// ordered with sorted metric names.
+func checkStatusz(doc map[string]any) error {
+	pool, ok := doc["pool"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("statusz %q is %T, want object", "pool", doc["pool"])
+	}
+	if w, _ := pool["workers"].(float64); w < 1 {
+		return fmt.Errorf("statusz pool.workers = %v, want >= 1", pool["workers"])
+	}
+	if _, ok := doc["cache"].(map[string]any); !ok {
+		return fmt.Errorf("statusz %q is %T, want object", "cache", doc["cache"])
+	}
+	if _, ok := doc["runs"].(map[string]any); !ok {
+		return fmt.Errorf("statusz %q is %T, want object", "runs", doc["runs"])
+	}
+	series, ok := doc["series"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("statusz %q is %T, want object", "series", doc["series"])
+	}
+	return checkSeries(series)
+}
+
+// checkSeries validates a time-series export: samples in chronological
+// order, each with counters/gauges sorted by name.
+func checkSeries(doc map[string]any) error {
+	samples, ok := doc["samples"].([]any)
+	if !ok {
+		return fmt.Errorf("series %q is %T, want array", "samples", doc["samples"])
+	}
+	prevMS := float64(0)
+	for i, raw := range samples {
+		s, ok := raw.(map[string]any)
+		if !ok {
+			return fmt.Errorf("series sample %d is %T, want object", i, raw)
+		}
+		ms, ok := s["unix_ms"].(float64)
+		if !ok {
+			return fmt.Errorf("series sample %d has no unix_ms", i)
+		}
+		if ms < prevMS {
+			return fmt.Errorf("series samples out of order: sample %d at %v after %v", i, ms, prevMS)
+		}
+		prevMS = ms
+		for _, section := range []string{"counters", "gauges"} {
+			list, ok := s[section].([]any)
+			if !ok {
+				continue // empty sections may be null
+			}
+			prev := ""
+			for j, entry := range list {
+				m, ok := entry.(map[string]any)
+				if !ok {
+					return fmt.Errorf("sample %d %s[%d] is %T, want object", i, section, j, entry)
+				}
+				name, _ := m["name"].(string)
+				if name == "" {
+					return fmt.Errorf("sample %d %s[%d] has no name", i, section, j)
+				}
+				if name <= prev {
+					return fmt.Errorf("sample %d %s not sorted: %q after %q", i, section, name, prev)
+				}
+				prev = name
+			}
 		}
 	}
 	return nil

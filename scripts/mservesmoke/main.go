@@ -1,19 +1,26 @@
 // Command mservesmoke is the CI end-to-end smoke for cmd/mserve: it
 // builds the daemon, starts it on an ephemeral port, and drives the full
 // robustness envelope from outside the process — cold grid pass, cached
-// re-pass (every answer byte-identical and marked "hit"), an oversized
-// body (413), an overload burst that must shed with 429+Retry-After, and
-// finally SIGTERM for a graceful drain with a flushed metrics snapshot
-// (validated by scripts/checkjson from check.sh).
+// re-pass (every answer byte-identical and marked "hit"), a live
+// progress pass (the SSE stream for a long cold cell must deliver
+// progress events and terminate with exactly the cached result's key),
+// a /statusz capture (written to the second argument for checkjson), an
+// oversized body (413), an overload burst that must shed with
+// 429+Retry-After, and finally SIGTERM for a graceful drain with a
+// flushed metrics snapshot (validated by scripts/checkjson from
+// check.sh).
 //
-// Usage: mservesmoke <metrics-out-path>
+// Usage: mservesmoke <metrics-out-path> <statusz-out-path>
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -39,10 +46,10 @@ func main() {
 }
 
 func run() error {
-	if len(os.Args) != 2 {
-		return fmt.Errorf("usage: mservesmoke <metrics-out-path>")
+	if len(os.Args) != 3 {
+		return fmt.Errorf("usage: mservesmoke <metrics-out-path> <statusz-out-path>")
 	}
-	metricsOut := os.Args[1]
+	metricsOut, statuszOut := os.Args[1], os.Args[2]
 
 	tmp, err := os.MkdirTemp("", "mservesmoke")
 	if err != nil {
@@ -61,6 +68,7 @@ func run() error {
 	daemon := exec.Command(bin,
 		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
 		"-workers", "1", "-queue", "2",
+		"-progress-interval", "5ms", "-sample-interval", "50ms",
 		"-metrics-out", metricsOut)
 	daemon.Stderr = os.Stderr
 	if err := daemon.Start(); err != nil {
@@ -128,9 +136,115 @@ func run() error {
 	}
 	fmt.Println("mservesmoke: warm pass ok (all hits, byte-identical)")
 
+	// Live progress pass: open the SSE stream for a long cold cell
+	// before it is even submitted (?wait covers the gap), POST it, and
+	// require the stream to deliver progress events and terminate with a
+	// done event naming exactly the key the cached response body carries.
+	progCell := cell{workload: "boolmin", spec: "path:d2-o4-l5-c5:vc2rand:seed777", steps: 120000}
+	progKey := fmt.Sprintf("%s/%s@mode=exit,steps=%d,timing=0", progCell.workload, progCell.spec, progCell.steps)
+
+	type streamResult struct {
+		progress int
+		done     map[string]any
+		err      error
+	}
+	streamCh := make(chan streamResult, 1)
+	go func() {
+		resp, err := client.Get(base + "/progress?key=" + url.QueryEscape(progKey) + "&wait=15")
+		if err != nil {
+			streamCh <- streamResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b, _ := io.ReadAll(resp.Body)
+			streamCh <- streamResult{err: fmt.Errorf("progress stream status %d: %s", resp.StatusCode, b)}
+			return
+		}
+		var res streamResult
+		sc := bufio.NewScanner(resp.Body)
+		event, data := "", ""
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				switch event {
+				case "progress":
+					res.progress++
+				case "done":
+					if err := json.Unmarshal([]byte(data), &res.done); err != nil {
+						res.err = fmt.Errorf("bad done payload %q: %v", data, err)
+					}
+					streamCh <- res
+					return
+				}
+				event, data = "", ""
+			}
+		}
+		res.err = fmt.Errorf("progress stream ended without a done event (scan err %v)", sc.Err())
+		streamCh <- res
+	}()
+
+	// Give the watcher a moment to enter its wait loop, then submit.
+	time.Sleep(200 * time.Millisecond)
+	status, _, body, err := post(client, base, progCell)
+	if err != nil || status != 200 {
+		return fmt.Errorf("progress cell POST: status %d err %v", status, err)
+	}
+	var evalBody map[string]any
+	if err := json.Unmarshal(body, &evalBody); err != nil {
+		return fmt.Errorf("progress cell body: %w", err)
+	}
+	bodyKey, _ := evalBody["key"].(string)
+	if bodyKey != progKey {
+		return fmt.Errorf("progress cell key = %q, want %q", bodyKey, progKey)
+	}
+
+	sres := <-streamCh
+	if sres.err != nil {
+		return fmt.Errorf("progress stream: %w", sres.err)
+	}
+	if sres.progress < 1 {
+		return fmt.Errorf("progress stream delivered no progress events before done")
+	}
+	if ok, _ := sres.done["ok"].(bool); !ok {
+		return fmt.Errorf("progress done event not ok: %v", sres.done)
+	}
+	if doneKey, _ := sres.done["key"].(string); doneKey != bodyKey {
+		return fmt.Errorf("progress stream ended with key %q, cached body has %q", sres.done["key"], bodyKey)
+	}
+	status, hdr, _, err := post(client, base, progCell)
+	if err != nil || status != 200 || hdr.Get("X-Mserve-Cache") != "hit" {
+		return fmt.Errorf("progress cell re-POST: status %d cache %q err %v, want cached hit", status, hdr.Get("X-Mserve-Cache"), err)
+	}
+	fmt.Printf("mservesmoke: progress pass ok (%d progress events, done key matches cached result)\n", sres.progress)
+
+	// Statusz capture: must answer with a request id and a body that
+	// checkjson validates (pool/cache/runs sections + ordered series).
+	resp, err := client.Get(base + "/statusz")
+	if err != nil {
+		return fmt.Errorf("GET /statusz: %w", err)
+	}
+	szBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != 200 {
+		return fmt.Errorf("GET /statusz: status %d err %v", resp.StatusCode, err)
+	}
+	if resp.Header.Get("X-Mserve-Request") == "" {
+		return fmt.Errorf("/statusz response missing X-Mserve-Request id")
+	}
+	if err := os.WriteFile(statuszOut, szBody, 0o644); err != nil {
+		return fmt.Errorf("writing statusz capture: %w", err)
+	}
+	fmt.Println("mservesmoke: statusz captured")
+
 	// Hardened decoder: an oversized body must be a structured 413.
 	big := `{"workload":"boolmin","spec":"` + strings.Repeat("x", 1<<17) + `"}`
-	resp, err := client.Post(base+"/eval", "application/json", strings.NewReader(big))
+	resp, err = client.Post(base+"/eval", "application/json", strings.NewReader(big))
 	if err != nil {
 		return fmt.Errorf("oversized POST: %w", err)
 	}
