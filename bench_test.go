@@ -70,6 +70,7 @@ func BenchmarkAblationSingleExit(b *testing.B)    { benchExperiment(b, "ablation
 func BenchmarkAblationRAS(b *testing.B)           { benchExperiment(b, "ablation-ras") }
 func BenchmarkAblationRealHistories(b *testing.B) { benchExperiment(b, "ablation-real-histories") }
 func BenchmarkAblationUpdateDelay(b *testing.B)   { benchExperiment(b, "ablation-updatedelay") }
+func BenchmarkSpecUpdate(b *testing.B)            { benchExperiment(b, "specupdate") }
 
 // ---- predictor hot paths -------------------------------------------------
 
@@ -352,6 +353,39 @@ func BenchmarkEvaluateTaskBlocks(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.EvaluateTaskBlocks(c.Blocks(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerStepN(b, c.PredictionSteps())
+}
+
+// ---- speculative-update kernels ------------------------------------------
+//
+// The ...SpecBlocks benchmarks replay the block kernels in speculative-
+// update mode (lag 4) with real paper predictors, so every mispredict
+// drains the predictor-owned undo ring through a checkpoint repair —
+// rollback-heavy by construction. The gap to the idealized
+// BenchmarkEvaluateExitPathBlocks twin is the speculation tax; benchdiff
+// holds allocs/op at the idealized level (repair never allocates).
+
+func BenchmarkEvaluateExitSpecBlocks(b *testing.B) {
+	c := benchColumnarTrace(b, "exprc")
+	p := engine.MustBuildExit("path:d7-o5-l6-c6-f3:leh2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvaluateExitSpecBlocks(c.Blocks(), p, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPerStepN(b, c.PredictionSteps())
+}
+
+func BenchmarkEvaluateTaskSpecBlocks(b *testing.B) {
+	c := benchColumnarTrace(b, "exprc")
+	p := engine.MustBuild("composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EvaluateTaskSpecBlocks(c.Blocks(), p, 4); err != nil {
 			b.Fatal(err)
 		}
 	}

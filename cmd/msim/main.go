@@ -14,6 +14,8 @@
 //	msim -w calcsheet -pred perfect -timing           # oracle timing bound
 //	msim -w exprc -steps 200000                       # truncate the run
 //	msim -w exprc -fault all=1e-3,seed=7              # seeded fault injection
+//	msim -w exprc -pred composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3:spec:rlat8 -timing
+//	                                                  # speculative update with checkpoint repair
 //	msim -w exprc -http localhost:6060                # pprof + expvar + /metricz
 //	msim -w exprc -metrics-out m.json -trace-out t.json
 //
@@ -116,6 +118,10 @@ func run(wname, predStr, faultStr string, steps int, doTiming bool) error {
 		case engine.ClassExit:
 			fmt.Printf("  exit miss rate     %6.2f%%  (%d / %d)\n",
 				100*res.Exit.MissRate(), res.Exit.Misses, res.Exit.Steps)
+			if sp.SpecUpdate() {
+				fmt.Printf("  rollbacks          %d  (%d speculative frames repaired)\n",
+					res.Exit.Rollbacks, res.Exit.RepairFrames)
+			}
 		case engine.ClassTarget:
 			fmt.Printf("  target miss rate   %6.2f%%  (%d / %d indirect exits)\n",
 				100*res.Target.MissRate(), res.Target.Misses, res.Target.Steps)
@@ -134,6 +140,10 @@ func run(wname, predStr, faultStr string, steps int, doTiming bool) error {
 				fmt.Printf("  %-18s %6.2f%%  (%d / %d)\n", k.String()+" misses",
 					100*float64(km.Misses)/float64(km.Steps), km.Misses, km.Steps)
 			}
+			if sp.SpecUpdate() {
+				fmt.Printf("  rollbacks          %d  (%d speculative frames repaired, %d with RAS damage)\n",
+					res.Task.Rollbacks, res.Task.RepairFrames, res.Task.RASDamage)
+			}
 			if res.Faulted {
 				fmt.Printf("  faults injected    %s\n", res.Injection)
 			}
@@ -148,6 +158,10 @@ func run(wname, predStr, faultStr string, steps int, doTiming bool) error {
 		}
 		fmt.Printf("timing (4 units, 2-way): IPC %.2f over %d cycles, %d tasks, task miss %.2f%%\n",
 			res.Timing.IPC(), res.Timing.Cycles, res.Timing.Tasks, 100*res.Timing.TaskMissRate())
+		if sp.SpecUpdate() {
+			fmt.Printf("  predictor repairs: %d rollbacks, %d dispatch cycles stalled\n",
+				res.Timing.Rollbacks, res.Timing.RepairCycles)
+		}
 	}
 	return nil
 }

@@ -100,11 +100,25 @@ func AutomatonKindByName(name string) (AutomatonKind, error) {
 	return AutomatonKind{}, fmt.Errorf("core: unknown automaton kind %q", name)
 }
 
+// autState is implemented by every built-in automaton: the complete
+// mutable training state packed into one word, so the speculative-update
+// undo log can checkpoint and restore an automaton without allocation.
+// The pack excludes configuration (max, tie policy, rng pointer) — only
+// what Update mutates. Update never consumes the tie-break RNG (only
+// Predict does, on TieRandom ties), so the RNG stream needs no rollback.
+type autState interface {
+	packState() uint64
+	unpackState(uint64)
+}
+
 // lastExit predicts whatever exit was taken last time (LE).
 type lastExit int8
 
 func (a *lastExit) Predict() int      { return int(*a) }
 func (a *lastExit) Update(actual int) { *a = lastExit(actual) }
+
+func (a *lastExit) packState() uint64  { return uint64(uint8(*a)) }
+func (a *lastExit) unpackState(v uint64) { *a = lastExit(int8(uint8(v))) }
 
 // leh is last-exit with hysteresis (LEH): the stored exit is replaced only
 // when the saturating confidence counter has decayed to zero and the
@@ -129,6 +143,15 @@ func (a *leh) Update(actual int) {
 		return
 	}
 	a.ctr--
+}
+
+func (a *leh) packState() uint64 {
+	return uint64(uint8(a.exit)) | uint64(uint8(a.ctr))<<8
+}
+
+func (a *leh) unpackState(v uint64) {
+	a.exit = int8(uint8(v))
+	a.ctr = int8(uint8(v >> 8))
 }
 
 // votingCounters keeps one saturating counter per exit; the exit with the
@@ -190,4 +213,19 @@ func (a *votingCounters) Update(actual int) {
 		}
 	}
 	a.mru = int8(actual)
+}
+
+func (a *votingCounters) packState() uint64 {
+	v := uint64(uint8(a.mru)) << (8 * tfg.MaxExits)
+	for i, c := range a.ctr {
+		v |= uint64(uint8(c)) << (8 * uint(i))
+	}
+	return v
+}
+
+func (a *votingCounters) unpackState(v uint64) {
+	for i := range a.ctr {
+		a.ctr[i] = int8(uint8(v >> (8 * uint(i))))
+	}
+	a.mru = int8(uint8(v >> (8 * tfg.MaxExits)))
 }

@@ -16,6 +16,11 @@ type HeaderPredictor struct {
 	exit ExitPredictor
 	ras  *RAS
 	buf  TargetBuffer
+
+	// Spec-capable views of exit/buf, resolved once by specInit when a
+	// speculative-update session adopts this predictor.
+	specExit SpecExitPredictor
+	specBuf  SpecTargetBuffer
 }
 
 // NewHeaderPredictor composes a task predictor from an exit predictor, a
@@ -101,6 +106,91 @@ func (p *HeaderPredictor) Update(t *tfg.Task, o Outcome) {
 	}
 }
 
+// specInit resolves the spec-capable component views; a speculative-
+// update session calls it once at adoption and fails cleanly when a
+// component cannot checkpoint-repair.
+func (p *HeaderPredictor) specInit() error {
+	se, ok := p.exit.(SpecExitPredictor)
+	if !ok {
+		return fmt.Errorf("core: %s: exit predictor %s does not support speculative update", p.name, p.exit.Name())
+	}
+	if c, ok := p.exit.(interface{ specErr() error }); ok {
+		if err := c.specErr(); err != nil {
+			return err
+		}
+	}
+	p.specExit = se
+	if p.buf != nil {
+		sb, ok := p.buf.(SpecTargetBuffer)
+		if !ok {
+			return fmt.Errorf("core: %s: target buffer %s does not support speculative update", p.name, p.buf.Name())
+		}
+		p.specBuf = sb
+	}
+	return nil
+}
+
+// SpecUpdate implements SpecTaskPredictor: the same component training
+// as Update, driven by the *predicted* outcome — the exit predictor
+// trains toward the predicted exit, the CTTB toward the predicted target
+// when the predicted exit is indirect, and the RAS pushes/pops along the
+// predicted control kind (the spec_update-at-fetch discipline; mostly
+// relevant for the RAS, exactly as in XIOSim). Every mutation is
+// undo-logged for RepairTask.
+func (p *HeaderPredictor) SpecUpdate(t *tfg.Task, pr Prediction) {
+	if t.NumExits() > 0 {
+		p.specExit.SpecUpdateExit(t, pr.Exit)
+		spec := t.Exits[pr.Exit]
+		if spec.Kind.IsIndirect() && p.specBuf != nil {
+			p.specBuf.SpecTrain(t.Start, pr.Target)
+		}
+		if p.ras != nil {
+			switch {
+			case spec.Kind.IsCall():
+				p.ras.Push(spec.Return)
+			case spec.Kind == isa.KindReturn:
+				p.ras.Pop()
+			}
+		}
+	}
+	if p.specBuf != nil {
+		p.specBuf.SpecAdvance(t.Start)
+	}
+}
+
+// MarkTask implements SpecTaskPredictor.
+func (p *HeaderPredictor) MarkTask() TaskMark {
+	m := TaskMark{exit: p.specExit.MarkExit()}
+	if p.specBuf != nil {
+		m.buf = p.specBuf.MarkTarget()
+	}
+	if p.ras != nil {
+		m.ras = p.ras.Mark()
+	}
+	return m
+}
+
+// RepairTask implements SpecTaskPredictor. It reports whether the RAS
+// repair was inexact (live entries clobbered beyond the mark's reach).
+func (p *HeaderPredictor) RepairTask(m TaskMark) bool {
+	p.specExit.RepairExit(m.exit)
+	if p.specBuf != nil {
+		p.specBuf.RepairTarget(m.buf)
+	}
+	if p.ras != nil {
+		return p.ras.Repair(m.ras)
+	}
+	return false
+}
+
+// CommitTask implements SpecTaskPredictor.
+func (p *HeaderPredictor) CommitTask(m TaskMark) {
+	p.specExit.CommitExit(m.exit)
+	if p.specBuf != nil {
+		p.specBuf.CommitTarget(m.buf)
+	}
+}
+
 // CTTBOnly is the header-less task predictor of §5.4 / Table 3: the next
 // task address is predicted directly from a (large) correlated target
 // buffer for every task step, with all exit types competing for buffer
@@ -108,6 +198,8 @@ func (p *HeaderPredictor) Update(t *tfg.Task, o Outcome) {
 type CTTBOnly struct {
 	name string
 	buf  TargetBuffer
+
+	specBuf SpecTargetBuffer
 }
 
 // NewCTTBOnly builds a CTTB-only task predictor over the given buffer.
@@ -141,3 +233,34 @@ func (p *CTTBOnly) Update(t *tfg.Task, o Outcome) {
 	}
 	p.buf.Advance(t.Start)
 }
+
+// specInit resolves the spec-capable buffer view; see HeaderPredictor.
+func (p *CTTBOnly) specInit() error {
+	sb, ok := p.buf.(SpecTargetBuffer)
+	if !ok {
+		return fmt.Errorf("core: %s: target buffer %s does not support speculative update", p.name, p.buf.Name())
+	}
+	p.specBuf = sb
+	return nil
+}
+
+// SpecUpdate implements SpecTaskPredictor: Update driven by the
+// predicted target, undo-logged.
+func (p *CTTBOnly) SpecUpdate(t *tfg.Task, pr Prediction) {
+	if t.NumExits() > 0 {
+		p.specBuf.SpecTrain(t.Start, pr.Target)
+	}
+	p.specBuf.SpecAdvance(t.Start)
+}
+
+// MarkTask implements SpecTaskPredictor.
+func (p *CTTBOnly) MarkTask() TaskMark { return TaskMark{buf: p.specBuf.MarkTarget()} }
+
+// RepairTask implements SpecTaskPredictor (no RAS: never inexact).
+func (p *CTTBOnly) RepairTask(m TaskMark) bool {
+	p.specBuf.RepairTarget(m.buf)
+	return false
+}
+
+// CommitTask implements SpecTaskPredictor.
+func (p *CTTBOnly) CommitTask(m TaskMark) { p.specBuf.CommitTarget(m.buf) }

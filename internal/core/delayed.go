@@ -21,7 +21,12 @@ type DelayedUpdate struct {
 	inner ExitPredictor
 	delay int
 
-	queue []pendingUpdate // FIFO of at most delay entries
+	// FIFO of at most delay live entries, kept as a fixed ring (head
+	// index + live count): enqueue and dequeue are O(1) per step where
+	// the previous slice-shifting FIFO copied O(delay) entries once full.
+	queue []pendingUpdate
+	head  int
+	n     int
 }
 
 type pendingUpdate struct {
@@ -35,7 +40,11 @@ func NewDelayedUpdate(inner ExitPredictor, delay int) *DelayedUpdate {
 	if delay < 0 {
 		delay = 0
 	}
-	return &DelayedUpdate{inner: inner, delay: delay}
+	d := &DelayedUpdate{inner: inner, delay: delay}
+	if delay > 0 {
+		d.queue = make([]pendingUpdate, delay+1)
+	}
+	return d
 }
 
 // Name implements ExitPredictor.
@@ -49,7 +58,7 @@ func (d *DelayedUpdate) States() int { return d.inner.States() }
 // Reset implements ExitPredictor.
 func (d *DelayedUpdate) Reset() {
 	d.inner.Reset()
-	d.queue = d.queue[:0]
+	d.head, d.n = 0, 0
 }
 
 // PredictExit implements ExitPredictor: the inner predictor answers with
@@ -60,17 +69,27 @@ func (d *DelayedUpdate) PredictExit(t *tfg.Task) int {
 
 // UpdateExit implements ExitPredictor: the outcome enters a FIFO and
 // trains the inner predictor only once `delay` younger tasks have been
-// predicted.
+// predicted. The enqueue-then-drain order matches the original shifting
+// implementation exactly, so results are byte-identical.
 func (d *DelayedUpdate) UpdateExit(t *tfg.Task, exit int) {
 	if d.delay == 0 {
 		d.inner.UpdateExit(t, exit)
 		return
 	}
-	d.queue = append(d.queue, pendingUpdate{task: t, exit: exit})
-	if len(d.queue) > d.delay {
-		u := d.queue[0]
-		copy(d.queue, d.queue[1:])
-		d.queue = d.queue[:len(d.queue)-1]
+	i := d.head + d.n
+	if i >= len(d.queue) {
+		i -= len(d.queue)
+	}
+	d.queue[i] = pendingUpdate{task: t, exit: exit}
+	d.n++
+	if d.n > d.delay {
+		u := d.queue[d.head]
+		d.queue[d.head] = pendingUpdate{}
+		d.head++
+		if d.head == len(d.queue) {
+			d.head = 0
+		}
+		d.n--
 		d.inner.UpdateExit(u.task, u.exit)
 	}
 }

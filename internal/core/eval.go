@@ -14,6 +14,10 @@ type ExitResult struct {
 	Steps  int // prediction events
 	Misses int // exit mispredictions
 	States int // distinct predictor states touched (Figure 11)
+
+	// Speculative-update accounting; zero in idealized mode.
+	Rollbacks    int // mispredict repairs (undo-log drains)
+	RepairFrames int // total in-flight frames squashed across repairs
 }
 
 // MissRate returns the exit miss rate in [0,1].
@@ -216,6 +220,13 @@ type TaskResult struct {
 	ExitMisses int // wrong exit number (meaningful for header predictors)
 	Misses     int // wrong next-task address — the paper's task miss rate
 	ByKind     map[isa.ControlKind]KindMisses
+
+	// Speculative-update accounting; zero in idealized mode. Rollbacks
+	// counts full-outcome mismatches and so can exceed Misses (a right
+	// target reached through the wrong exit still rolls back).
+	Rollbacks    int
+	RepairFrames int
+	RASDamage    int // repairs where wrong-path pushes clobbered live RAS entries
 }
 
 // KindMisses is the per-control-kind accounting of a TaskResult.

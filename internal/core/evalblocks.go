@@ -227,14 +227,7 @@ func (p *PathExit) ReplayExitBlock(blk *trace.Block) (steps, misses int) {
 			if p.opts.TrainLatency == 0 {
 				p.slotAt(p.dolc.Index(&p.hist, ent.Addr)).Update(int(e))
 			} else {
-				p.pending = append(p.pending, pendingTrain{
-					idx: p.dolc.Index(&p.hist, ent.Addr), exit: e})
-				if len(p.pending) > p.opts.TrainLatency {
-					u := p.pending[0]
-					copy(p.pending, p.pending[1:])
-					p.pending = p.pending[:len(p.pending)-1]
-					p.slotAt(u.idx).Update(int(u.exit))
-				}
+				p.pendPush(p.dolc.Index(&p.hist, ent.Addr), int(e))
 			}
 		}
 		if !(p.opts.SkipSingleExitHistory && single) {

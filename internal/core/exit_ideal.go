@@ -30,6 +30,7 @@ type IdealGlobal struct {
 	rng   *rng
 	hist  ExitHistory
 	table map[exitKey]Automaton
+	undo  undoRing
 }
 
 // NewIdealGlobal returns an alias-free GLOBAL exit predictor of the given
@@ -57,6 +58,7 @@ func (p *IdealGlobal) States() int { return len(p.table) }
 func (p *IdealGlobal) Reset() {
 	p.hist = 0
 	p.table = make(map[exitKey]Automaton)
+	p.undo.reset()
 	p.rng = newRNG(1)
 }
 
@@ -76,8 +78,23 @@ func (p *IdealGlobal) PredictExit(t *tfg.Task) int {
 }
 
 // UpdateExit implements ExitPredictor.
-func (p *IdealGlobal) UpdateExit(t *tfg.Task, exit int) {
-	p.automaton(t).Update(exit)
+func (p *IdealGlobal) UpdateExit(t *tfg.Task, exit int) { p.updateExit(t, exit, nil) }
+
+func (p *IdealGlobal) updateExit(t *tfg.Task, exit int, log *undoRing) {
+	k := exitKey{addr: t.Start, hist: p.hist}
+	a := p.table[k]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.table[k] = a
+		if log != nil {
+			log.push(specUndo{kind: undoMapCreateExit, addr: k.addr, prev: uint64(k.hist)})
+		}
+	}
+	if log != nil {
+		log.push(specUndo{kind: undoMapState, aut: a, prev: a.(autState).packState()})
+		log.push(specUndo{kind: undoExitHist, prev: uint64(p.hist)})
+	}
+	a.Update(exit)
 	p.hist = p.hist.Push(exit, p.depth)
 }
 
@@ -90,6 +107,7 @@ type IdealPer struct {
 	rng   *rng
 	hists map[isa.Addr]ExitHistory
 	table map[exitKey]Automaton
+	undo  undoRing
 }
 
 // NewIdealPer returns an alias-free PER exit predictor. It panics on a
@@ -115,6 +133,7 @@ func (p *IdealPer) States() int { return len(p.table) }
 func (p *IdealPer) Reset() {
 	p.hists = make(map[isa.Addr]ExitHistory)
 	p.table = make(map[exitKey]Automaton)
+	p.undo.reset()
 	p.rng = newRNG(2)
 }
 
@@ -134,9 +153,25 @@ func (p *IdealPer) PredictExit(t *tfg.Task) int {
 }
 
 // UpdateExit implements ExitPredictor.
-func (p *IdealPer) UpdateExit(t *tfg.Task, exit int) {
-	p.automaton(t).Update(exit)
-	p.hists[t.Start] = p.hists[t.Start].Push(exit, p.depth)
+func (p *IdealPer) UpdateExit(t *tfg.Task, exit int) { p.updateExit(t, exit, nil) }
+
+func (p *IdealPer) updateExit(t *tfg.Task, exit int, log *undoRing) {
+	h := p.hists[t.Start]
+	k := exitKey{addr: t.Start, hist: h}
+	a := p.table[k]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.table[k] = a
+		if log != nil {
+			log.push(specUndo{kind: undoMapCreateExit, addr: k.addr, prev: uint64(k.hist)})
+		}
+	}
+	if log != nil {
+		log.push(specUndo{kind: undoMapState, aut: a, prev: a.(autState).packState()})
+		log.push(specUndo{kind: undoPerHist, addr: t.Start, prev: uint64(h)})
+	}
+	a.Update(exit)
+	p.hists[t.Start] = h.Push(exit, p.depth)
 }
 
 // IdealPath is the ideal PATH scheme: the prediction context is the exact
@@ -148,6 +183,7 @@ type IdealPath struct {
 	rng   *rng
 	hist  PathHistory
 	table map[PathKey]Automaton
+	undo  undoRing
 }
 
 // NewIdealPath returns an alias-free PATH exit predictor. It panics on a
@@ -169,6 +205,7 @@ func (p *IdealPath) States() int { return len(p.table) }
 func (p *IdealPath) Reset() {
 	p.hist.Reset()
 	p.table = make(map[PathKey]Automaton)
+	p.undo.reset()
 	p.rng = newRNG(3)
 }
 
@@ -188,7 +225,22 @@ func (p *IdealPath) PredictExit(t *tfg.Task) int {
 }
 
 // UpdateExit implements ExitPredictor.
-func (p *IdealPath) UpdateExit(t *tfg.Task, exit int) {
-	p.automaton(t).Update(exit)
+func (p *IdealPath) UpdateExit(t *tfg.Task, exit int) { p.updateExit(t, exit, nil) }
+
+func (p *IdealPath) updateExit(t *tfg.Task, exit int, log *undoRing) {
+	k := MakePathKey(&p.hist, t.Start, p.depth)
+	a := p.table[k]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.table[k] = a
+		if log != nil {
+			log.push(specUndo{kind: undoMapCreatePath, key: k})
+		}
+	}
+	if log != nil {
+		log.push(specUndo{kind: undoMapState, aut: a, prev: a.(autState).packState()})
+		logPathHist(log, &p.hist)
+	}
+	a.Update(exit)
 	p.hist.Push(t.Start)
 }

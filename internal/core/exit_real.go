@@ -41,11 +41,16 @@ type PathExit struct {
 	hist    PathHistory
 	pht     []Automaton
 	touched int
+	undo    undoRing
 
-	// Pending automaton updates when TrainLatency > 0. The PHT index is
-	// captured at update time (before further history pushes), exactly
-	// as hardware tags an in-flight task with its prediction context.
-	pending []pendingTrain
+	// Pending automaton updates when TrainLatency > 0, kept in a
+	// fixed-size ring (head index + live count) so a full FIFO costs
+	// O(1) per step. The PHT index is captured at update time (before
+	// further history pushes), exactly as hardware tags an in-flight
+	// task with its prediction context.
+	pending  []pendingTrain
+	pendHead int
+	pendN    int
 }
 
 type pendingTrain struct {
@@ -62,13 +67,17 @@ func NewPathExit(d DOLC, kind AutomatonKind, opts PathExitOptions) (*PathExit, e
 	if opts.TrainLatency < 0 {
 		return nil, fmt.Errorf("core: negative TrainLatency %d", opts.TrainLatency)
 	}
-	return &PathExit{
+	p := &PathExit{
 		dolc: d,
 		kind: kind,
 		opts: opts,
 		rng:  newRNG(opts.Seed + 0x5f0d),
 		pht:  make([]Automaton, d.TableSize()),
-	}, nil
+	}
+	if opts.TrainLatency > 0 {
+		p.pending = make([]pendingTrain, opts.TrainLatency+1)
+	}
+	return p, nil
 }
 
 // MustPathExit is NewPathExit for statically-known configurations. It
@@ -102,8 +111,20 @@ func (p *PathExit) Reset() {
 	p.hist.Reset()
 	p.pht = make([]Automaton, p.dolc.TableSize())
 	p.touched = 0
-	p.pending = p.pending[:0]
+	p.pendHead, p.pendN = 0, 0
+	p.undo.reset()
 	p.rng = newRNG(p.opts.Seed + 0x5f0d)
+}
+
+// specErr reports why this predictor cannot run under speculative
+// update: the TrainLatency FIFO is itself an update-timing model and
+// composing it under checkpoint repair would double-count the lag (the
+// session's resolution window is the lag model in spec mode).
+func (p *PathExit) specErr() error {
+	if p.opts.TrainLatency > 0 {
+		return fmt.Errorf("core: %s: TrainLatency %d cannot combine with speculative update (the session's resolution lag models update timing)", p.Name(), p.opts.TrainLatency)
+	}
+	return nil
 }
 
 func (p *PathExit) slotAt(idx uint32) Automaton {
@@ -129,25 +150,61 @@ func (p *PathExit) PredictExit(t *tfg.Task) int {
 }
 
 // UpdateExit implements ExitPredictor.
-func (p *PathExit) UpdateExit(t *tfg.Task, exit int) {
+func (p *PathExit) UpdateExit(t *tfg.Task, exit int) { p.updateExit(t, exit, nil) }
+
+// pendPush enqueues a delayed automaton update and, once the FIFO holds
+// more than TrainLatency entries, trains the oldest — the same order as
+// the original shifting FIFO, at O(1) per step.
+func (p *PathExit) pendPush(idx uint32, exit int) {
+	i := p.pendHead + p.pendN
+	if i >= len(p.pending) {
+		i -= len(p.pending)
+	}
+	p.pending[i] = pendingTrain{idx: idx, exit: int8(exit)}
+	p.pendN++
+	if p.pendN > p.opts.TrainLatency {
+		u := p.pending[p.pendHead]
+		p.pendHead++
+		if p.pendHead == len(p.pending) {
+			p.pendHead = 0
+		}
+		p.pendN--
+		p.slotAt(u.idx).Update(int(u.exit))
+	}
+}
+
+// updateExit is the single training path for both idealized and
+// speculative update: with a nil log it is the paper's immediate update;
+// with a log every mutation records its inverse for checkpoint repair.
+func (p *PathExit) updateExit(t *tfg.Task, exit int, log *undoRing) {
 	single := t.SingleExit()
 	if !(p.opts.SkipSingleExit && single) {
 		if p.opts.TrainLatency == 0 {
-			p.slot(t).Update(exit)
+			idx := p.dolc.Index(&p.hist, t.Start)
+			a := p.pht[idx]
+			if a == nil {
+				a = p.kind.New(p.rng)
+				p.pht[idx] = a
+				p.touched++
+				if log != nil {
+					log.push(specUndo{kind: undoAutCreate, idx: idx})
+				}
+			}
+			if log != nil {
+				log.push(specUndo{kind: undoAutState, idx: idx, prev: a.(autState).packState()})
+			}
+			a.Update(exit)
 		} else {
 			// Capture the context index now; train once the outcome has
-			// "travelled back" TrainLatency tasks later.
-			p.pending = append(p.pending, pendingTrain{
-				idx: p.dolc.Index(&p.hist, t.Start), exit: int8(exit)})
-			if len(p.pending) > p.opts.TrainLatency {
-				u := p.pending[0]
-				copy(p.pending, p.pending[1:])
-				p.pending = p.pending[:len(p.pending)-1]
-				p.slotAt(u.idx).Update(int(u.exit))
-			}
+			// "travelled back" TrainLatency tasks later. (log is always
+			// nil here: specErr refuses TrainLatency under speculation.)
+			p.pendPush(p.dolc.Index(&p.hist, t.Start), exit)
 		}
 	}
 	if !(p.opts.SkipSingleExitHistory && single) {
+		if log != nil {
+			logPathHist(log, &p.hist)
+		}
 		p.hist.Push(t.Start)
 	}
 }
@@ -166,6 +223,7 @@ type GlobalExit struct {
 	hist    ExitHistory
 	pht     []Automaton
 	touched int
+	undo    undoRing
 }
 
 // NewGlobalExit builds a real GLOBAL exit predictor: depth 2-bit exit
@@ -198,6 +256,7 @@ func (p *GlobalExit) Reset() {
 	p.hist = 0
 	p.pht = make([]Automaton, 1<<uint(p.indexBits))
 	p.touched = 0
+	p.undo.reset()
 	p.rng = newRNG(11)
 }
 
@@ -229,8 +288,24 @@ func (p *GlobalExit) PredictExit(t *tfg.Task) int {
 }
 
 // UpdateExit implements ExitPredictor.
-func (p *GlobalExit) UpdateExit(t *tfg.Task, exit int) {
-	p.slot(t).Update(exit)
+func (p *GlobalExit) UpdateExit(t *tfg.Task, exit int) { p.updateExit(t, exit, nil) }
+
+func (p *GlobalExit) updateExit(t *tfg.Task, exit int, log *undoRing) {
+	idx := p.index(t.Start)
+	a := p.pht[idx]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.pht[idx] = a
+		p.touched++
+		if log != nil {
+			log.push(specUndo{kind: undoAutCreate, idx: idx})
+		}
+	}
+	if log != nil {
+		log.push(specUndo{kind: undoAutState, idx: idx, prev: a.(autState).packState()})
+		log.push(specUndo{kind: undoExitHist, prev: uint64(p.hist)})
+	}
+	a.Update(exit)
 	p.hist = p.hist.Push(exit, p.depth)
 }
 
@@ -249,6 +324,7 @@ type PerExit struct {
 	hrt     []ExitHistory
 	pht     []Automaton
 	touched int
+	undo    undoRing
 }
 
 // NewPerExit builds a real PER exit predictor.
@@ -280,6 +356,7 @@ func (p *PerExit) Reset() {
 	p.hrt = make([]ExitHistory, 1<<uint(p.hrtBits))
 	p.pht = make([]Automaton, 1<<uint(p.indexBits))
 	p.touched = 0
+	p.undo.reset()
 	p.rng = newRNG(13)
 }
 
@@ -315,8 +392,24 @@ func (p *PerExit) PredictExit(t *tfg.Task) int {
 }
 
 // UpdateExit implements ExitPredictor.
-func (p *PerExit) UpdateExit(t *tfg.Task, exit int) {
-	p.slot(t).Update(exit)
+func (p *PerExit) UpdateExit(t *tfg.Task, exit int) { p.updateExit(t, exit, nil) }
+
+func (p *PerExit) updateExit(t *tfg.Task, exit int, log *undoRing) {
+	idx := p.phtIndex(t.Start, p.hrt[p.hrtIndex(t.Start)])
+	a := p.pht[idx]
+	if a == nil {
+		a = p.kind.New(p.rng)
+		p.pht[idx] = a
+		p.touched++
+		if log != nil {
+			log.push(specUndo{kind: undoAutCreate, idx: idx})
+		}
+	}
 	h := p.hrtIndex(t.Start)
+	if log != nil {
+		log.push(specUndo{kind: undoAutState, idx: idx, prev: a.(autState).packState()})
+		log.push(specUndo{kind: undoHRT, idx: h, prev: uint64(p.hrt[h])})
+	}
+	a.Update(exit)
 	p.hrt[h] = p.hrt[h].Push(exit, p.depth)
 }

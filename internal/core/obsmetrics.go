@@ -31,6 +31,15 @@ var (
 	obsCTTBMisses  = obs.Default().Counter("core.cttb.misses")
 	obsCTTBAliases = obs.Default().Counter("core.cttb.aliases")
 
+	// Speculative-update repair traffic. Rollbacks/repair nanos are
+	// recorded live inside the sessions (behind obs.On()); the
+	// frame/damage totals are additionally mirrored from results so
+	// batch runs aggregate like every other core counter.
+	obsSpecRollbacks    = obs.Default().Counter("core.spec.rollbacks")
+	obsSpecRepairFrames = obs.Default().Counter("core.spec.repair_frames")
+	obsSpecRASDamage    = obs.Default().Counter("core.spec.ras_damage")
+	obsSpecRepairNanos  = obs.Default().Counter("core.spec.repair_ns")
+
 	// Per-exit-class task-prediction accounting ("core.task.steps_branch",
 	// "core.task.miss_indirect_call", ...), indexed by isa.ControlKind.
 	// KindNone never appears as an actual exit and stays nil.
@@ -52,6 +61,7 @@ func recordExitResult(r ExitResult) {
 	}
 	obsExitSteps.Add(int64(r.Steps))
 	obsExitMisses.Add(int64(r.Misses))
+	obsSpecRepairFrames.Add(int64(r.RepairFrames))
 }
 
 // recordTargetResult mirrors a target-replay result into the counters.
@@ -72,6 +82,8 @@ func recordTaskResult(r TaskResult) {
 	obsTaskSteps.Add(int64(r.Steps))
 	obsTaskMisses.Add(int64(r.Misses))
 	obsTaskExitMisses.Add(int64(r.ExitMisses))
+	obsSpecRepairFrames.Add(int64(r.RepairFrames))
+	obsSpecRASDamage.Add(int64(r.RASDamage))
 	for kind, km := range r.ByKind {
 		if int(kind) >= len(obsKindSteps) || obsKindSteps[kind] == nil {
 			continue

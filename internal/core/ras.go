@@ -20,10 +20,18 @@ type RAS struct {
 	size  int
 	depth int
 
+	// stamps[i] is the value of the monotonic write counter when ring[i]
+	// was last written. A mark records the counter; Repair compares the
+	// stamps of the restored live region against it to detect entries a
+	// deep wrong-path push clobbered past the mark's single-entry reach.
+	stamps []uint64
+	writes uint64
+
 	pushes    int
 	pops      int
 	underflow int
 	overflow  int
+	damaged   int
 }
 
 // NewRAS returns a return address stack with the given capacity
@@ -32,7 +40,7 @@ func NewRAS(depth int) *RAS {
 	if depth <= 0 {
 		depth = DefaultRASDepth
 	}
-	return &RAS{ring: make([]isa.Addr, depth), depth: depth}
+	return &RAS{ring: make([]isa.Addr, depth), stamps: make([]uint64, depth), depth: depth}
 }
 
 // Push records a return address (on a CALL or INDIRECT_CALL exit).
@@ -42,6 +50,8 @@ func (s *RAS) Push(addr isa.Addr) {
 		s.top = 0
 	}
 	s.ring[s.top] = addr
+	s.writes++
+	s.stamps[s.top] = s.writes
 	overflowed := false
 	if s.size < s.depth {
 		s.size++
@@ -91,18 +101,20 @@ func (s *RAS) Pop() (addr isa.Addr, ok bool) {
 }
 
 // RASMark is a repair point captured by Mark: the sequencer's snapshot of
-// the top-of-stack pointer, the live-entry count, and the top entry's
-// value. It is the state hardware saves when dispatch speculates past a
-// call or return so a misprediction can restore the stack (§5.3).
+// the top-of-stack pointer, the live-entry count, the top entry's value,
+// and the write counter at mark time. It is the state hardware saves
+// when dispatch speculates past a call or return so a misprediction can
+// restore the stack (§5.3).
 type RASMark struct {
-	top  int
-	size int
-	val  isa.Addr
+	top   int
+	size  int
+	val   isa.Addr
+	stamp uint64
 }
 
 // Mark captures a repair point before speculative pushes and pops.
 func (s *RAS) Mark() RASMark {
-	return RASMark{top: s.top, size: s.size, val: s.ring[s.top]}
+	return RASMark{top: s.top, size: s.size, val: s.ring[s.top], stamp: s.writes}
 }
 
 // Repair restores the stack to a previously captured mark: the top
@@ -110,11 +122,35 @@ func (s *RAS) Mark() RASMark {
 // predicts exactly what it would have before speculation. Entries below
 // the restored top that were overwritten by deep wrong-path pushes are
 // not recovered — the same limitation real checkpoint-repair hardware
-// has.
-func (s *RAS) Repair(m RASMark) {
+// has. Repair reports that case: damaged is true when any live entry
+// below the restored top carries a write stamp newer than the mark, i.e.
+// the repaired stack is NOT guaranteed byte-identical to its state at
+// Mark time. damaged == false guarantees an exact restore (pinned by
+// FuzzRAS); single-frame speculation (one push or pop since the mark, as
+// in lag-0 speculative update) can only be damaged by a genuine
+// overflow wrap of a full stack.
+func (s *RAS) Repair(m RASMark) (damaged bool) {
 	s.top, s.size = m.top, m.size
 	s.ring[s.top] = m.val
+	s.stamps[s.top] = m.stamp
+	for i := 1; i < m.size; i++ {
+		slot := m.top - i
+		if slot < 0 {
+			slot += s.depth
+		}
+		if s.stamps[slot] > m.stamp {
+			damaged = true
+			break
+		}
+	}
+	if damaged {
+		s.damaged++
+	}
+	return damaged
 }
+
+// Damaged returns how many repairs were inexact (see Repair).
+func (s *RAS) Damaged() int { return s.damaged }
 
 // Depth returns the stack capacity.
 func (s *RAS) Depth() int { return s.depth }
@@ -130,5 +166,5 @@ func (s *RAS) Underflows() int { return s.underflow }
 
 // Reset clears the stack and its statistics.
 func (s *RAS) Reset() {
-	*s = RAS{ring: make([]isa.Addr, s.depth), depth: s.depth}
+	*s = RAS{ring: make([]isa.Addr, s.depth), stamps: make([]uint64, s.depth), depth: s.depth}
 }

@@ -6,21 +6,50 @@ import (
 	"multiscalar/internal/isa"
 )
 
+// rasShadow pairs a hardware mark with a software snapshot of the live
+// entries at mark time (newest first). It is the fuzz oracle for the
+// Repair damage contract: damaged == false must mean the live entries
+// after Repair are byte-identical to this snapshot.
+type rasShadow struct {
+	mark      RASMark
+	live      []isa.Addr
+	corrupted bool // a fault fired since the mark; exactness is off the table
+}
+
+// rasLive reads the live entries newest-first without mutating the stack.
+func rasLive(s *RAS) []isa.Addr {
+	out := make([]isa.Addr, s.size)
+	for i := 0; i < s.size; i++ {
+		slot := s.top - i
+		if slot < 0 {
+			slot += s.depth
+		}
+		out[i] = s.ring[slot]
+	}
+	return out
+}
+
 // FuzzRAS drives the return address stack with arbitrary call / return /
 // speculate-repair / corrupt sequences and checks its hardware
 // invariants: it never panics, its live-entry count stays within
-// [0, depth], and a Repair always restores the top-of-stack prediction
-// captured by the matching Mark.
+// [0, depth], a Repair always restores the top-of-stack prediction
+// captured by the matching Mark, and — the speculative-update contract —
+// a Repair that reports damaged == false restored every live entry
+// exactly. Marks nest: op 3 stacks a new repair point, op 4 repairs to
+// either the newest or the oldest outstanding one (the oldest models a
+// multi-frame squash, which invalidates every younger mark).
 //
 // Input encoding: the first byte selects the stack depth (1..32); every
 // following byte is one operation (op = b % 5) with the payload bits
-// reused as a pseudo-address.
+// reused as a pseudo-address and, for op 4, as the newest/oldest choice.
 func FuzzRAS(f *testing.F) {
 	f.Add([]byte{8, 0, 0, 5, 10, 1, 2, 3})                      // pushes and pops
 	f.Add([]byte{1, 0, 0, 0, 1, 1, 1})                          // depth-1 overflow churn
 	f.Add([]byte{4, 3, 0, 0, 0, 0, 0, 4, 3})                    // mark, deep pushes, repair
 	f.Add([]byte{16, 3, 2, 2, 2, 4, 4, 4, 4, 3})                // corrupt then repair
 	f.Add([]byte{32, 0, 1, 3, 0, 0, 1, 1, 1, 4, 2, 2, 3, 0, 1}) // mixed
+	f.Add([]byte{8, 3, 0, 3, 0, 3, 0, 4, 4, 4})                 // nested marks, LIFO repairs
+	f.Add([]byte{4, 0, 0, 3, 0, 3, 0, 0, 0, 0, 0x14, 4})        // overflow wrap then squash to oldest
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) == 0 {
 			return
@@ -40,10 +69,8 @@ func FuzzRAS(f *testing.F) {
 			return int(seed % uint32(n))
 		}
 
-		marked := false
-		var mark RASMark
-		var markTop isa.Addr
-		var markOK bool
+		var marks []rasShadow
+		damagedBefore := s.Damaged()
 
 		for i, b := range ops[1:] {
 			switch b % 5 {
@@ -57,30 +84,91 @@ func FuzzRAS(f *testing.F) {
 				} else {
 					s.Pop()
 				}
-			case 3: // speculate: capture a repair point
-				mark, marked = s.Mark(), true
-				markTop, markOK = s.Top()
+			case 3: // speculate: stack a repair point (bounded nesting)
+				if len(marks) < 8 {
+					marks = append(marks, rasShadow{mark: s.Mark(), live: rasLive(s)})
+				}
 			case 4: // misprediction resolved: repair, then verify
-				if !marked {
+				if len(marks) == 0 {
 					continue
 				}
-				s.Repair(mark)
-				gotTop, gotOK := s.Top()
-				if gotOK != markOK || (markOK && gotTop != markTop) {
+				var sh rasShadow
+				if b&0x10 != 0 { // squash to the oldest outstanding mark
+					sh, marks = marks[0], marks[:0]
+				} else { // LIFO repair of the newest
+					sh, marks = marks[len(marks)-1], marks[:len(marks)-1]
+				}
+				damaged := s.Repair(sh.mark)
+				if gotTop, gotOK := s.Top(); gotOK != (sh.mark.size > 0) ||
+					(gotOK && gotTop != sh.mark.val) {
 					t.Fatalf("op %d: repair did not restore the top: got (%v,%v), marked (%v,%v)",
-						i, gotTop, gotOK, markTop, markOK)
+						i, gotTop, gotOK, sh.mark.val, sh.mark.size > 0)
+				}
+				if !damaged && !sh.corrupted {
+					got := rasLive(s)
+					for j := range got {
+						if got[j] != sh.live[j] {
+							t.Fatalf("op %d: undamaged repair is inexact at live entry %d: got %#x, marked %#x",
+								i, j, got[j], sh.live[j])
+						}
+					}
 				}
 			}
 			if b%5 != 4 && b%5 != 3 && rnd(7) == 0 {
-				s.Corrupt(rnd) // fault injection interleaved with real ops
+				if s.Corrupt(rnd) { // fault injection interleaved with real ops
+					for j := range marks {
+						marks[j].corrupted = true
+					}
+				}
 			}
 			if s.Size() < 0 || s.Size() > depth {
 				t.Fatalf("op %d: size %d outside [0, %d]", i, s.Size(), depth)
 			}
+			if s.Damaged() < damagedBefore {
+				t.Fatalf("op %d: damage counter went backwards", i)
+			}
+			damagedBefore = s.Damaged()
 		}
 
 		if s.Underflows() < 0 || s.Overflows() < 0 {
 			t.Fatalf("negative statistics: underflows %d, overflows %d", s.Underflows(), s.Overflows())
 		}
 	})
+}
+
+// TestRASRepairDamageSignal pins the two ends of the Repair contract
+// deterministically: wrong-path activity that stays within the free
+// capacity repairs exactly (damaged == false), while a wrong-path push
+// burst that wraps a full stack clobbers live entries below the restored
+// top and must be reported.
+func TestRASRepairDamageSignal(t *testing.T) {
+	s := NewRAS(4)
+	s.Push(0x10)
+	s.Push(0x20)
+	m := s.Mark()
+	s.Push(0x30) // wrong path, fits in free capacity
+	s.Pop()
+	if damaged := s.Repair(m); damaged {
+		t.Fatal("in-capacity speculation must repair exactly")
+	}
+	if top, _ := s.Top(); top != 0x20 {
+		t.Fatalf("top not restored: %#x", top)
+	}
+
+	s.Reset()
+	for _, a := range []isa.Addr{1, 2, 3, 4} {
+		s.Push(a) // full stack
+	}
+	m = s.Mark()
+	s.Push(0x50) // overflow wrap: clobbers the oldest live entry
+	s.Push(0x60) // and the one above it
+	if damaged := s.Repair(m); !damaged {
+		t.Fatal("overflow wrap past the mark must be reported as damage")
+	}
+	if s.Damaged() != 1 {
+		t.Fatalf("damage counter = %d, want 1", s.Damaged())
+	}
+	if top, _ := s.Top(); top != 4 {
+		t.Fatalf("top not restored after damaged repair: %#x", top)
+	}
 }

@@ -76,6 +76,7 @@ type CTTB struct {
 	hist    PathHistory
 	entries []ttbEntry
 	touched int
+	undo    undoRing
 }
 
 // NewCTTB builds a correlated task target buffer with the given index
@@ -128,6 +129,7 @@ func (b *CTTB) Reset() {
 	b.hist.Reset()
 	b.entries = make([]ttbEntry, b.dolc.TableSize())
 	b.touched = 0
+	b.undo.reset()
 }
 
 // Lookup implements TargetBuffer.
@@ -146,8 +148,14 @@ func (b *CTTB) Lookup(current isa.Addr) (isa.Addr, bool) {
 }
 
 // Train implements TargetBuffer.
-func (b *CTTB) Train(current isa.Addr, actual isa.Addr) {
-	e := &b.entries[b.dolc.Index(&b.hist, current)]
+func (b *CTTB) Train(current isa.Addr, actual isa.Addr) { b.train(current, actual, nil) }
+
+func (b *CTTB) train(current isa.Addr, actual isa.Addr, log *undoRing) {
+	idx := b.dolc.Index(&b.hist, current)
+	e := &b.entries[idx]
+	if log != nil {
+		log.push(specUndo{kind: undoTTBEntry, idx: idx, prev: packTTBEntry(e)})
+	}
 	if !e.valid {
 		b.touched++
 	} else if e.target != actual && obs.On() {
@@ -169,6 +177,7 @@ type IdealCTTB struct {
 	depth   int
 	hist    PathHistory
 	entries map[PathKey]*ttbEntry
+	undo    undoRing
 }
 
 // NewIdealCTTB builds an infinite, alias-free correlated target buffer of
@@ -195,6 +204,7 @@ func (b *IdealCTTB) States() int { return len(b.entries) }
 func (b *IdealCTTB) Reset() {
 	b.hist.Reset()
 	b.entries = make(map[PathKey]*ttbEntry)
+	b.undo.reset()
 }
 
 // Lookup implements TargetBuffer.

@@ -6,16 +6,20 @@ import (
 	"multiscalar/internal/core"
 )
 
-// BuildExit constructs the spec's exit predictor component.
+// BuildExit constructs the spec's exit predictor component. In
+// speculative-update mode the exit's dlat<k> becomes the spec session's
+// resolution lag instead of a core.DelayedUpdate wrapper (the wrapper
+// cannot checkpoint, and the session already models the delay).
 func (s *Spec) BuildExit() (core.ExitPredictor, error) {
 	if s.exit == nil {
 		return nil, fmt.Errorf("engine: spec %q has no exit predictor", s)
 	}
-	return s.exit.build()
+	return s.exit.build(s.specUpdate)
 }
 
-// build constructs the exit predictor an ExitSpec describes.
-func (e *ExitSpec) build() (core.ExitPredictor, error) {
+// build constructs the exit predictor an ExitSpec describes. specMode
+// suppresses the DelayedUpdate wrap (see Spec.BuildExit).
+func (e *ExitSpec) build(specMode bool) (core.ExitPredictor, error) {
 	var p core.ExitPredictor
 	var err error
 	switch e.Scheme {
@@ -40,7 +44,7 @@ func (e *ExitSpec) build() (core.ExitPredictor, error) {
 	if err != nil {
 		return nil, err
 	}
-	if e.DLat > 0 {
+	if e.DLat > 0 && !specMode {
 		p = core.NewDelayedUpdate(p, e.DLat)
 	}
 	return p, nil
@@ -78,7 +82,7 @@ func (s *Spec) BuildTask() (core.TaskPredictor, error) {
 		}
 		return core.NewCTTBOnly(buf), nil
 	case ClassTask:
-		exit, err := s.exit.build()
+		exit, err := s.exit.build(s.specUpdate)
 		if err != nil {
 			return nil, err
 		}

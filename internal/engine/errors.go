@@ -1,0 +1,22 @@
+package engine
+
+// UnsupportedError reports a run configuration the engine recognizes but
+// deliberately refuses: the combination is either physically meaningless
+// (fault injection into the perfect oracle) or would silently degrade to
+// a different model than the one requested (streaming a timing run). It
+// exists so callers can distinguish "you asked for an unsupported
+// combination" from parse, build, and runtime failures with errors.As,
+// and so every refusal names both the feature and the reason instead of
+// silently idealizing.
+type UnsupportedError struct {
+	// Feature is the run option that cannot be honoured ("fault
+	// injection", "streaming replay", "speculative update", ...).
+	Feature string
+	// Reason explains the conflict in one sentence.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *UnsupportedError) Error() string {
+	return "engine: " + e.Feature + ": " + e.Reason
+}

@@ -165,11 +165,31 @@ func run(r Run, res *Result) (err error) {
 		}
 	}
 	if fs.Enabled() && mode != ModeTask && mode != ModeTiming {
-		return fmt.Errorf("engine: fault injection wraps a task predictor; %s runs cannot inject", mode)
+		return &UnsupportedError{Feature: "fault injection",
+			Reason: fmt.Sprintf("wraps a task predictor; %s runs cannot inject", mode)}
 	}
 
-	if r.Stream && (mode == ModeTiming || fs.Enabled()) {
-		return fmt.Errorf("engine: streaming replay supports fault-free exit/target/task runs only")
+	// Speculative update (the :spec flag) drives exit/task prediction
+	// sessions and the timing model; every other combination is refused
+	// explicitly so a spec run is never silently idealized.
+	if sp.SpecUpdate() {
+		if mode == ModeTarget {
+			return &UnsupportedError{Feature: "speculative update",
+				Reason: "target replay has no prediction-time training to speculate; spec applies to exit, task and timing runs"}
+		}
+		if fs.Enabled() {
+			return &UnsupportedError{Feature: "fault injection",
+				Reason: "the injector wrapper cannot checkpoint predictor state; speculative-update runs cannot inject"}
+		}
+	}
+
+	if r.Stream && mode == ModeTiming {
+		return &UnsupportedError{Feature: "streaming replay",
+			Reason: "the timing model replays the functional machine, not a block stream; timing runs cannot stream"}
+	}
+	if r.Stream && fs.Enabled() {
+		return &UnsupportedError{Feature: "streaming replay",
+			Reason: "the fault harness checksums a materialized trace; streaming runs cannot inject"}
 	}
 
 	if mode == ModeTiming {
@@ -192,14 +212,20 @@ func run(r Run, res *Result) (err error) {
 			// fault spec here would silently do nothing. Refuse it
 			// explicitly, like the replay modes do.
 			if pred == nil {
-				return fmt.Errorf("engine: fault injection wraps a task predictor; perfect timing runs have no predictor state to inject into")
+				return &UnsupportedError{Feature: "fault injection",
+					Reason: "wraps a task predictor; perfect timing runs have no predictor state to inject into"}
 			}
 			if inj, err = fault.New(fs, pred); err != nil {
 				return err
 			}
 			pred, res.Faulted = inj, true
 		}
-		tres, err := timing.Run(g, pred, timing.Config{MaxSteps: r.TimingSteps})
+		tres, err := timing.Run(g, pred, timing.Config{
+			MaxSteps:      r.TimingSteps,
+			SpecUpdate:    sp.SpecUpdate(),
+			SpecLag:       sp.SpecLag(),
+			RepairLatency: sp.RepairLat(),
+		})
 		if err != nil {
 			return err
 		}
@@ -256,6 +282,12 @@ func run(r Run, res *Result) (err error) {
 		if err != nil {
 			return err
 		}
+		if sp.SpecUpdate() {
+			if res.Exit, err = core.EvaluateExitSpec(tr, p, sp.SpecLag()); err != nil {
+				return err
+			}
+			break
+		}
 		res.Exit = core.EvaluateExit(tr, p)
 	case ModeTarget:
 		b, err := sp.BuildTarget()
@@ -269,10 +301,18 @@ func run(r Run, res *Result) (err error) {
 			return err
 		}
 		if p == nil {
-			return fmt.Errorf("engine: the perfect predictor is only meaningful in timing runs")
+			return &UnsupportedError{Feature: "perfect predictor",
+				Reason: "only meaningful in timing runs (it has no replayable state)"}
 		}
 		if !fs.Enabled() {
-			res.Task = core.EvaluateTask(tr, p)
+			if sp.SpecUpdate() {
+				res.Task, err = core.EvaluateTaskSpec(tr, p, sp.SpecLag())
+				if err != nil {
+					return err
+				}
+			} else {
+				res.Task = core.EvaluateTask(tr, p)
+			}
 			r.Status.AddSteps(int64(tr.Len()))
 			return nil
 		}
@@ -311,6 +351,10 @@ func replayBlocks(sp *Spec, mode Mode, src trace.BlockSource, res *Result) error
 		if err != nil {
 			return err
 		}
+		if sp.SpecUpdate() {
+			res.Exit, err = core.EvaluateExitSpecBlocks(src, p, sp.SpecLag())
+			return err
+		}
 		res.Exit, err = core.EvaluateExitBlocks(src, p)
 		return err
 	case ModeTarget:
@@ -326,7 +370,12 @@ func replayBlocks(sp *Spec, mode Mode, src trace.BlockSource, res *Result) error
 			return err
 		}
 		if p == nil {
-			return fmt.Errorf("engine: the perfect predictor is only meaningful in timing runs")
+			return &UnsupportedError{Feature: "perfect predictor",
+				Reason: "only meaningful in timing runs (it has no replayable state)"}
+		}
+		if sp.SpecUpdate() {
+			res.Task, err = core.EvaluateTaskSpecBlocks(src, p, sp.SpecLag())
+			return err
 		}
 		res.Task, err = core.EvaluateTaskBlocks(src, p)
 		return err

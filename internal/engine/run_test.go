@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -118,6 +119,72 @@ func TestDoRejects(t *testing.T) {
 		if res.Err == nil {
 			t.Errorf("%s: accepted", c.name)
 		} else if !strings.Contains(res.Err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, res.Err, c.want)
+		}
+	}
+}
+
+// TestDoSpecRouting pins the speculative-update support matrix: spec
+// runs work in exit, task (cached and streamed) and timing modes, and
+// every unsupported combination comes back as a typed
+// *UnsupportedError — never a silently idealized run.
+func TestDoSpecRouting(t *testing.T) {
+	exit := Do(Run{Workload: "exprc", Spec: "path:d7-o5-l6-c6-f3:leh2:dlat4:spec", MaxSteps: 20000})
+	if exit.Err != nil {
+		t.Fatal(exit.Err)
+	}
+	if exit.Exit.Steps == 0 || exit.Exit.Rollbacks == 0 {
+		t.Fatalf("spec exit run did not roll back: %+v", exit.Exit)
+	}
+
+	task := Do(Run{Workload: "exprc", Spec: stdSpec + ":spec", MaxSteps: 20000})
+	if task.Err != nil {
+		t.Fatal(task.Err)
+	}
+	if task.Task.Steps == 0 || task.Task.Rollbacks == 0 {
+		t.Fatalf("spec task run did not roll back: %+v", task.Task)
+	}
+	streamed := Do(Run{Workload: "exprc", Spec: stdSpec + ":spec", MaxSteps: 20000, Stream: true})
+	if streamed.Err != nil {
+		t.Fatal(streamed.Err)
+	}
+	if streamed.Task.Steps != task.Task.Steps || streamed.Task.Rollbacks != task.Task.Rollbacks {
+		t.Fatalf("streamed spec run diverges from cached: %+v vs %+v", streamed.Task, task.Task)
+	}
+
+	timing := Do(Run{Workload: "exprc", Spec: stdSpec + ":spec:rlat8", Mode: ModeTiming, TimingSteps: 20000})
+	if timing.Err != nil {
+		t.Fatal(timing.Err)
+	}
+	if timing.Timing.Rollbacks == 0 || timing.Timing.RepairCycles == 0 {
+		t.Fatalf("spec timing run charged no repairs: %+v", timing.Timing)
+	}
+
+	rejected := []struct {
+		name string
+		run  Run
+		want string
+	}{
+		{"spec target run", Run{Workload: "minilisp", Spec: "cttb:d7-o4-l4-c5-f3:spec", MaxSteps: 100},
+			"speculative update"},
+		{"spec faulted run", Run{Workload: "exprc", Spec: stdSpec + ":spec", Fault: "all=0.01,seed=1", MaxSteps: 100},
+			"cannot inject"},
+		{"streamed timing run", Run{Workload: "exprc", Spec: "perfect", Stream: true, TimingSteps: 100},
+			"timing"},
+		{"streamed faulted run", Run{Workload: "exprc", Spec: stdSpec, Fault: "all=0.01,seed=1", Stream: true, MaxSteps: 100},
+			"cannot inject"},
+	}
+	for _, c := range rejected {
+		res := Do(c.run)
+		if res.Err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var ue *UnsupportedError
+		if !errors.As(res.Err, &ue) {
+			t.Errorf("%s: error %v is not an *UnsupportedError", c.name, res.Err)
+		}
+		if !strings.Contains(res.Err.Error(), c.want) {
 			t.Errorf("%s: error %q does not mention %q", c.name, res.Err, c.want)
 		}
 	}

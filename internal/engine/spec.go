@@ -135,6 +135,14 @@ type Spec struct {
 	buf      *TargetSpec
 	rasDepth int // resolved capacity (ClassTask, unless noRAS)
 	noRAS    bool
+
+	// specUpdate selects speculative-update mode: predictors train at
+	// prediction time with the predicted outcome and mispredicts repair
+	// through per-predictor undo logs (the trailing :spec flag).
+	specUpdate bool
+	// repairLat is the timing model's per-rollback repair charge in
+	// cycles (the trailing :rlat<k> flag; requires :spec).
+	repairLat int
 }
 
 // Class reports the spec's top-level predictor kind.
@@ -151,6 +159,24 @@ func (s *Spec) HasExit() bool { return s.exit != nil }
 
 // HasTarget reports whether the spec contains any target buffer.
 func (s *Spec) HasTarget() bool { return s.buf != nil }
+
+// SpecUpdate reports whether the spec selects speculative-update mode.
+func (s *Spec) SpecUpdate() bool { return s.specUpdate }
+
+// RepairLat returns the timing model's per-rollback repair latency in
+// cycles (0 unless the spec carries :spec:rlat<k>).
+func (s *Spec) RepairLat() int { return s.repairLat }
+
+// SpecLag returns the speculative-update session's resolution lag: in
+// spec mode the exit component's dlat<k> flag is reinterpreted as the
+// number of younger in-flight predictions between a prediction and its
+// resolution (instead of wrapping the predictor in core.DelayedUpdate).
+func (s *Spec) SpecLag() int {
+	if !s.specUpdate || s.exit == nil {
+		return 0
+	}
+	return s.exit.DLat
+}
 
 // RASDepth returns the effective return address stack capacity the spec
 // builds: 0 when the spec carries no RAS at all (exit-only, target-only,
@@ -291,37 +317,62 @@ func Parse(s string) (*Spec, error) {
 		return nil, fmt.Errorf("engine: empty predictor spec")
 	}
 	segs := strings.Split(s, ":")
+	var sp *Spec
+	var err error
 	switch segs[0] {
 	case "perfect":
-		if len(segs) != 1 {
-			return nil, fmt.Errorf("engine: spec %q: perfect takes no parameters", s)
-		}
-		return &Spec{class: ClassPerfect}, nil
+		// perfect takes no parameters beyond the trailing spec flags
+		// (perfect:spec:rlat<k> parameterizes the timing model's repair
+		// charge while the oracle itself never rolls back).
+		sp, err = finishSpec(&Spec{class: ClassPerfect}, segs[1:])
 	case "composed":
-		sp, err := parseComposed(segs[1:])
-		if err != nil {
-			return nil, fmt.Errorf("engine: spec %q: %w", s, unwrapPrefix(err))
-		}
-		return sp, nil
+		sp, err = parseComposed(segs[1:])
 	case "cttb", "icttb":
-		buf, rest, err := parseTarget(segs)
-		if err != nil {
-			return nil, fmt.Errorf("engine: spec %q: %w", s, unwrapPrefix(err))
+		var buf *TargetSpec
+		var rest []string
+		if buf, rest, err = parseTarget(segs); err == nil {
+			sp, err = finishSpec(&Spec{class: ClassTarget, buf: buf}, rest)
 		}
-		if len(rest) != 0 {
-			return nil, fmt.Errorf("engine: spec %q: trailing segments %q", s, strings.Join(rest, ":"))
-		}
-		return &Spec{class: ClassTarget, buf: buf}, nil
 	default:
-		exit, rest, err := parseExit(segs)
-		if err != nil {
-			return nil, fmt.Errorf("engine: spec %q: %w", s, unwrapPrefix(err))
+		var exit *ExitSpec
+		var rest []string
+		if exit, rest, err = parseExit(segs); err == nil {
+			sp, err = finishSpec(&Spec{class: ClassExit, exit: exit}, rest)
 		}
-		if len(rest) != 0 {
-			return nil, fmt.Errorf("engine: spec %q: trailing segments %q", s, strings.Join(rest, ":"))
-		}
-		return &Spec{class: ClassExit, exit: exit}, nil
 	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: spec %q: %w", s, unwrapPrefix(err))
+	}
+	return sp, nil
+}
+
+// finishSpec consumes the trailing speculative-update flags (":spec",
+// ":rlat<k>") into sp, rejects anything left over, and validates the
+// flag interactions.
+func finishSpec(sp *Spec, rest []string) (*Spec, error) {
+	sawRlat := false
+	for len(rest) > 0 {
+		switch seg := rest[0]; {
+		case seg == "spec":
+			sp.specUpdate = true
+		case strings.HasPrefix(seg, "rlat") && isDigits(seg[4:]):
+			n, err := strconv.Atoi(seg[4:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("engine: bad rlat value %q", seg[4:])
+			}
+			sp.repairLat, sawRlat = n, true
+		default:
+			return nil, fmt.Errorf("engine: trailing segments %q", strings.Join(rest, ":"))
+		}
+		rest = rest[1:]
+	}
+	if sawRlat && !sp.specUpdate {
+		return nil, fmt.Errorf("engine: rlat<k> is a speculative-update parameter (add the spec flag)")
+	}
+	if sp.specUpdate && sp.exit != nil && sp.exit.Lat > 0 {
+		return nil, fmt.Errorf("engine: spec is incompatible with lat<k>; the dlat<k> session lag is the speculative update-timing model")
+	}
+	return sp, nil
 }
 
 // MustParse is Parse, panicking on error (for compile-time-constant
@@ -542,31 +593,30 @@ func parseComposed(segs []string) (*Spec, error) {
 			rest = rest[1:]
 		}
 	}
-	if len(rest) > 0 {
+	if len(rest) > 0 && (rest[0] == "cttb" || rest[0] == "icttb") {
 		buf, tail, err := parseTarget(rest)
 		if err != nil {
 			return nil, err
 		}
-		if len(tail) != 0 {
-			return nil, fmt.Errorf("engine: trailing segments %q", strings.Join(tail, ":"))
-		}
 		sp.buf = buf
+		rest = tail
 	}
-	return sp, nil
+	return finishSpec(sp, rest)
 }
 
 // String returns the spec's canonical form: a fixed point of Parse, used
 // for journal keys and result labels.
 func (s *Spec) String() string {
+	var out string
 	switch s.class {
 	case ClassPerfect:
-		return "perfect"
+		out = "perfect"
 	case ClassExit:
-		return s.exit.String()
+		out = s.exit.String()
 	case ClassTarget:
-		return s.buf.String()
+		out = s.buf.String()
 	case ClassTask:
-		out := "composed:" + s.exit.String()
+		out = "composed:" + s.exit.String()
 		if s.noRAS {
 			out += ":noras"
 		} else {
@@ -575,9 +625,16 @@ func (s *Spec) String() string {
 		if s.buf != nil {
 			out += ":" + s.buf.String()
 		}
-		return out
+	default:
+		return "invalid"
 	}
-	return "invalid"
+	if s.specUpdate {
+		out += ":spec"
+		if s.repairLat > 0 {
+			out += fmt.Sprintf(":rlat%d", s.repairLat)
+		}
+	}
+	return out
 }
 
 // String renders the exit component canonically.

@@ -52,6 +52,23 @@ func TestParseRoundTrip(t *testing.T) {
 			"composed:global:d7-c14-i14:leh2:ras32:icttb:d7"},
 		{"composed:path:d7-o5-l6-c6-f3:leh2:nosse:ras32:cttb:d7-o4-l4-c5-f3",
 			"composed:path:d7-o5-l6-c6-f3:leh2:nosse:ras32:cttb:d7-o4-l4-c5-f3"},
+
+		// Speculative-update flags ride on every class, last in the
+		// canonical order; an explicit rlat0 is dropped canonically.
+		{"path:d7-o5-l6-c6-f3:leh2:spec", "path:d7-o5-l6-c6-f3:leh2:spec"},
+		{"path:d7-o5-l6-c6-f3:leh2:spec:rlat8", "path:d7-o5-l6-c6-f3:leh2:spec:rlat8"},
+		{"path:d7-o5-l6-c6-f3:leh2:rlat8:spec", "path:d7-o5-l6-c6-f3:leh2:spec:rlat8"},
+		{"path:d7-o5-l6-c6-f3:leh2:spec:rlat0", "path:d7-o5-l6-c6-f3:leh2:spec"},
+		{"path:d7-o5-l6-c6-f3:leh2:dlat4:spec", "path:d7-o5-l6-c6-f3:leh2:dlat4:spec"},
+		{"global:d7-c14-i14:leh2:spec", "global:d7-c14-i14:leh2:spec"},
+		{"ipath:d7:leh2:spec:rlat2", "ipath:d7:leh2:spec:rlat2"},
+		{"cttb:d7-o4-l4-c5-f3:spec", "cttb:d7-o4-l4-c5-f3:spec"},
+		{"composed:path:d7-o5-l6-c6-f3:leh2:ras8:cttb:d7-o4-l4-c5-f3:spec:rlat8",
+			"composed:path:d7-o5-l6-c6-f3:leh2:ras8:cttb:d7-o4-l4-c5-f3:spec:rlat8"},
+		{"composed:path:d7-o5-l6-c6-f3:leh2:noras:spec",
+			"composed:path:d7-o5-l6-c6-f3:leh2:noras:spec"},
+		{"perfect:spec", "perfect:spec"},
+		{"perfect:spec:rlat8", "perfect:spec:rlat8"},
 	}
 	for _, c := range cases {
 		sp, err := Parse(c.in)
@@ -95,6 +112,12 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 		"composed:path:d7-o5-l6-c6-f3:leh2:ras0:cttb:d7-o4-l4-c5-f3",        // RAS must be positive
 		"composed:path:d7-o5-l6-c6-f3:leh2:ras32:noras:cttb:d7-o4-l4-c5-f3", // contradictory
 		"composed:path:d7-o5-l6-c6-f3:leh2:ras32:cttb:d7-o4-l4-c5-f3:junk",  // trailing
+		"path:d7-o5-l6-c6-f3:leh2:rlat8",        // rlat without spec
+		"perfect:rlat8",                         // likewise on perfect
+		"path:d7-o5-l6-c6-f3:leh2:lat4:spec",    // lat conflicts with spec
+		"path:d7-o5-l6-c6-f3:leh2:spec:nosse",   // spec flags must come last
+		"composed:path:d7-o5-l6-c6-f3:leh2:spec:ras8", // likewise before ras
+		"path:d7-o5-l6-c6-f3:leh2:spec:spec:junk",     // trailing after flags
 	}
 	for _, s := range bad {
 		if sp, err := Parse(s); err == nil {
@@ -143,6 +166,26 @@ func TestSpecAccessors(t *testing.T) {
 	perfect := MustParse("perfect")
 	if perfect.Class() != ClassPerfect || perfect.HasExit() || perfect.HasTarget() {
 		t.Fatalf("perfect misclassified")
+	}
+
+	if std.SpecUpdate() || std.RepairLat() != 0 || std.SpecLag() != 0 {
+		t.Fatalf("idealized spec reports spec-update parameters")
+	}
+	spec := MustParse("path:d7-o5-l6-c6-f3:leh2:dlat4:spec:rlat8")
+	if !spec.SpecUpdate() || spec.RepairLat() != 8 || spec.SpecLag() != 4 {
+		t.Fatalf("spec flags not surfaced: %v %d %d", spec.SpecUpdate(), spec.RepairLat(), spec.SpecLag())
+	}
+	// In spec mode dlat is the session lag, not a DelayedUpdate wrap: the
+	// built predictor must checkpoint (the wrapper cannot).
+	p, err := spec.BuildExit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(core.SpecExitPredictor); !ok {
+		t.Fatalf("spec-mode BuildExit returned a non-checkpointable %T", p)
+	}
+	if _, err := core.NewSpecExitSession(p, spec.SpecLag()); err != nil {
+		t.Fatalf("spec-mode exit predictor refused by session: %v", err)
 	}
 }
 

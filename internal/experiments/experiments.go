@@ -69,6 +69,7 @@ func All() []Runner {
 		{"ablation-ras", "return address stack depth sweep", AblationRAS},
 		{"ablation-real-histories", "real GLOBAL and PER implementations vs real PATH", AblationRealHistories},
 		{"ablation-updatedelay", "predictor update latency ablation (§3.1 Update Timing)", AblationUpdateDelay},
+		{"specupdate", "speculative update with checkpoint repair: accuracy, rollbacks and IPC", SpecUpdate},
 		{"fault-sweep", "graceful degradation: task miss rate vs predictor-state fault rate", FaultSweep},
 		{"staticpred", "static dataflow warnings vs measured per-task mispredict rates", StaticPred},
 	}
@@ -212,6 +213,8 @@ func AllSpecs() []string {
 		PathSpec(Depth7Exit)+":ssh",
 		PathSpec(Depth7Exit)+":lat4",
 		PathSpec(Depth7Exit)+":dlat4",
+		PathSpec(Depth7Exit)+":dlat4:spec",
+		StdSpec()+":spec:rlat8",
 		"global:d7-c14-i14:leh2",
 		"per:d7-h12-t14-i14:leh2",
 		"ipath:d7:leh2",

@@ -40,6 +40,20 @@ type Config struct {
 	ForwardLatency int // extra cycles for cross-task register values (default 1)
 	BimodalBits    int // log2 entries of each unit's bimodal table (default 10)
 	MaxSteps       int // dynamic task budget; 0 = run to halt
+
+	// SpecUpdate trains the inter-task predictor speculatively at
+	// prediction time and repairs it through its undo log on every
+	// rollback (core.SpecTaskSession) instead of the idealized
+	// train-on-commit update. Ignored for the perfect (nil) predictor,
+	// which has no state to speculate.
+	SpecUpdate bool
+	// SpecLag is the speculative session's resolution lag in tasks
+	// (SpecUpdate only; 0 resolves each prediction at the next boundary).
+	SpecLag int
+	// RepairLatency is charged against sequencer dispatch on every
+	// predictor rollback (SpecUpdate only), modelling the cycles the
+	// repair drain occupies the prediction structures.
+	RepairLatency int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +85,12 @@ type Result struct {
 	Tasks            int
 	TaskMispredicts  int
 	IntraMispredicts uint64
+
+	// Rollbacks counts predictor-state repairs and RepairCycles the
+	// dispatch cycles they cost (speculative-update runs only; both stay
+	// zero in idealized mode and under the perfect predictor).
+	Rollbacks    int
+	RepairCycles uint64
 }
 
 // IPC returns instructions per cycle.
@@ -120,6 +140,13 @@ func Run(g *tfg.Graph, pred core.TaskPredictor, cfg Config) (Result, error) {
 		unitFree: make([]uint64, cfg.Units),
 		bimodal:  make([][]uint8, cfg.Units),
 	}
+	if cfg.SpecUpdate && pred != nil {
+		sess, err := core.NewSpecTaskSession(pred, cfg.SpecLag)
+		if err != nil {
+			return Result{}, fmt.Errorf("timing: %w", err)
+		}
+		s.sess = sess
+	}
 	for u := range s.bimodal {
 		s.bimodal[u] = make([]uint8, 1<<uint(cfg.BimodalBits))
 		// Initialize weakly-taken so loops start reasonably.
@@ -133,6 +160,10 @@ func Run(g *tfg.Graph, pred core.TaskPredictor, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("timing: %w", err)
 	}
+	if s.sess != nil {
+		s.sess.Finish()
+		s.res.Rollbacks = s.sess.Rollbacks()
+	}
 	s.res.Instrs = m.Stats().Instrs
 	s.res.Cycles = s.prevCommit
 	return s.res, nil
@@ -144,6 +175,7 @@ type simState struct {
 	graph *tfg.Graph
 	code  []isa.Instr
 	pred  core.TaskPredictor
+	sess  *core.SpecTaskSession // non-nil in speculative-update mode
 
 	res Result
 
@@ -265,7 +297,17 @@ func (s *simState) observe(ev functional.InstrEvent) {
 	if ev.Exit >= 0 {
 		task := s.graph.TaskAt(s.curTask)
 		correct := true
-		if s.pred != nil {
+		rolledBack := false
+		if s.sess != nil {
+			// Speculative-update mode: the session trains the predicted
+			// outcome at prediction time and repairs on resolution; a
+			// rollback here is a predictor-state repair, charged below on
+			// top of whatever restart bubble the mispredict itself costs.
+			before := s.sess.Rollbacks()
+			p := s.sess.Step(task, core.Outcome{Exit: ev.Exit, Target: ev.Target})
+			correct = p.Target == ev.Target
+			rolledBack = s.sess.Rollbacks() > before
+		} else if s.pred != nil {
 			p := s.pred.Predict(task)
 			correct = p.Target == ev.Target
 			s.pred.Update(task, core.Outcome{Exit: ev.Exit, Target: ev.Target})
@@ -273,8 +315,15 @@ func (s *simState) observe(ev functional.InstrEvent) {
 		if !correct {
 			s.res.TaskMispredicts++
 			// Squash: younger speculative work is discarded; dispatch
-			// resumes after this task commits plus the restart bubble.
+			// resumes after this task commits, plus a restart penalty.
 			s.dispatch = commit + uint64(s.cfg.RestartPenalty)
+		}
+		if rolledBack && s.cfg.RepairLatency > 0 {
+			// The repair drain occupies the prediction structures: the
+			// sequencer cannot dispatch (or re-dispatch after a squash)
+			// until it completes.
+			s.dispatch += uint64(s.cfg.RepairLatency)
+			s.res.RepairCycles += uint64(s.cfg.RepairLatency)
 		}
 	}
 	s.taskIdx++

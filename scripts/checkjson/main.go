@@ -10,13 +10,16 @@
 //
 //	go run ./scripts/checkjson metrics.json trace.json
 //	go run ./scripts/checkjson -max-gauge mtrace.stream.peak_heap_bytes=33554432 metrics.json
+//	go run ./scripts/checkjson -min-counter core.spec.rollbacks=1 metrics.json
 //
 // File roles are sniffed from the parsed shape (object with "counters"
 // = metrics snapshot, object with "pool" = statusz capture, array =
 // trace). -max-gauge NAME=VALUE (repeatable) additionally requires the
 // named gauge to exist in at least one validated metrics snapshot with
-// a value no greater than VALUE. Exit status 0 iff every file and
-// every ceiling validates.
+// a value no greater than VALUE; -min-counter NAME=VALUE (repeatable)
+// requires the named counter to exist with a value no less than VALUE
+// (the smoke-test shape for "this code path actually fired"). Exit
+// status 0 iff every file, every ceiling and every floor validates.
 package main
 
 import (
@@ -52,15 +55,42 @@ func (g *gaugeFlags) Set(s string) error {
 	return nil
 }
 
+// counterFloor is one -min-counter NAME=VALUE assertion.
+type counterFloor struct {
+	name string
+	min  int64
+	seen bool
+}
+
+// counterFlags collects repeated -min-counter flags.
+type counterFlags []*counterFloor
+
+func (c *counterFlags) String() string { return "" }
+
+func (c *counterFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME=VALUE, got %q", s)
+	}
+	min, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad floor in %q: %v", s, err)
+	}
+	*c = append(*c, &counterFloor{name: name, min: min})
+	return nil
+}
+
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
 func run(args []string) int {
 	var ceilings gaugeFlags
+	var floors counterFlags
 	files := []string{}
 	for i := 0; i < len(args); i++ {
-		if args[i] == "-max-gauge" {
+		switch args[i] {
+		case "-max-gauge":
 			if i+1 >= len(args) {
 				fmt.Fprintln(os.Stderr, "checkjson: -max-gauge needs NAME=VALUE")
 				return 2
@@ -70,17 +100,27 @@ func run(args []string) int {
 				fmt.Fprintf(os.Stderr, "checkjson: -max-gauge: %v\n", err)
 				return 2
 			}
-			continue
+		case "-min-counter":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "checkjson: -min-counter needs NAME=VALUE")
+				return 2
+			}
+			i++
+			if err := floors.Set(args[i]); err != nil {
+				fmt.Fprintf(os.Stderr, "checkjson: -min-counter: %v\n", err)
+				return 2
+			}
+		default:
+			files = append(files, args[i])
 		}
-		files = append(files, args[i])
 	}
 	if len(files) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: checkjson [-max-gauge NAME=VALUE]... file.json ...")
+		fmt.Fprintln(os.Stderr, "usage: checkjson [-max-gauge NAME=VALUE]... [-min-counter NAME=VALUE]... file.json ...")
 		return 2
 	}
 	failed := false
 	for _, path := range files {
-		if err := check(path, ceilings); err != nil {
+		if err := check(path, ceilings, floors); err != nil {
 			fmt.Fprintf(os.Stderr, "checkjson: %s: %v\n", path, err)
 			failed = true
 			continue
@@ -93,13 +133,19 @@ func run(args []string) int {
 			failed = true
 		}
 	}
+	for _, c := range floors {
+		if !c.seen {
+			fmt.Fprintf(os.Stderr, "checkjson: counter %q not found in any metrics snapshot\n", c.name)
+			failed = true
+		}
+	}
 	if failed {
 		return 1
 	}
 	return 0
 }
 
-func check(path string, ceilings gaugeFlags) error {
+func check(path string, ceilings gaugeFlags, floors counterFlags) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -111,7 +157,7 @@ func check(path string, ceilings gaugeFlags) error {
 	switch doc := v.(type) {
 	case map[string]any:
 		if _, ok := doc["counters"]; ok {
-			return checkMetrics(doc, ceilings)
+			return checkMetrics(doc, ceilings, floors)
 		}
 		if _, ok := doc["pool"]; ok {
 			return checkStatusz(doc)
@@ -126,8 +172,8 @@ func check(path string, ceilings gaugeFlags) error {
 
 // checkMetrics validates a -metrics-out snapshot: the three sections
 // exist, every metric entry names itself, and any -max-gauge ceilings
-// that match a gauge here hold.
-func checkMetrics(doc map[string]any, ceilings gaugeFlags) error {
+// or -min-counter floors that match a metric here hold.
+func checkMetrics(doc map[string]any, ceilings gaugeFlags, floors counterFlags) error {
 	for _, section := range []string{"counters", "gauges", "histograms"} {
 		raw, ok := doc[section]
 		if !ok {
@@ -163,6 +209,21 @@ func checkMetrics(doc map[string]any, ceilings gaugeFlags) error {
 					}
 					if int64(val) > c.max {
 						return fmt.Errorf("gauge %q = %d exceeds ceiling %d", name, int64(val), c.max)
+					}
+				}
+			}
+			if section == "counters" {
+				for _, c := range floors {
+					if c.name != name {
+						continue
+					}
+					c.seen = true
+					val, ok := m["value"].(float64)
+					if !ok {
+						return fmt.Errorf("counter %q has non-numeric value %v", name, m["value"])
+					}
+					if int64(val) < c.min {
+						return fmt.Errorf("counter %q = %d below floor %d", name, int64(val), c.min)
 					}
 				}
 			}
